@@ -1,0 +1,63 @@
+// Ablation A4 (DESIGN.md): the inference substrate. Sweeps the ALS rank
+// and the inference-window length under RANDOM selection, reporting the
+// deployed budget and quality — the knobs that decide whether compressive
+// sensing has enough structure and history to work with.
+#include "bench_common.h"
+
+using namespace drcell;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+
+  const auto dataset = data::make_sensorscope_like(2018);
+  auto slices = bench::make_slices(dataset.temperature, 48, 96);
+  slices.test_task = std::make_shared<const mcs::SensingTask>(
+      slices.test_task->slice_cycles(0, quick ? 48 : 96));
+  const double epsilon = 0.3;
+  const std::size_t cells = dataset.temperature.num_cells();
+
+  TablePrinter rank_table({"ALS rank", "avg cells/cycle", "satisfaction",
+                           "MAE (degC)"});
+  for (const std::size_t rank :
+       {std::size_t{2}, std::size_t{5}, std::size_t{8}}) {
+    core::DrCellConfig config = bench::paper_config(cells, 48, 1000);
+    core::CampaignConfig campaign;
+    campaign.epsilon = epsilon;
+    campaign.p = 0.9;
+    campaign.env = config.env;
+    campaign.env.warm_start = slices.test_warm;
+    cs::MatrixCompletionOptions options;
+    options.rank = rank;
+    auto engine = std::make_shared<cs::MatrixCompletion>(options);
+    baselines::RandomSelector random(7);
+    const auto r =
+        core::run_campaign(slices.test_task, engine, random, campaign);
+    rank_table.add_row(std::to_string(rank),
+                       {r.avg_cells_per_cycle, r.satisfaction_ratio,
+                        r.mean_cycle_error});
+  }
+  std::cout << "A4a — ALS rank sweep (RANDOM selection, temperature, "
+               "(0.3 degC, 0.9)-quality):\n";
+  rank_table.print(std::cout);
+
+  TablePrinter window_table({"window (cycles)", "avg cells/cycle",
+                             "satisfaction", "MAE (degC)"});
+  for (const std::size_t window :
+       {std::size_t{12}, std::size_t{24}, std::size_t{48}}) {
+    core::DrCellConfig config = bench::paper_config(cells, window, 1000);
+    core::CampaignConfig campaign;
+    campaign.epsilon = epsilon;
+    campaign.p = 0.9;
+    campaign.env = config.env;
+    campaign.env.warm_start = slices.test_warm;
+    baselines::RandomSelector random(8);
+    const auto r = core::run_campaign(slices.test_task, bench::paper_engine(),
+                                      random, campaign);
+    window_table.add_row(std::to_string(window),
+                         {r.avg_cells_per_cycle, r.satisfaction_ratio,
+                          r.mean_cycle_error});
+  }
+  std::cout << "\nA4b — inference window sweep (RANDOM selection):\n";
+  window_table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation A1 (DESIGN.md): does the recurrent network matter?
+// Sec. 4.3 argues dense layers "cannot catch the temporal pattern well" and
+// proposes an LSTM. This bench trains the DRQN (LSTM) and the dense MLP
+// variant with identical budgets on the temperature task and compares the
+// deployed per-cycle budgets.
+#include "bench_common.h"
+
+using namespace drcell;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  const std::size_t episodes = quick ? 2 : 8;
+
+  const auto dataset = data::make_sensorscope_like(2018);
+  auto slices = bench::make_slices(dataset.temperature, 48, 96);
+  // Shorter test horizon than Fig. 6: this is a relative comparison.
+  slices.test_task = std::make_shared<const mcs::SensingTask>(
+      slices.test_task->slice_cycles(0, quick ? 48 : 96));
+  const double epsilon = 0.3;
+  const std::size_t cells = dataset.temperature.num_cells();
+
+  TablePrinter table({"network", "avg cells/cycle", "satisfaction"});
+  for (const auto kind : {core::NetworkKind::kDrqn, core::NetworkKind::kMlp}) {
+    core::DrCellConfig config =
+        bench::paper_config(cells, 48, episodes * 500);
+    config.network = kind;
+    config.mlp_hidden = {128, 64};
+    const char* name =
+        kind == core::NetworkKind::kDrqn ? "DRQN (LSTM)" : "DQN (dense MLP)";
+    std::cout << "training " << name << "...\n";
+    auto agent = bench::train_drcell(slices, epsilon, config, episodes);
+    core::DrCellPolicy policy(agent);
+    const auto r = bench::evaluate(slices, policy, epsilon, 0.9, config);
+    table.add_row(name, {r.avg_cells_per_cycle, r.satisfaction_ratio});
+  }
+
+  std::cout << "\nA1 — network architecture ablation (temperature, "
+               "(0.3 degC, 0.9)-quality):\n";
+  table.print(std::cout);
+  return 0;
+}

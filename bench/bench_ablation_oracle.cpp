@@ -1,0 +1,45 @@
+// Ablation A5 (DESIGN.md): the oracle gap. The paper's footnote 1 notes
+// that the optimal strategy would need the ground truth in advance. The
+// greedy ground-truth oracle gives an (approximate) lower bound on the
+// per-cycle budget; the gap above it is the remaining headroom for any
+// practical policy. The oracle costs one inference per candidate cell per
+// step, so this bench runs on a short horizon.
+#include "bench_common.h"
+#include "baselines/oracle_selector.h"
+
+using namespace drcell;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  const std::size_t test_cycles = quick ? 12 : 24;
+  const std::size_t episodes = quick ? 2 : 8;
+
+  const auto dataset = data::make_sensorscope_like(2018);
+  auto slices = bench::make_slices(dataset.temperature, 48, 96);
+  slices.test_task = std::make_shared<const mcs::SensingTask>(
+      slices.test_task->slice_cycles(0, test_cycles));
+  const double epsilon = 0.3;
+  const std::size_t cells = dataset.temperature.num_cells();
+  core::DrCellConfig config = bench::paper_config(cells, 48, episodes * 500);
+
+  std::cout << "training DR-Cell...\n";
+  auto agent = bench::train_drcell(slices, epsilon, config, episodes);
+  core::DrCellPolicy drcell(agent);
+  baselines::GreedyOracleSelector oracle(bench::paper_engine());
+  baselines::RandomSelector random(9);
+
+  TablePrinter table({"policy", "avg cells/cycle", "satisfaction"});
+  baselines::CellSelector* selectors[] = {&oracle, &drcell, &random};
+  for (auto* selector : selectors) {
+    std::cout << "running " << selector->name() << "...\n";
+    const auto r = bench::evaluate(slices, *selector, epsilon, 0.9, config);
+    table.add_row(r.selector, {r.avg_cells_per_cycle, r.satisfaction_ratio});
+  }
+
+  std::cout << "\nA5 — oracle gap (temperature, (0.3 degC, 0.9)-quality, "
+            << test_cycles << " cycles):\n";
+  table.print(std::cout);
+  std::cout << "\n(ORACLE greedily minimises the *true* cycle error using "
+               "ground truth — impractical, per the paper's footnote 1)\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation A3 (DESIGN.md): reward shaping R (quality bonus) and c (sensing
+// cost). The paper's worked example sets R to the number of cells and
+// c = 1; this sweeps the ratio and reports the deployed budget.
+#include "bench_common.h"
+
+using namespace drcell;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  const std::size_t episodes = quick ? 2 : 8;
+
+  const auto dataset = data::make_sensorscope_like(2018);
+  auto slices = bench::make_slices(dataset.temperature, 48, 96);
+  slices.test_task = std::make_shared<const mcs::SensingTask>(
+      slices.test_task->slice_cycles(0, quick ? 48 : 96));
+  const double epsilon = 0.3;
+  const double m = static_cast<double>(dataset.temperature.num_cells());
+
+  struct Shape {
+    const char* label;
+    double bonus;
+    double cost;
+  };
+  const Shape shapes[] = {{"R = m/2, c = 1", m / 2, 1.0},
+                          {"R = m,   c = 1", m, 1.0},
+                          {"R = 2m,  c = 1", 2 * m, 1.0},
+                          {"R = m,   c = 2", m, 2.0}};
+
+  TablePrinter table({"reward shape", "avg cells/cycle", "satisfaction"});
+  for (const auto& shape : shapes) {
+    core::DrCellConfig config = bench::paper_config(
+        dataset.temperature.num_cells(), 48, episodes * 500);
+    config.env.reward_bonus = shape.bonus;
+    config.env.cost = shape.cost;
+    std::cout << "training with " << shape.label << "...\n";
+    auto agent = bench::train_drcell(slices, epsilon, config, episodes);
+    core::DrCellPolicy policy(agent);
+    const auto r = bench::evaluate(slices, policy, epsilon, 0.9, config);
+    table.add_row(shape.label,
+                  {r.avg_cells_per_cycle, r.satisfaction_ratio});
+  }
+
+  std::cout << "\nA3 — reward shaping ablation (temperature, "
+               "(0.3 degC, 0.9)-quality):\n";
+  table.print(std::cout);
+  return 0;
+}

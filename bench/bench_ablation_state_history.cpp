@@ -1,0 +1,35 @@
+// Ablation A2 (DESIGN.md): how much history should the state carry?
+// Sec. 4.1 keeps the recent k cycles of the selection matrix; this sweeps
+// k and reports the deployed budget on the temperature task.
+#include "bench_common.h"
+
+using namespace drcell;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  const std::size_t episodes = quick ? 2 : 8;
+
+  const auto dataset = data::make_sensorscope_like(2018);
+  auto slices = bench::make_slices(dataset.temperature, 48, 96);
+  slices.test_task = std::make_shared<const mcs::SensingTask>(
+      slices.test_task->slice_cycles(0, quick ? 48 : 96));
+  const double epsilon = 0.3;
+  const std::size_t cells = dataset.temperature.num_cells();
+
+  TablePrinter table({"history k", "avg cells/cycle", "satisfaction"});
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    core::DrCellConfig config = bench::paper_config(cells, 48, episodes * 500);
+    config.history_cycles = k;
+    std::cout << "training DRQN with k = " << k << "...\n";
+    auto agent = bench::train_drcell(slices, epsilon, config, episodes);
+    core::DrCellPolicy policy(agent);
+    const auto r = bench::evaluate(slices, policy, epsilon, 0.9, config);
+    table.add_row(std::to_string(k),
+                  {r.avg_cells_per_cycle, r.satisfaction_ratio});
+  }
+
+  std::cout << "\nA2 — state history length ablation (temperature, "
+               "(0.3 degC, 0.9)-quality):\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Shared experiment plumbing for the paper-reproduction benches.
+//
+// Cycle allocation per dataset (mirrors Sec. 5.3): a fully-observed
+// preliminary-study block warms up the inference window, the next block is
+// the DRQN training stage, and the remainder is the deployed testing stage
+// under the leave-one-out Bayesian (epsilon, p) gate.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "baselines/qbc_selector.h"
+#include "baselines/random_selector.h"
+#include "core/campaign.h"
+#include "core/policy.h"
+#include "core/trainer.h"
+#include "cs/matrix_completion.h"
+#include "data/datasets.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace drcell::bench {
+
+/// `--quick` (or DRCELL_QUICK=1) shrinks budgets ~4x for smoke runs.
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--quick") return true;
+  const char* env = std::getenv("DRCELL_QUICK");
+  return env != nullptr && std::string(env) == "1";
+}
+
+struct ExperimentSlices {
+  std::shared_ptr<const mcs::SensingTask> train_task;
+  std::shared_ptr<const mcs::SensingTask> test_task;
+  Matrix train_warm;  ///< dense block preceding the training slice
+  Matrix test_warm;   ///< dense block preceding the testing slice
+};
+
+/// Splits a task into warm/train/test blocks:
+///   [0, warm)            fully observed preliminary data
+///   [warm, warm+train)   training stage cycles
+///   [warm+train, end)    testing stage cycles
+/// The training environment is warmed by [0, warm); the testing environment
+/// by the trailing `warm` cycles of the preliminary+training period (all of
+/// which the organiser observed densely during the study).
+inline ExperimentSlices make_slices(const mcs::SensingTask& full,
+                                    std::size_t warm, std::size_t train) {
+  ExperimentSlices s;
+  s.train_task = std::make_shared<const mcs::SensingTask>(
+      full.slice_cycles(warm, warm + train));
+  s.test_task = std::make_shared<const mcs::SensingTask>(
+      full.slice_cycles(warm + train, full.num_cycles()));
+  s.train_warm = full.slice_cycles(0, warm).ground_truth();
+  s.test_warm = full.slice_cycles(train, warm + train).ground_truth();
+  return s;
+}
+
+/// The hyper-parameters used across the evaluation benches.
+inline core::DrCellConfig paper_config(std::size_t num_cells,
+                                       std::size_t window,
+                                       std::size_t decay_steps) {
+  core::DrCellConfig config;
+  config.history_cycles = 2;
+  config.lstm_hidden = 64;
+  config.dqn.gamma = 0.9;
+  config.dqn.learning_rate = 1e-3;
+  config.dqn.batch_size = 32;
+  config.dqn.min_replay = 256;
+  config.dqn.replay_capacity = 20000;
+  config.dqn.target_sync_interval = 150;
+  config.dqn.epsilon = rl::EpsilonSchedule(1.0, 0.05, decay_steps);
+  config.env.min_observations = 4;
+  config.env.inference_window = window;
+  config.env.reward_bonus = static_cast<double>(num_cells);
+  config.env.cost = 1.0;
+  return config;
+}
+
+inline cs::InferenceEnginePtr paper_engine() {
+  return std::make_shared<cs::MatrixCompletion>();
+}
+
+/// Trains a DR-Cell agent on the training slice (ground-truth gate at
+/// `epsilon`, warm-started window), as in the paper's training stage.
+inline core::DrCellAgent train_drcell(const ExperimentSlices& slices,
+                                      double epsilon,
+                                      core::DrCellConfig config,
+                                      std::size_t episodes,
+                                      double* seconds = nullptr) {
+  config.env.warm_start = slices.train_warm;
+  core::DrCellAgent agent(slices.train_task->num_cells(), config);
+  auto env = core::make_training_environment(slices.train_task,
+                                             paper_engine(), epsilon, config);
+  const auto result = core::train_agent(agent, env, episodes);
+  if (seconds != nullptr) *seconds = result.seconds;
+  return agent;
+}
+
+/// Runs the testing stage for one selector.
+inline core::CampaignResult evaluate(const ExperimentSlices& slices,
+                                     baselines::CellSelector& selector,
+                                     double epsilon, double p,
+                                     const core::DrCellConfig& config) {
+  core::CampaignConfig campaign;
+  campaign.epsilon = epsilon;
+  campaign.p = p;
+  campaign.env = config.env;
+  campaign.env.history_cycles = config.history_cycles;
+  campaign.env.warm_start = slices.test_warm;
+  return core::run_campaign(slices.test_task, paper_engine(), selector,
+                            campaign);
+}
+
+inline std::string pct(double fraction) {
+  return format_double(100.0 * fraction, 1) + "%";
+}
+
+}  // namespace drcell::bench

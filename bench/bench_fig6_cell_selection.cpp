@@ -1,0 +1,83 @@
+// Reproduces Fig. 6 of the paper: average number of selected cells per
+// sensing cycle for DR-Cell vs QBC vs RANDOM on
+//   * Sensor-Scope temperature, (0.3 °C, p)-quality, p in {0.9, 0.95}
+//   * U-Air PM2.5, (9/36 classification error, p)-quality, p in {0.9, 0.95}
+//
+// Expected shape (the paper's result): DR-Cell selects the fewest cells at
+// equal quality, QBC sits between DR-Cell and RANDOM, and every method
+// needs more cells at p = 0.95 than at p = 0.9.
+#include "bench_common.h"
+
+using namespace drcell;
+
+namespace {
+
+void run_dataset(const std::string& label, const mcs::SensingTask& full,
+                 double epsilon, std::size_t warm, std::size_t train,
+                 std::size_t window, std::size_t episodes, bool quick) {
+  bench::ExperimentSlices slices = bench::make_slices(full, warm, train);
+  if (quick) {
+    // Shrink the testing horizon for smoke runs.
+    slices.test_task = std::make_shared<const mcs::SensingTask>(
+        slices.test_task->slice_cycles(
+            0, std::min<std::size_t>(48, slices.test_task->num_cycles())));
+  }
+  const std::size_t cells = full.num_cells();
+  core::DrCellConfig config =
+      bench::paper_config(cells, window, /*decay_steps=*/episodes * 500);
+
+  std::cout << "[" << label << "] training DR-Cell (" << episodes
+            << " episodes over " << train << " cycles)...\n";
+  double train_seconds = 0.0;
+  auto agent = bench::train_drcell(slices, epsilon, config, episodes,
+                                   &train_seconds);
+  std::cout << "[" << label << "] trained in "
+            << format_double(train_seconds, 1) << " s\n";
+
+  TablePrinter table({"quality", "method", "avg cells/cycle",
+                      "fraction of cells", "satisfaction", "error"});
+  for (double p : {0.9, 0.95}) {
+    core::DrCellPolicy drcell(agent);
+    auto qbc = baselines::QbcSelector::make_default(*slices.test_task, 101);
+    baselines::RandomSelector random(102);
+    baselines::CellSelector* selectors[] = {&drcell, &qbc, &random};
+    for (auto* selector : selectors) {
+      const auto r =
+          bench::evaluate(slices, *selector, epsilon, p, config);
+      table.add_row(
+          {"(" + format_double(epsilon, 2) + ", " + format_double(p, 2) + ")",
+           r.selector, format_double(r.avg_cells_per_cycle, 2),
+           bench::pct(r.avg_cells_per_cycle / static_cast<double>(cells)),
+           format_double(r.satisfaction_ratio, 2),
+           format_double(r.mean_cycle_error, 3)});
+    }
+  }
+  std::cout << "\nFig. 6 (" << label << ", " << cells << " cells, "
+            << slices.test_task->num_cycles() << " test cycles):\n";
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  Stopwatch total;
+
+  {
+    const auto dataset = data::make_sensorscope_like(2018);
+    run_dataset("temperature", dataset.temperature, /*epsilon=*/0.3,
+                /*warm=*/48, /*train=*/96, /*window=*/48,
+                /*episodes=*/quick ? 3 : 12, quick);
+  }
+  {
+    const auto dataset = data::make_uair_like(2013);
+    run_dataset("pm2.5", dataset.pm25, /*epsilon=*/9.0 / 36.0,
+                /*warm=*/24, /*train=*/48, /*window=*/36,
+                /*episodes=*/quick ? 3 : 12, quick);
+  }
+
+  std::cout << "total bench time: " << format_double(total.elapsed_seconds(), 1)
+            << " s\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Micro benchmarks (google-benchmark) for the computation-time report of
+// Sec. 5.4: per-component throughput of the pieces a deployment exercises
+// on every step — data inference, LOO quality assessment, environment
+// steps, DRQN forward passes and gradient steps, dataset generation.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cs/matrix_completion.h"
+#include "data/datasets.h"
+#include "mcs/environment.h"
+#include "rl/dqn_trainer.h"
+#include "rl/drqn_qnetwork.h"
+#include "util/rng.h"
+
+using namespace drcell;
+
+namespace {
+
+/// A 57-cell window shaped like the Sensor-Scope deployment: 48 cycles,
+/// the first 24 dense (warm start), the rest ~25% observed.
+cs::PartialMatrix make_window() {
+  const auto dataset = data::make_sensorscope_like(2018);
+  const auto& task = dataset.temperature;
+  cs::PartialMatrix window(task.num_cells(), 48);
+  Rng rng(3);
+  for (std::size_t c = 0; c < 48; ++c)
+    for (std::size_t cell = 0; cell < task.num_cells(); ++cell)
+      if (c < 24 || rng.bernoulli(0.25))
+        window.set(cell, c, task.truth(cell, c));
+  return window;
+}
+
+void BM_MatrixCompletionInfer(benchmark::State& state) {
+  const auto window = make_window();
+  const cs::MatrixCompletion engine;
+  for (auto _ : state) benchmark::DoNotOptimize(engine.infer(window));
+}
+BENCHMARK(BM_MatrixCompletionInfer)->Unit(benchmark::kMillisecond);
+
+void BM_LooColumnPredictions(benchmark::State& state) {
+  const auto window = make_window();
+  const cs::MatrixCompletion engine;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.loo_column_predictions(window, 47));
+}
+BENCHMARK(BM_LooColumnPredictions)->Unit(benchmark::kMillisecond);
+
+void BM_KnnInfer(benchmark::State& state) {
+  const auto dataset = data::make_sensorscope_like(2018);
+  const auto window = make_window();
+  const cs::KnnInference engine(dataset.temperature.coords());
+  for (auto _ : state) benchmark::DoNotOptimize(engine.infer(window));
+}
+BENCHMARK(BM_KnnInfer)->Unit(benchmark::kMillisecond);
+
+void BM_EnvironmentStep(benchmark::State& state) {
+  const auto dataset = data::make_sensorscope_like(2018);
+  auto task = std::make_shared<const mcs::SensingTask>(
+      dataset.temperature.slice_cycles(48, 336));
+  mcs::EnvOptions options;
+  options.inference_window = 48;
+  options.min_observations = 4;
+  options.warm_start =
+      dataset.temperature.slice_cycles(0, 48).ground_truth();
+  auto env = mcs::SparseMcsEnvironment(
+      task, std::make_shared<cs::MatrixCompletion>(),
+      std::make_shared<mcs::LooBayesianGate>(0.3, 0.9), options);
+  Rng rng(5);
+  for (auto _ : state) {
+    if (env.episode_done()) {
+      state.PauseTiming();
+      env.reset();
+      state.ResumeTiming();
+    }
+    const auto mask = env.action_mask();
+    std::vector<std::size_t> allowed;
+    for (std::size_t a = 0; a < mask.size(); ++a)
+      if (mask[a]) allowed.push_back(a);
+    env.step(allowed[rng.uniform_index(allowed.size())]);
+  }
+}
+BENCHMARK(BM_EnvironmentStep)->Unit(benchmark::kMillisecond);
+
+void BM_DrqnForward(benchmark::State& state) {
+  Rng rng(1);
+  rl::DrqnQNetwork net(57, 2, 64, 0, rng);
+  std::vector<Matrix> seq(2, Matrix(1, 57));
+  seq[0](0, 3) = 1.0;
+  seq[1](0, 11) = 1.0;
+  for (auto _ : state) benchmark::DoNotOptimize(net.forward(seq));
+}
+BENCHMARK(BM_DrqnForward)->Unit(benchmark::kMicrosecond);
+
+void BM_DqnTrainStep(benchmark::State& state) {
+  Rng rng(2);
+  rl::DqnOptions options;
+  options.batch_size = 32;
+  options.min_replay = 32;
+  rl::DqnTrainer trainer(std::make_unique<rl::DrqnQNetwork>(57, 2, 64, 0, rng),
+                         options, 7);
+  Rng fill(3);
+  for (int i = 0; i < 512; ++i) {
+    rl::Experience e;
+    e.state.assign(114, 0.0);
+    e.state[fill.uniform_index(114)] = 1.0;
+    e.action = fill.uniform_index(57);
+    e.reward = fill.uniform(-1.0, 56.0);
+    e.next_state.assign(114, 0.0);
+    e.next_mask.assign(57, 1);
+    trainer.observe(std::move(e));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(trainer.train_step());
+}
+BENCHMARK(BM_DqnTrainStep)->Unit(benchmark::kMillisecond);
+
+void BM_QualityGateDecision(benchmark::State& state) {
+  const auto dataset = data::make_sensorscope_like(2018);
+  const auto& task = dataset.temperature;
+  const auto window = make_window();
+  const cs::MatrixCompletion engine;
+  const mcs::LooBayesianGate gate(0.3, 0.9);
+  const Matrix inferred = engine.infer(window);
+  const mcs::QualityContext ctx{task, window, 47, 47, &inferred, engine};
+  for (auto _ : state) benchmark::DoNotOptimize(gate.probability(ctx));
+}
+BENCHMARK(BM_QualityGateDecision)->Unit(benchmark::kMillisecond);
+
+void BM_SensorScopeGeneration(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(data::make_sensorscope_like(2018));
+}
+BENCHMARK(BM_SensorScopeGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+#include "baselines/oracle_selector.h"
+
+#include <limits>
+
+namespace drcell::baselines {
+
+GreedyOracleSelector::GreedyOracleSelector(cs::InferenceEnginePtr engine)
+    : engine_(std::move(engine)) {
+  DRCELL_CHECK(engine_ != nullptr);
+}
+
+std::size_t GreedyOracleSelector::select(const mcs::SparseMcsEnvironment& env) {
+  const auto mask = env.action_mask();
+  const auto& task = env.task();
+  const std::size_t cycle = env.current_cycle();
+  const std::size_t col = env.current_window_col();
+
+  double best_error = std::numeric_limits<double>::infinity();
+  std::size_t best_cell = mask.size();
+  cs::PartialMatrix scratch = env.observation_window();
+  for (std::size_t cell = 0; cell < mask.size(); ++cell) {
+    if (!mask[cell]) continue;
+    scratch.set(cell, col, task.truth(cell, cycle));
+    const Matrix inferred = engine_->infer(scratch);
+    const double err =
+        mcs::true_cycle_error(task, scratch, col, inferred, cycle);
+    scratch.clear(cell, col);
+    if (err < best_error) {
+      best_error = err;
+      best_cell = cell;
+    }
+  }
+  DRCELL_CHECK_MSG(best_cell < mask.size(), "no selectable cell");
+  return best_cell;
+}
+
+}  // namespace drcell::baselines

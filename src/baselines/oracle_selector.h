@@ -1,0 +1,24 @@
+// Greedy ground-truth oracle — the impractical reference point of the
+// paper's footnote 1 ("the optimal cell selection strategy … needs to know
+// the ground truth data of each cell in advance"). For every candidate cell
+// it hypothetically senses it, re-infers, and measures the *true* cycle
+// error, then picks the error-minimising cell. Used only in ablation
+// benches to show the remaining headroom above DR-Cell.
+#pragma once
+
+#include "baselines/selector.h"
+
+namespace drcell::baselines {
+
+class GreedyOracleSelector final : public CellSelector {
+ public:
+  explicit GreedyOracleSelector(cs::InferenceEnginePtr engine);
+
+  std::size_t select(const mcs::SparseMcsEnvironment& env) override;
+  std::string name() const override { return "ORACLE"; }
+
+ private:
+  cs::InferenceEnginePtr engine_;
+};
+
+}  // namespace drcell::baselines

@@ -1,0 +1,16 @@
+#include "baselines/random_selector.h"
+
+namespace drcell::baselines {
+
+RandomSelector::RandomSelector(std::uint64_t seed) : rng_(seed) {}
+
+std::size_t RandomSelector::select(const mcs::SparseMcsEnvironment& env) {
+  const auto mask = env.action_mask();
+  std::vector<std::size_t> allowed;
+  for (std::size_t a = 0; a < mask.size(); ++a)
+    if (mask[a]) allowed.push_back(a);
+  DRCELL_CHECK_MSG(!allowed.empty(), "no selectable cell");
+  return allowed[rng_.uniform_index(allowed.size())];
+}
+
+}  // namespace drcell::baselines

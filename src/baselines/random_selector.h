@@ -1,0 +1,21 @@
+// RANDOM baseline (Sec. 5.2): sense uniformly random unsensed cells until
+// the quality gate is satisfied.
+#pragma once
+
+#include "baselines/selector.h"
+#include "util/rng.h"
+
+namespace drcell::baselines {
+
+class RandomSelector final : public CellSelector {
+ public:
+  explicit RandomSelector(std::uint64_t seed);
+
+  std::size_t select(const mcs::SparseMcsEnvironment& env) override;
+  std::string name() const override { return "RANDOM"; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace drcell::baselines

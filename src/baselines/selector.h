@@ -1,0 +1,31 @@
+// The cell-selection policy interface. DR-Cell, QBC, RANDOM and the oracle
+// all implement it, so the campaign runner can evaluate them identically.
+#pragma once
+
+#include <string>
+
+#include "mcs/environment.h"
+
+namespace drcell::baselines {
+
+class CellSelector {
+ public:
+  virtual ~CellSelector() = default;
+
+  /// Chooses the next cell to sense given the environment's current
+  /// observation window and action mask. Must return an unmasked cell.
+  virtual std::size_t select(const mcs::SparseMcsEnvironment& env) = 0;
+
+  /// Called by the campaign runner after the chosen action was applied —
+  /// lets adaptive policies (online DR-Cell) learn from the outcome.
+  virtual void on_step(const mcs::SparseMcsEnvironment& env,
+                       std::size_t action, const mcs::StepResult& result) {
+    (void)env;
+    (void)action;
+    (void)result;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace drcell::baselines

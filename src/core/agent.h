@@ -1,0 +1,44 @@
+// DrCellAgent — the trainable DR-Cell decision maker: a Q-network (DRQN by
+// default) wrapped in the DQN trainer, plus weight (de)serialisation for
+// checkpointing and transfer learning.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/config.h"
+#include "rl/dqn_trainer.h"
+
+namespace drcell::core {
+
+class DrCellAgent {
+ public:
+  DrCellAgent(std::size_t num_cells, DrCellConfig config);
+
+  const DrCellConfig& config() const { return config_; }
+  std::size_t num_cells() const { return num_cells_; }
+
+  rl::DqnTrainer& trainer() { return *trainer_; }
+  const rl::DqnTrainer& trainer() const { return *trainer_; }
+
+  /// Greedy Q-maximising action (the deployed policy).
+  std::size_t greedy_action(const std::vector<double>& state,
+                            const std::vector<std::uint8_t>& mask);
+
+  void save_weights(std::ostream& out);
+  void load_weights(std::istream& in);
+  void save_weights_file(const std::string& path);
+  void load_weights_file(const std::string& path);
+
+  /// Copies this agent's online-network weights into `other` (architectures
+  /// must match) — the in-process transfer-learning primitive of Sec. 4.4.
+  void copy_weights_to(DrCellAgent& other);
+
+ private:
+  std::size_t num_cells_;
+  DrCellConfig config_;
+  std::unique_ptr<rl::DqnTrainer> trainer_;
+};
+
+}  // namespace drcell::core

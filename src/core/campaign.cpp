@@ -1,0 +1,38 @@
+#include "core/campaign.h"
+
+#include "util/statistics.h"
+#include "util/stopwatch.h"
+
+namespace drcell::core {
+
+CampaignResult run_campaign(std::shared_ptr<const mcs::SensingTask> test_task,
+                            cs::InferenceEnginePtr engine,
+                            baselines::CellSelector& selector,
+                            const CampaignConfig& config) {
+  DRCELL_CHECK(test_task != nullptr);
+  auto gate = std::make_shared<mcs::LooBayesianGate>(config.epsilon, config.p);
+  mcs::SparseMcsEnvironment env(test_task, std::move(engine), std::move(gate),
+                                config.env);
+
+  Stopwatch watch;
+  while (!env.episode_done()) {
+    const std::size_t action = selector.select(env);
+    const mcs::StepResult result = env.step(action);
+    selector.on_step(env, action, result);
+  }
+
+  const auto& stats = env.stats();
+  CampaignResult out;
+  out.selector = selector.name();
+  out.cycles = stats.cycles;
+  out.total_selected = stats.total_selections;
+  out.avg_cells_per_cycle = stats.average_selections_per_cycle();
+  out.satisfaction_ratio = stats.quality_satisfaction_ratio(config.epsilon);
+  out.mean_cycle_error = mean(stats.cycle_errors);
+  out.total_cost = stats.total_cost;
+  out.seconds = watch.elapsed_seconds();
+  out.stats = stats;
+  return out;
+}
+
+}  // namespace drcell::core

@@ -1,0 +1,44 @@
+// The testing stage of Sec. 5.3: run a selection policy over the test
+// cycles under the leave-one-out Bayesian (epsilon, p) gate, then verify
+// the quality contract post hoc against the ground truth and report the
+// number the paper's figures compare — the average number of selected
+// cells per cycle.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/selector.h"
+#include "core/config.h"
+#include "cs/inference_engine.h"
+#include "mcs/environment.h"
+
+namespace drcell::core {
+
+struct CampaignConfig {
+  double epsilon = 0.0;  ///< quality error bound
+  double p = 0.9;        ///< fraction of cycles that must meet epsilon
+  mcs::EnvOptions env;   ///< window, min observations, R/c, cell costs
+};
+
+struct CampaignResult {
+  std::string selector;
+  std::size_t cycles = 0;
+  std::size_t total_selected = 0;
+  double avg_cells_per_cycle = 0.0;
+  /// Post-hoc Eq. 1 check: fraction of cycles with true error <= epsilon.
+  double satisfaction_ratio = 0.0;
+  double mean_cycle_error = 0.0;
+  double total_cost = 0.0;
+  double seconds = 0.0;
+  mcs::EpisodeStats stats;
+};
+
+/// Runs one full campaign of `selector` over `test_task` with compressive
+/// sensing inference and the LOO Bayesian gate at (epsilon, p).
+CampaignResult run_campaign(std::shared_ptr<const mcs::SensingTask> test_task,
+                            cs::InferenceEnginePtr engine,
+                            baselines::CellSelector& selector,
+                            const CampaignConfig& config);
+
+}  // namespace drcell::core

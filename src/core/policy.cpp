@@ -1,0 +1,52 @@
+#include "core/policy.h"
+
+namespace drcell::core {
+
+DrCellPolicy::DrCellPolicy(DrCellAgent& agent) : agent_(agent) {}
+
+std::size_t DrCellPolicy::select(const mcs::SparseMcsEnvironment& env) {
+  return agent_.greedy_action(env.state(), env.action_mask());
+}
+
+OnlineAdaptivePolicy::OnlineAdaptivePolicy(DrCellAgent& agent, double epsilon,
+                                           std::uint64_t seed)
+    : agent_(agent), epsilon_(epsilon), rng_(seed) {
+  DRCELL_CHECK(epsilon_ >= 0.0 && epsilon_ <= 1.0);
+}
+
+std::size_t OnlineAdaptivePolicy::select(
+    const mcs::SparseMcsEnvironment& env) {
+  const auto mask = env.action_mask();
+  const std::vector<double> state = env.state();
+  std::size_t action = agent_.greedy_action(state, mask);
+  if (rng_.bernoulli(epsilon_)) {
+    std::vector<std::size_t> others;
+    for (std::size_t a = 0; a < mask.size(); ++a)
+      if (mask[a] && a != action) others.push_back(a);
+    if (!others.empty()) action = others[rng_.uniform_index(others.size())];
+  }
+  pending_state_ = state;
+  pending_action_ = action;
+  has_pending_ = true;
+  return action;
+}
+
+void OnlineAdaptivePolicy::on_step(const mcs::SparseMcsEnvironment& env,
+                                   std::size_t action,
+                                   const mcs::StepResult& result) {
+  if (!has_pending_ || action != pending_action_) return;
+  has_pending_ = false;
+
+  rl::Experience e;
+  e.state = std::move(pending_state_);
+  e.action = action;
+  e.reward = result.reward;
+  e.next_state = env.state();
+  e.next_mask = env.action_mask();
+  e.terminal = result.episode_done;
+  if (result.episode_done) e.next_mask.assign(env.num_cells(), 1);
+  agent_.trainer().observe(std::move(e));
+  agent_.trainer().train_step();
+}
+
+}  // namespace drcell::core

@@ -1,0 +1,47 @@
+// Deployment policies wrapping a trained DrCellAgent as a CellSelector so
+// the campaign runner can evaluate DR-Cell next to QBC and RANDOM.
+#pragma once
+
+#include "baselines/selector.h"
+#include "core/agent.h"
+
+namespace drcell::core {
+
+/// Frozen greedy policy — the paper's testing stage: always take the action
+/// with the largest Q-value (Sec. 5.3).
+class DrCellPolicy final : public baselines::CellSelector {
+ public:
+  explicit DrCellPolicy(DrCellAgent& agent);
+
+  std::size_t select(const mcs::SparseMcsEnvironment& env) override;
+  std::string name() const override { return "DR-Cell"; }
+
+ private:
+  DrCellAgent& agent_;
+};
+
+/// Future-work extension (Sec. 6, "online manner"): keeps δ-greedy
+/// exploration and Q-updates running during the testing stage. The reward
+/// signal is observable at test time because q is the *assessed* quality
+/// decision of the LOO Bayesian gate, not the unknown true error.
+class OnlineAdaptivePolicy final : public baselines::CellSelector {
+ public:
+  /// `epsilon` is the (small, constant) test-time exploration rate.
+  OnlineAdaptivePolicy(DrCellAgent& agent, double epsilon,
+                       std::uint64_t seed);
+
+  std::size_t select(const mcs::SparseMcsEnvironment& env) override;
+  void on_step(const mcs::SparseMcsEnvironment& env, std::size_t action,
+               const mcs::StepResult& result) override;
+  std::string name() const override { return "DR-Cell-online"; }
+
+ private:
+  DrCellAgent& agent_;
+  double epsilon_;
+  Rng rng_;
+  std::vector<double> pending_state_;
+  std::size_t pending_action_ = 0;
+  bool has_pending_ = false;
+};
+
+}  // namespace drcell::core

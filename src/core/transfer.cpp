@@ -1,0 +1,51 @@
+#include "core/transfer.h"
+
+namespace drcell::core {
+
+namespace {
+mcs::SparseMcsEnvironment fine_tune_environment(
+    const mcs::SensingTask& target_task, cs::InferenceEnginePtr engine,
+    const DrCellConfig& config, const TransferOptions& options) {
+  DRCELL_CHECK_MSG(options.target_training_cycles >= 2,
+                   "fine-tuning needs at least two cycles");
+  DRCELL_CHECK_MSG(options.target_training_cycles <= target_task.num_cycles(),
+                   "more fine-tune cycles requested than the task has");
+  auto slice = std::make_shared<const mcs::SensingTask>(
+      target_task.slice_cycles(0, options.target_training_cycles));
+  return make_training_environment(std::move(slice), std::move(engine),
+                                   options.epsilon, config);
+}
+}  // namespace
+
+DrCellAgent transfer_agent(DrCellAgent& source,
+                           const mcs::SensingTask& target_task,
+                           cs::InferenceEnginePtr engine,
+                           const TransferOptions& options) {
+  DRCELL_CHECK_MSG(source.num_cells() == target_task.num_cells(),
+                   "transfer requires tasks over the same cells");
+  // Fresh agent, same architecture, fine-tuning-friendly exploration: the
+  // source policy is already decent, so start δ low rather than at 1.
+  DrCellConfig config = source.config();
+  config.dqn.epsilon = rl::EpsilonSchedule(0.3, 0.05, 500);
+  config.seed = source.config().seed + 1;
+  DrCellAgent target(target_task.num_cells(), config);
+  source.copy_weights_to(target);
+
+  auto env = fine_tune_environment(target_task, std::move(engine), config,
+                                   options);
+  train_agent(target, env, options.fine_tune_episodes);
+  return target;
+}
+
+DrCellAgent short_train_agent(const DrCellConfig& config,
+                              const mcs::SensingTask& target_task,
+                              cs::InferenceEnginePtr engine,
+                              const TransferOptions& options) {
+  DrCellAgent agent(target_task.num_cells(), config);
+  auto env = fine_tune_environment(target_task, std::move(engine), config,
+                                   options);
+  train_agent(agent, env, options.fine_tune_episodes);
+  return agent;
+}
+
+}  // namespace drcell::core

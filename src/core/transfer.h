@@ -1,0 +1,38 @@
+// Transfer learning between correlated MCS tasks (Sec. 4.4): initialise the
+// target task's DRQN with the weights learned on the source task, then
+// fine-tune on the target's small amount of training data. The two tasks
+// must share a target area (same cell count), so the network shapes match.
+#pragma once
+
+#include "core/agent.h"
+#include "core/trainer.h"
+
+namespace drcell::core {
+
+struct TransferOptions {
+  /// Cycles of target-task data available for fine-tuning (the paper uses
+  /// 10 cycles = 5 hours of Sensor-Scope data).
+  std::size_t target_training_cycles = 10;
+  /// Fine-tuning passes over those cycles.
+  std::size_t fine_tune_episodes = 10;
+  /// Quality bound used during fine-tuning.
+  double epsilon = 0.0;
+};
+
+/// Builds the target agent initialised from the source agent's weights and
+/// fine-tunes it on the first `target_training_cycles` cycles of
+/// `target_task`. Returns the fine-tuned agent (TRANSFER in Fig. 7).
+DrCellAgent transfer_agent(DrCellAgent& source,
+                           const mcs::SensingTask& target_task,
+                           cs::InferenceEnginePtr engine,
+                           const TransferOptions& options);
+
+/// Control arms of the Fig. 7 experiment:
+/// NO-TRANSFER — the source agent applied to the target task unchanged.
+/// SHORT-TRAIN — a fresh agent trained only on the few target cycles.
+DrCellAgent short_train_agent(const DrCellConfig& config,
+                              const mcs::SensingTask& target_task,
+                              cs::InferenceEnginePtr engine,
+                              const TransferOptions& options);
+
+}  // namespace drcell::core

@@ -1,0 +1,54 @@
+#include "cs/committee.h"
+
+namespace drcell::cs {
+
+InferenceCommittee::InferenceCommittee(std::vector<InferenceEnginePtr> members)
+    : members_(std::move(members)) {
+  DRCELL_CHECK_MSG(members_.size() >= 2,
+                   "a committee needs at least two members");
+  for (const auto& m : members_) DRCELL_CHECK(m != nullptr);
+}
+
+std::vector<Matrix> InferenceCommittee::infer_all(
+    const PartialMatrix& observed) const {
+  std::vector<Matrix> out;
+  out.reserve(members_.size());
+  for (const auto& m : members_) out.push_back(m->infer(observed));
+  return out;
+}
+
+Matrix InferenceCommittee::disagreement(
+    const std::vector<Matrix>& predictions) {
+  DRCELL_CHECK_MSG(!predictions.empty(), "no predictions");
+  const std::size_t m = predictions.front().rows();
+  const std::size_t n = predictions.front().cols();
+  for (const auto& p : predictions)
+    DRCELL_CHECK(p.rows() == m && p.cols() == n);
+
+  const double count = static_cast<double>(predictions.size());
+  Matrix mean(m, n);
+  for (const auto& p : predictions) mean += p;
+  mean *= 1.0 / count;
+
+  Matrix var(m, n);
+  for (const auto& p : predictions) {
+    for (std::size_t i = 0; i < var.data().size(); ++i) {
+      const double d = p.data()[i] - mean.data()[i];
+      var.data()[i] += d * d;
+    }
+  }
+  var *= 1.0 / count;
+  return var;
+}
+
+Matrix InferenceCommittee::mean_prediction(
+    const std::vector<Matrix>& predictions) {
+  DRCELL_CHECK_MSG(!predictions.empty(), "no predictions");
+  Matrix mean = predictions.front();
+  for (std::size_t i = 1; i < predictions.size(); ++i)
+    mean += predictions[i];
+  mean *= 1.0 / static_cast<double>(predictions.size());
+  return mean;
+}
+
+}  // namespace drcell::cs

@@ -1,0 +1,34 @@
+// Inference committee: runs several heterogeneous engines and measures
+// their per-entry disagreement. This is the substrate of the QBC baseline
+// (Sec. 5.2): "allocate the next task to the cell with the largest variance
+// among the inferred values of different algorithms".
+#pragma once
+
+#include <vector>
+
+#include "cs/inference_engine.h"
+
+namespace drcell::cs {
+
+class InferenceCommittee {
+ public:
+  explicit InferenceCommittee(std::vector<InferenceEnginePtr> members);
+
+  std::size_t size() const { return members_.size(); }
+  const InferenceEngine& member(std::size_t i) const { return *members_.at(i); }
+
+  /// Runs every member on the observation. Results are index-aligned with
+  /// the member list.
+  std::vector<Matrix> infer_all(const PartialMatrix& observed) const;
+
+  /// Population variance of member predictions for every entry.
+  static Matrix disagreement(const std::vector<Matrix>& predictions);
+
+  /// Element-wise mean of member predictions.
+  static Matrix mean_prediction(const std::vector<Matrix>& predictions);
+
+ private:
+  std::vector<InferenceEnginePtr> members_;
+};
+
+}  // namespace drcell::cs

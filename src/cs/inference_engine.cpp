@@ -1,0 +1,21 @@
+#include "cs/inference_engine.h"
+
+namespace drcell::cs {
+
+std::vector<double> InferenceEngine::loo_column_predictions(
+    const PartialMatrix& observed, std::size_t col) const {
+  const auto rows = observed.observed_rows_in_col(col);
+  std::vector<double> predictions;
+  predictions.reserve(rows.size());
+  PartialMatrix scratch = observed;
+  for (std::size_t cell : rows) {
+    const double held_out = scratch.value(cell, col);
+    scratch.clear(cell, col);
+    const Matrix inferred = infer(scratch);
+    scratch.set(cell, col, held_out);
+    predictions.push_back(inferred(cell, col));
+  }
+  return predictions;
+}
+
+}  // namespace drcell::cs

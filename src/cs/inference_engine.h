@@ -1,0 +1,36 @@
+// Data-inference interface of Sparse MCS (Definition 5): given the partially
+// observed window of the sensing matrix, estimate every entry.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cs/partial_matrix.h"
+
+namespace drcell::cs {
+
+class InferenceEngine {
+ public:
+  virtual ~InferenceEngine() = default;
+
+  /// Returns a full estimate of the matrix. Observed entries should be
+  /// reproduced (approximately for regularised engines, exactly for
+  /// interpolators); unobserved entries are inferred.
+  virtual Matrix infer(const PartialMatrix& observed) const = 0;
+
+  /// Leave-one-out predictions for the observed cells of column `col`,
+  /// index-aligned with observed_rows_in_col(col): entry k estimates cell
+  /// rows[k] at that column with its own observation withheld. The quality
+  /// assessor calls this once per gate decision.
+  ///
+  /// The default re-runs infer() once per observed cell (exact but
+  /// expensive); engines may override with cheaper approximations.
+  virtual std::vector<double> loo_column_predictions(
+      const PartialMatrix& observed, std::size_t col) const;
+
+  virtual std::string name() const = 0;
+};
+
+using InferenceEnginePtr = std::shared_ptr<const InferenceEngine>;
+
+}  // namespace drcell::cs

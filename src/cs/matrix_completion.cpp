@@ -1,0 +1,176 @@
+#include "cs/matrix_completion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/solvers.h"
+#include "util/rng.h"
+
+namespace drcell::cs {
+
+MatrixCompletion::MatrixCompletion(MatrixCompletionOptions options)
+    : options_(options) {
+  DRCELL_CHECK(options_.rank > 0);
+  DRCELL_CHECK(options_.lambda > 0.0);
+  DRCELL_CHECK(options_.iterations > 0);
+}
+
+MatrixCompletion::Fit MatrixCompletion::fit(
+    const PartialMatrix& observed) const {
+  const std::size_t m = observed.rows();
+  const std::size_t n = observed.cols();
+  DRCELL_CHECK_MSG(m > 0 && n > 0, "matrix completion on empty matrix");
+
+  Fit result;
+  result.mu = observed.observed_mean();
+  // The effective rank can never exceed the observation budget, and factors
+  // beyond half of either dimension cannot be identified from partial data
+  // without overfitting.
+  const std::size_t dim_cap = std::max<std::size_t>(1, std::min(m, n) / 2);
+  result.rank = std::min(
+      {options_.rank, dim_cap,
+       std::max<std::size_t>(observed.observed_count(), 1)});
+  const std::size_t rank = result.rank;
+
+  Rng rng(options_.seed);
+  result.row_factors = Matrix(m, rank);
+  result.col_factors = Matrix(n, rank);
+  if (observed.observed_count() == 0) return result;
+  const double init_sd = 1.0;
+  for (double& x : result.row_factors.data()) x = rng.normal(0.0, init_sd);
+  for (double& x : result.col_factors.data()) x = rng.normal(0.0, init_sd);
+
+  // Pre-compute observation lists.
+  std::vector<std::vector<std::size_t>> cols_of_row(m), rows_of_col(n);
+  for (std::size_t r = 0; r < m; ++r)
+    cols_of_row[r] = observed.observed_cols_in_row(r);
+  for (std::size_t c = 0; c < n; ++c)
+    rows_of_col[c] = observed.observed_rows_in_col(c);
+
+  Matrix& row_f = result.row_factors;
+  Matrix& col_f = result.col_factors;
+  const double mu = result.mu;
+  for (std::size_t it = 0; it < options_.iterations; ++it) {
+    double max_change = 0.0;
+    // Update row factors: for each row solve a ridge regression on the
+    // column factors of its observed entries.
+    for (std::size_t r = 0; r < m; ++r) {
+      const auto& cols = cols_of_row[r];
+      if (cols.empty()) {
+        // No data for this cell in the window; shrink towards the mean.
+        for (std::size_t k = 0; k < rank; ++k) row_f(r, k) = 0.0;
+        continue;
+      }
+      Matrix a(cols.size(), rank);
+      std::vector<double> b(cols.size());
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        for (std::size_t k = 0; k < rank; ++k) a(i, k) = col_f(cols[i], k);
+        b[i] = observed.value(r, cols[i]) - mu;
+      }
+      // Weighted-lambda ALS (Zhou et al.): scaling the ridge by the number
+      // of observations keeps sparsely observed rows from blowing up to
+      // compensate for small factors on the other side.
+      const auto x = ridge_solve(
+          a, b, options_.lambda * static_cast<double>(cols.size()));
+      for (std::size_t k = 0; k < rank; ++k) {
+        max_change = std::max(max_change, std::fabs(row_f(r, k) - x[k]));
+        row_f(r, k) = x[k];
+      }
+    }
+    // Update column factors symmetrically.
+    for (std::size_t c = 0; c < n; ++c) {
+      const auto& rows = rows_of_col[c];
+      if (rows.empty()) {
+        for (std::size_t k = 0; k < rank; ++k) col_f(c, k) = 0.0;
+        continue;
+      }
+      Matrix a(rows.size(), rank);
+      std::vector<double> b(rows.size());
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        for (std::size_t k = 0; k < rank; ++k) a(i, k) = row_f(rows[i], k);
+        b[i] = observed.value(rows[i], c) - mu;
+      }
+      const auto x = ridge_solve(
+          a, b, options_.lambda * static_cast<double>(rows.size()));
+      for (std::size_t k = 0; k < rank; ++k) {
+        max_change = std::max(max_change, std::fabs(col_f(c, k) - x[k]));
+        col_f(c, k) = x[k];
+      }
+    }
+    if (max_change < options_.convergence_tol) break;
+  }
+  return result;
+}
+
+Matrix MatrixCompletion::infer(const PartialMatrix& observed) const {
+  const Fit f = fit(observed);
+  Matrix est = f.row_factors.matmul(f.col_factors.transposed());
+  est.apply([&f](double x) { return x + f.mu; });
+  // Observed entries are known exactly — keep them.
+  for (std::size_t r = 0; r < observed.rows(); ++r)
+    for (std::size_t c = 0; c < observed.cols(); ++c)
+      if (observed.observed(r, c)) est(r, c) = observed.value(r, c);
+  DRCELL_CHECK_MSG(!est.has_non_finite(),
+                   "matrix completion produced non-finite values");
+  return est;
+}
+
+std::vector<double> MatrixCompletion::loo_column_predictions(
+    const PartialMatrix& observed, std::size_t col) const {
+  DRCELL_CHECK(col < observed.cols());
+  const Fit f = fit(observed);
+  const std::size_t rank = f.rank;
+  const auto rows_in_col = observed.observed_rows_in_col(col);
+  std::vector<double> predictions;
+  predictions.reserve(rows_in_col.size());
+
+  for (std::size_t cell : rows_in_col) {
+    // Both factors touching the held-out entry are re-solved without it —
+    // leaving either at its full-fit value leaks the withheld observation
+    // (severely so in sparse windows, where one value can dominate its own
+    // cell's row factor) and makes the quality gate overconfident.
+    //
+    // Row factor of the held-out cell from its *other* observations
+    // (column factors fixed):
+    const auto cols_of_row = observed.observed_cols_in_row(cell);
+    std::vector<double> u(rank, 0.0);
+    if (cols_of_row.size() > 1) {
+      Matrix a(cols_of_row.size() - 1, rank);
+      std::vector<double> b;
+      b.reserve(cols_of_row.size() - 1);
+      std::size_t i = 0;
+      for (std::size_t c : cols_of_row) {
+        if (c == col) continue;
+        for (std::size_t k = 0; k < rank; ++k) a(i, k) = f.col_factors(c, k);
+        b.push_back(observed.value(cell, c) - f.mu);
+        ++i;
+      }
+      u = ridge_solve(
+          a, b,
+          options_.lambda * static_cast<double>(cols_of_row.size() - 1));
+    }
+    // Assessed column's factor without the held-out cell (row factors
+    // fixed):
+    std::vector<double> v(rank, 0.0);
+    if (rows_in_col.size() > 1) {
+      Matrix a(rows_in_col.size() - 1, rank);
+      std::vector<double> b;
+      b.reserve(rows_in_col.size() - 1);
+      std::size_t i = 0;
+      for (std::size_t r : rows_in_col) {
+        if (r == cell) continue;
+        for (std::size_t k = 0; k < rank; ++k) a(i, k) = f.row_factors(r, k);
+        b.push_back(observed.value(r, col) - f.mu);
+        ++i;
+      }
+      v = ridge_solve(
+          a, b, options_.lambda * static_cast<double>(rows_in_col.size() - 1));
+    }
+    double pred = f.mu;
+    for (std::size_t k = 0; k < rank; ++k) pred += u[k] * v[k];
+    predictions.push_back(pred);
+  }
+  return predictions;
+}
+
+}  // namespace drcell::cs

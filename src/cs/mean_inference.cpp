@@ -1,0 +1,46 @@
+#include "cs/mean_inference.h"
+
+namespace drcell::cs {
+
+Matrix MeanInference::infer(const PartialMatrix& observed) const {
+  const std::size_t m = observed.rows();
+  const std::size_t n = observed.cols();
+  const double global_mean = observed.observed_mean();
+  Matrix est(m, n, global_mean);
+
+  std::vector<double> col_mean(n);
+  std::vector<bool> col_has(n, false);
+  for (std::size_t c = 0; c < n; ++c) {
+    const auto rows = observed.observed_rows_in_col(c);
+    if (rows.empty()) continue;
+    double s = 0.0;
+    for (std::size_t r : rows) s += observed.value(r, c);
+    col_mean[c] = s / static_cast<double>(rows.size());
+    col_has[c] = true;
+  }
+  std::vector<double> row_mean(m);
+  std::vector<bool> row_has(m, false);
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto cols = observed.observed_cols_in_row(r);
+    if (cols.empty()) continue;
+    double s = 0.0;
+    for (std::size_t c : cols) s += observed.value(r, c);
+    row_mean[r] = s / static_cast<double>(cols.size());
+    row_has[r] = true;
+  }
+
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (observed.observed(r, c)) {
+        est(r, c) = observed.value(r, c);
+      } else if (col_has[c]) {
+        est(r, c) = col_mean[c];
+      } else if (row_has[r]) {
+        est(r, c) = row_mean[r];
+      }
+    }
+  }
+  return est;
+}
+
+}  // namespace drcell::cs

@@ -1,0 +1,16 @@
+// Baseline inference engines with closed-form estimates: global/cell means.
+#pragma once
+
+#include "cs/inference_engine.h"
+
+namespace drcell::cs {
+
+/// Estimates every unobserved entry by the observed mean of its cycle
+/// (column), falling back to the cell (row) mean and the global mean.
+class MeanInference final : public InferenceEngine {
+ public:
+  Matrix infer(const PartialMatrix& observed) const override;
+  std::string name() const override { return "mean"; }
+};
+
+}  // namespace drcell::cs

@@ -1,0 +1,70 @@
+#include "cs/partial_matrix.h"
+
+namespace drcell::cs {
+
+PartialMatrix::PartialMatrix(std::size_t rows, std::size_t cols)
+    : values_(rows, cols), mask_(rows * cols, 0) {}
+
+double PartialMatrix::value(std::size_t r, std::size_t c) const {
+  DRCELL_CHECK_MSG(observed(r, c), "reading unobserved PartialMatrix entry");
+  return values_(r, c);
+}
+
+void PartialMatrix::set(std::size_t r, std::size_t c, double v) {
+  const std::size_t i = index(r, c);
+  if (mask_[i] == 0) {
+    mask_[i] = 1;
+    ++observed_count_;
+  }
+  values_(r, c) = v;
+}
+
+void PartialMatrix::clear(std::size_t r, std::size_t c) {
+  const std::size_t i = index(r, c);
+  if (mask_[i] != 0) {
+    mask_[i] = 0;
+    --observed_count_;
+  }
+  values_(r, c) = 0.0;
+}
+
+std::size_t PartialMatrix::observed_count_in_col(std::size_t c) const {
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < rows(); ++r)
+    if (observed(r, c)) ++n;
+  return n;
+}
+
+std::size_t PartialMatrix::observed_count_in_row(std::size_t r) const {
+  std::size_t n = 0;
+  for (std::size_t c = 0; c < cols(); ++c)
+    if (observed(r, c)) ++n;
+  return n;
+}
+
+std::vector<std::size_t> PartialMatrix::observed_rows_in_col(
+    std::size_t c) const {
+  std::vector<std::size_t> out;
+  for (std::size_t r = 0; r < rows(); ++r)
+    if (observed(r, c)) out.push_back(r);
+  return out;
+}
+
+std::vector<std::size_t> PartialMatrix::observed_cols_in_row(
+    std::size_t r) const {
+  std::vector<std::size_t> out;
+  for (std::size_t c = 0; c < cols(); ++c)
+    if (observed(r, c)) out.push_back(c);
+  return out;
+}
+
+double PartialMatrix::observed_mean() const {
+  if (observed_count_ == 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t r = 0; r < rows(); ++r)
+    for (std::size_t c = 0; c < cols(); ++c)
+      if (observed(r, c)) s += values_(r, c);
+  return s / static_cast<double>(observed_count_);
+}
+
+}  // namespace drcell::cs

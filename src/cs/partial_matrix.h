@@ -1,0 +1,58 @@
+// A partially observed cells x cycles matrix — the input of every data
+// inference engine in Sparse MCS (Definition 5 of the paper: infer the
+// unsensed entries from the sensed ones).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace drcell::cs {
+
+class PartialMatrix {
+ public:
+  PartialMatrix() = default;
+  PartialMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return values_.rows(); }
+  std::size_t cols() const { return values_.cols(); }
+
+  bool observed(std::size_t r, std::size_t c) const {
+    return mask_[index(r, c)] != 0;
+  }
+  /// Value at an observed entry. Reading an unobserved entry is an error.
+  double value(std::size_t r, std::size_t c) const;
+  /// Marks (r, c) observed with the given value.
+  void set(std::size_t r, std::size_t c, double v);
+  /// Removes an observation (used by leave-one-out quality assessment).
+  void clear(std::size_t r, std::size_t c);
+
+  std::size_t observed_count() const { return observed_count_; }
+  std::size_t observed_count_in_col(std::size_t c) const;
+  std::size_t observed_count_in_row(std::size_t r) const;
+  /// Row indices observed in column c.
+  std::vector<std::size_t> observed_rows_in_col(std::size_t c) const;
+  /// Column indices observed in row r.
+  std::vector<std::size_t> observed_cols_in_row(std::size_t r) const;
+
+  /// Mean of all observed values; 0 when nothing is observed.
+  double observed_mean() const;
+
+  /// Underlying value matrix (unobserved entries are 0 — do not read them
+  /// directly; use value()/observed()).
+  const Matrix& raw_values() const { return values_; }
+
+ private:
+  std::size_t index(std::size_t r, std::size_t c) const {
+    DRCELL_CHECK_MSG(r < rows() && c < cols(),
+                     "PartialMatrix index out of range");
+    return r * cols() + c;
+  }
+
+  Matrix values_;
+  std::vector<std::uint8_t> mask_;
+  std::size_t observed_count_ = 0;
+};
+
+}  // namespace drcell::cs

@@ -1,0 +1,53 @@
+#include "cs/temporal_inference.h"
+
+namespace drcell::cs {
+
+Matrix TemporalInterpolation::infer(const PartialMatrix& observed) const {
+  const std::size_t m = observed.rows();
+  const std::size_t n = observed.cols();
+  const double global_mean = observed.observed_mean();
+  Matrix est(m, n, global_mean);
+
+  // Per-cycle means for cells that were never observed.
+  std::vector<double> col_mean(n, global_mean);
+  for (std::size_t c = 0; c < n; ++c) {
+    const auto rows = observed.observed_rows_in_col(c);
+    if (rows.empty()) continue;
+    double s = 0.0;
+    for (std::size_t r : rows) s += observed.value(r, c);
+    col_mean[c] = s / static_cast<double>(rows.size());
+  }
+
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto cols = observed.observed_cols_in_row(r);
+    if (cols.empty()) {
+      for (std::size_t c = 0; c < n; ++c) est(r, c) = col_mean[c];
+      continue;
+    }
+    // cols is sorted ascending by construction.
+    for (std::size_t c = 0; c < n; ++c) {
+      if (observed.observed(r, c)) {
+        est(r, c) = observed.value(r, c);
+        continue;
+      }
+      // Find bracketing observations.
+      auto it = std::lower_bound(cols.begin(), cols.end(), c);
+      if (it == cols.begin()) {
+        est(r, c) = observed.value(r, cols.front());
+      } else if (it == cols.end()) {
+        est(r, c) = observed.value(r, cols.back());
+      } else {
+        const std::size_t hi = *it;
+        const std::size_t lo = *(it - 1);
+        const double vlo = observed.value(r, lo);
+        const double vhi = observed.value(r, hi);
+        const double t = static_cast<double>(c - lo) /
+                         static_cast<double>(hi - lo);
+        est(r, c) = vlo + t * (vhi - vlo);
+      }
+    }
+  }
+  return est;
+}
+
+}  // namespace drcell::cs

@@ -1,0 +1,18 @@
+// Per-cell temporal linear interpolation — a committee member that exploits
+// temporal rather than spatial correlation.
+#pragma once
+
+#include "cs/inference_engine.h"
+
+namespace drcell::cs {
+
+/// For each cell, linearly interpolates between its observed cycles
+/// (constant extrapolation at the ends). Cells with no observations fall
+/// back to the per-cycle mean of observed cells, then the global mean.
+class TemporalInterpolation final : public InferenceEngine {
+ public:
+  Matrix infer(const PartialMatrix& observed) const override;
+  std::string name() const override { return "temporal-interpolation"; }
+};
+
+}  // namespace drcell::cs

@@ -1,0 +1,127 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/synthetic_field.h"
+#include "util/statistics.h"
+
+namespace drcell::data {
+
+namespace {
+
+/// Keeps `keep` cells of `coords`, chosen deterministically from `rng`
+/// (Sensor-Scope: 57 of the 100 grid cells carry valid sensors).
+std::vector<cs::CellCoord> subsample_cells(std::vector<cs::CellCoord> coords,
+                                           std::size_t keep, Rng& rng) {
+  DRCELL_CHECK(keep <= coords.size());
+  std::vector<std::size_t> idx(coords.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  idx.resize(keep);
+  std::sort(idx.begin(), idx.end());
+  std::vector<cs::CellCoord> out;
+  out.reserve(keep);
+  for (std::size_t i : idx) out.push_back(coords[i]);
+  return out;
+}
+
+}  // namespace
+
+SensorScopeDataset make_sensorscope_like(std::uint64_t seed) {
+  Rng rng(seed);
+  // 500 m x 300 m campus split into 10 x 10 cells of 50 m x 30 m; 57 of the
+  // 100 cells have valid sensors (Sec. 5.1).
+  auto coords = subsample_cells(grid_coords(10, 10, 50.0, 30.0), 57, rng);
+  SyntheticFieldGenerator gen(coords);
+
+  const std::size_t cycles = 336;  // 7 days of half-hour cycles
+
+  // Spatial length and nugget are calibrated so that the (0.3 °C, 0.9)
+  // budget of the paper is achievable from roughly a fifth of the cells:
+  // campus-scale temperature varies mostly over time, much less across
+  // 50 m cells, so the field is spatially very smooth with a small
+  // unpredictable per-cell residual (nugget std ≈ 1.87·√0.012 ≈ 0.2 °C,
+  // below the 0.3 °C error bound).
+  FieldParams temperature;
+  temperature.mean = 6.04;   // Table 1: 6.04 ± 1.87 °C
+  temperature.stddev = 1.87;
+  temperature.spatial_length = 150.0;  // metres; a few spatial modes across campus
+  temperature.nugget = 0.01;
+  temperature.temporal_ar1 = 0.97;
+  temperature.diurnal_amplitude = 1.1;
+  temperature.cycles_per_day = 48.0;
+  // Microclimate spread: some cells (courtyards, rooftops) are markedly
+  // harder to infer than others — the structure cell selection exploits.
+  temperature.noise_sd = 0.06;
+  temperature.noise_heterogeneity = 1.6;
+
+  FieldParams humidity;
+  humidity.mean = 84.52;  // Table 1: 84.52 ± 6.32 %
+  humidity.stddev = 6.32;
+  humidity.spatial_length = 150.0;
+  humidity.nugget = 0.01;
+  humidity.temporal_ar1 = 0.97;
+  humidity.diurnal_amplitude = 1.0;
+  humidity.cycles_per_day = 48.0;
+  humidity.diurnal_phase = 3.14159265358979;  // humidity peaks at night
+  humidity.noise_sd = 0.06;
+  humidity.noise_heterogeneity = 1.6;
+
+  // Humidity anti-correlates with temperature; |rho| is what transfer
+  // learning exploits.
+  auto [temp_field, hum_field] =
+      gen.generate_correlated_pair(temperature, humidity, -0.85, cycles, rng);
+
+  return SensorScopeDataset{
+      mcs::SensingTask("sensorscope-temperature", std::move(temp_field),
+                       coords, mcs::ErrorMetric::mae(), 0.5),
+      mcs::SensingTask("sensorscope-humidity", std::move(hum_field),
+                       std::move(coords), mcs::ErrorMetric::mae(), 0.5)};
+}
+
+UAirDataset make_uair_like(std::uint64_t seed) {
+  Rng rng(seed);
+  // 36 cells of 1 km x 1 km (Sec. 5.1), hourly cycles over 11 days.
+  auto coords = grid_coords(6, 6, 1000.0, 1000.0);
+  SyntheticFieldGenerator gen(coords);
+
+  FieldParams pm25;
+  pm25.mean = 79.11;   // Table 1: 79.11 ± 81.21
+  pm25.stddev = 81.21;
+  pm25.spatial_length = 4500.0;  // metres; city-scale pollution plumes
+  pm25.nugget = 0.01;
+  pm25.temporal_ar1 = 0.97;
+  pm25.diurnal_amplitude = 0.6;
+  pm25.cycles_per_day = 24.0;
+  pm25.lognormal = true;  // heavy-tailed, like real PM2.5
+  pm25.num_modes = 3;
+  // Local sources (traffic, construction) make some cells unpredictable.
+  pm25.noise_sd = 0.05;
+  pm25.noise_heterogeneity = 1.5;
+
+  Matrix field = gen.generate(pm25, 264, rng);
+  return UAirDataset{mcs::SensingTask("uair-pm25", std::move(field),
+                                      std::move(coords),
+                                      mcs::ErrorMetric::aqi_classification(),
+                                      1.0)};
+}
+
+DatasetStats compute_stats(const mcs::SensingTask& task) {
+  DatasetStats s;
+  s.name = task.name();
+  s.num_cells = task.num_cells();
+  s.num_cycles = task.num_cycles();
+  s.cycle_hours = task.cycle_hours();
+  s.duration_days =
+      static_cast<double>(task.num_cycles()) * task.cycle_hours() / 24.0;
+  RunningStats rs;
+  for (double x : task.ground_truth().data()) rs.add(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  return s;
+}
+
+}  // namespace drcell::data

@@ -1,0 +1,43 @@
+// Factories for the two evaluation datasets of Table 1 (synthetic
+// equivalents — see DESIGN.md) and the statistics used to regenerate the
+// table.
+#pragma once
+
+#include <cstdint>
+
+#include "mcs/sensing_task.h"
+
+namespace drcell::data {
+
+/// Sensor-Scope-like campaign: EPFL campus, 500 m x 300 m split into 100
+/// cells of 50 m x 30 m of which 57 carry sensors; half-hour cycles over
+/// 7 days (336 cycles); temperature and humidity are correlated tasks.
+struct SensorScopeDataset {
+  mcs::SensingTask temperature;
+  mcs::SensingTask humidity;
+};
+SensorScopeDataset make_sensorscope_like(std::uint64_t seed = 2018);
+
+/// U-Air-like campaign: Beijing, 36 active 1 km x 1 km cells, hourly cycles
+/// over 11 days (264 cycles); PM2.5 with the 6-level AQI classification
+/// metric.
+struct UAirDataset {
+  mcs::SensingTask pm25;
+};
+UAirDataset make_uair_like(std::uint64_t seed = 2013);
+
+/// Row of Table 1.
+struct DatasetStats {
+  std::string name;
+  std::size_t num_cells = 0;
+  std::size_t num_cycles = 0;
+  double cycle_hours = 0.0;
+  double duration_days = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+DatasetStats compute_stats(const mcs::SensingTask& task);
+
+}  // namespace drcell::data

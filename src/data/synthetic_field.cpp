@@ -1,0 +1,170 @@
+#include "data/synthetic_field.h"
+
+#include <cmath>
+
+#include "linalg/decompositions.h"
+#include "util/statistics.h"
+
+namespace drcell::data {
+
+SyntheticFieldGenerator::SyntheticFieldGenerator(
+    std::vector<cs::CellCoord> coords)
+    : coords_(std::move(coords)) {
+  DRCELL_CHECK_MSG(!coords_.empty(), "generator needs cell coordinates");
+}
+
+Matrix SyntheticFieldGenerator::spatial_cholesky(
+    const FieldParams& params) const {
+  DRCELL_CHECK(params.spatial_length > 0.0);
+  DRCELL_CHECK(params.nugget > 0.0 && params.nugget <= 1.0);
+  const std::size_t m = coords_.size();
+  Matrix k(m, m);
+  const double ell2 = params.spatial_length * params.spatial_length;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double d = cs::euclidean_distance(coords_[i], coords_[j]);
+      k(i, j) = (1.0 - params.nugget) * std::exp(-d * d / (2.0 * ell2));
+    }
+    k(i, i) += params.nugget;
+  }
+  return Cholesky(k).l;
+}
+
+Matrix SyntheticFieldGenerator::draw_modes(const FieldParams& params,
+                                           Rng& rng) const {
+  DRCELL_CHECK(params.num_modes > 0);
+  const std::size_t m = coords_.size();
+  const Matrix l = spatial_cholesky(params);
+  Matrix modes(m, params.num_modes);
+  std::vector<double> eta(m);
+  for (std::size_t r = 0; r < params.num_modes; ++r) {
+    for (double& e : eta) e = rng.normal();
+    for (std::size_t i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j <= i; ++j) s += l(i, j) * eta[j];
+      modes(i, r) = s;
+    }
+  }
+  return modes;
+}
+
+Matrix SyntheticFieldGenerator::draw_coefficients(const FieldParams& params,
+                                                  std::size_t cycles,
+                                                  Rng& rng) {
+  DRCELL_CHECK(cycles > 0);
+  DRCELL_CHECK(params.temporal_ar1 >= 0.0 && params.temporal_ar1 < 1.0);
+  DRCELL_CHECK(params.mode_decay > 0.0 && params.mode_decay <= 1.0);
+  const double phi = params.temporal_ar1;
+  const double innov = std::sqrt(1.0 - phi * phi);
+  Matrix coeffs(params.num_modes, cycles);
+  double weight = 1.0;
+  for (std::size_t r = 0; r < params.num_modes; ++r) {
+    double a = rng.normal();
+    for (std::size_t t = 0; t < cycles; ++t) {
+      if (t > 0) a = phi * a + innov * rng.normal();
+      coeffs(r, t) = weight * a;
+    }
+    weight *= params.mode_decay;
+  }
+  return coeffs;
+}
+
+Matrix SyntheticFieldGenerator::assemble(const FieldParams& params,
+                                         const Matrix& modes,
+                                         const Matrix& coefficients,
+                                         Rng& rng) {
+  DRCELL_CHECK(params.cycles_per_day > 0.0);
+  DRCELL_CHECK(params.noise_sd >= 0.0);
+  DRCELL_CHECK(params.noise_heterogeneity >= 1.0);
+  const std::size_t m = modes.rows();
+  const std::size_t cycles = coefficients.cols();
+
+  // Per-cell noise scales (log-uniform around noise_sd).
+  std::vector<double> noise_scale(m, params.noise_sd);
+  if (params.noise_sd > 0.0 && params.noise_heterogeneity > 1.0) {
+    const double log_h = std::log(params.noise_heterogeneity);
+    for (double& s : noise_scale)
+      s = params.noise_sd * std::exp(rng.uniform(-log_h, log_h));
+  }
+
+  Matrix latent = modes.matmul(coefficients);  // m x cycles, rank num_modes
+  const double two_pi = 6.283185307179586;
+  for (std::size_t t = 0; t < cycles; ++t) {
+    const double diurnal =
+        params.diurnal_amplitude *
+        std::sin(two_pi * static_cast<double>(t) / params.cycles_per_day +
+                 params.diurnal_phase);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double noise =
+          noise_scale[i] > 0.0 ? rng.normal(0.0, noise_scale[i]) : 0.0;
+      latent(i, t) += diurnal + noise;
+    }
+  }
+
+  // Standardise empirically so finalize() hits the target moments.
+  RunningStats stats;
+  for (double x : latent.data()) stats.add(x);
+  const double mu = stats.mean();
+  const double sd = stats.stddev() > 1e-12 ? stats.stddev() : 1.0;
+  latent.apply([mu, sd](double x) { return (x - mu) / sd; });
+  return latent;
+}
+
+Matrix SyntheticFieldGenerator::finalize(const FieldParams& params,
+                                         Matrix latent) {
+  DRCELL_CHECK(params.stddev > 0.0);
+  if (!params.lognormal) {
+    latent.apply([&](double x) { return params.mean + params.stddev * x; });
+    return latent;
+  }
+  // Log-normal warp with exact target moments:
+  // sigma² = ln(1 + (std/mean)²), mu = ln(mean) - sigma²/2.
+  DRCELL_CHECK_MSG(params.mean > 0.0, "lognormal fields need a positive mean");
+  const double cv = params.stddev / params.mean;
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(params.mean) - 0.5 * sigma2;
+  const double sigma = std::sqrt(sigma2);
+  latent.apply([&](double x) { return std::exp(mu + sigma * x); });
+  return latent;
+}
+
+Matrix SyntheticFieldGenerator::generate(const FieldParams& params,
+                                         std::size_t cycles, Rng& rng) const {
+  const Matrix modes = draw_modes(params, rng);
+  const Matrix coeffs = draw_coefficients(params, cycles, rng);
+  return finalize(params, assemble(params, modes, coeffs, rng));
+}
+
+std::pair<Matrix, Matrix> SyntheticFieldGenerator::generate_correlated_pair(
+    const FieldParams& first, const FieldParams& second, double rho,
+    std::size_t cycles, Rng& rng) const {
+  DRCELL_CHECK(rho >= -1.0 && rho <= 1.0);
+  DRCELL_CHECK_MSG(first.num_modes == second.num_modes,
+                   "correlated tasks must share the latent rank");
+  // Shared geography: one set of spatial modes for both signals.
+  const Matrix modes = draw_modes(first, rng);
+  const Matrix coeffs_a = draw_coefficients(first, cycles, rng);
+  Matrix coeffs_b = draw_coefficients(second, cycles, rng);
+  const double own = std::sqrt(1.0 - rho * rho);
+  for (std::size_t i = 0; i < coeffs_b.data().size(); ++i)
+    coeffs_b.data()[i] = rho * coeffs_a.data()[i] + own * coeffs_b.data()[i];
+
+  Rng rng_a = rng.fork();
+  Rng rng_b = rng.fork();
+  return {finalize(first, assemble(first, modes, coeffs_a, rng_a)),
+          finalize(second, assemble(second, modes, coeffs_b, rng_b))};
+}
+
+std::vector<cs::CellCoord> grid_coords(std::size_t rows, std::size_t cols,
+                                       double cell_w, double cell_h) {
+  DRCELL_CHECK(rows > 0 && cols > 0 && cell_w > 0.0 && cell_h > 0.0);
+  std::vector<cs::CellCoord> out;
+  out.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      out.push_back({(static_cast<double>(c) + 0.5) * cell_w,
+                     (static_cast<double>(r) + 0.5) * cell_h});
+  return out;
+}
+
+}  // namespace drcell::data

@@ -1,0 +1,97 @@
+// Synthetic spatio-temporal field generator — the stand-in for the
+// Sensor-Scope and U-Air measurements (see DESIGN.md, substitution table).
+//
+// Model: an explicitly low-rank spatio-temporal process — the structural
+// assumption the whole Sparse-MCS line of work builds on (compressive
+// sensing recovers the matrix *because* urban sensing matrices are
+// approximately low-rank). The field is
+//
+//   D(i, t) = Σ_r w_r · φ_r(i) · a_r(t)  +  diurnal(t)  +  κ_i · ε(i, t)
+//
+// where the spatial modes φ_r are smooth GP draws from an RBF kernel over
+// the cell coordinates (nearby cells similar — Fig. 1 of the paper), the
+// temporal coefficients a_r(t) are stationary AR(1) series (smooth
+// hour-scale dynamics), w_r decays geometrically, the diurnal sinusoid
+// adds the daily rhythm, and κ_i·ε is per-cell unpredictable noise whose
+// scale varies across cells. The standardised latent field is finally
+// mapped to the target mean/std, optionally through a log-normal warp for
+// heavy-tailed signals such as PM2.5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cs/knn_inference.h"  // CellCoord
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace drcell::data {
+
+struct FieldParams {
+  double mean = 0.0;            ///< target sample mean
+  double stddev = 1.0;          ///< target sample standard deviation
+  double spatial_length = 1.0;  ///< RBF length scale (coordinate units)
+  double nugget = 0.05;         ///< iid fraction of the spatial variance
+  double temporal_ar1 = 0.9;    ///< AR(1) coefficient between cycles
+  double diurnal_amplitude = 1.0; ///< sinusoid amplitude (latent std units)
+  double cycles_per_day = 24.0; ///< cycles forming one diurnal period
+  double diurnal_phase = 0.0;   ///< radians
+  bool lognormal = false;       ///< heavy-tailed warp (PM2.5)
+  /// Temporally-white per-cell noise (latent std units) on top of the
+  /// smooth GP — the microclimate/measurement component that no amount of
+  /// neighbour sensing can predict.
+  double noise_sd = 0.0;
+  /// Heterogeneity of that noise across cells: each cell's noise scale is
+  /// drawn log-uniformly from [noise_sd / h, noise_sd · h]. h = 1 makes all
+  /// cells equally predictable; larger h creates genuinely hard-to-infer
+  /// cells, the structure that differentiates cell-selection policies.
+  double noise_heterogeneity = 1.0;
+  /// Latent rank: number of spatio-temporal modes (excluding the diurnal
+  /// component and the noise).
+  std::size_t num_modes = 4;
+  /// Geometric amplitude decay across modes (w_r = mode_decay^r).
+  double mode_decay = 0.65;
+};
+
+class SyntheticFieldGenerator {
+ public:
+  explicit SyntheticFieldGenerator(std::vector<cs::CellCoord> coords);
+
+  std::size_t num_cells() const { return coords_.size(); }
+  const std::vector<cs::CellCoord>& coords() const { return coords_; }
+
+  /// cells x cycles matrix drawn from the model above.
+  Matrix generate(const FieldParams& params, std::size_t cycles,
+                  Rng& rng) const;
+
+  /// Two fields whose latent processes have correlation `rho` — the
+  /// substrate of the transfer-learning experiment (temperature/humidity
+  /// are inter-correlated tasks in the same area, Sec. 4.4). The tasks
+  /// share their spatial modes (the same city has the same hot/cold
+  /// districts for both signals); their temporal coefficient series are
+  /// correlated at `rho`.
+  std::pair<Matrix, Matrix> generate_correlated_pair(
+      const FieldParams& first, const FieldParams& second, double rho,
+      std::size_t cycles, Rng& rng) const;
+
+ private:
+  Matrix spatial_cholesky(const FieldParams& params) const;
+  /// m x R smooth spatial mode matrix (GP draws).
+  Matrix draw_modes(const FieldParams& params, Rng& rng) const;
+  /// R x T temporal coefficients: unit-variance AR(1) rows scaled by
+  /// mode_decay^r.
+  static Matrix draw_coefficients(const FieldParams& params,
+                                  std::size_t cycles, Rng& rng);
+  /// modes x coefficients + diurnal + heterogeneous noise, standardised.
+  static Matrix assemble(const FieldParams& params, const Matrix& modes,
+                         const Matrix& coefficients, Rng& rng);
+  static Matrix finalize(const FieldParams& params, Matrix latent);
+
+  std::vector<cs::CellCoord> coords_;
+};
+
+/// Convenience: centres of a rows x cols grid of cell_w x cell_h cells.
+std::vector<cs::CellCoord> grid_coords(std::size_t rows, std::size_t cols,
+                                       double cell_w, double cell_h);
+
+}  // namespace drcell::data

@@ -1,0 +1,27 @@
+// CSV import/export of sensing tasks so campaigns can run on user-provided
+// measurements instead of the synthetic generators.
+//
+// Format (one CSV file):
+//   row 0: name,<task name>
+//   row 1: cycle_hours,<hours>
+//   row 2: metric,<mae|rmse|classification>[,bound1,bound2,...]
+//   row 3: coords_x,<x0>,<x1>,...      (one per cell)
+//   row 4: coords_y,<y0>,<y1>,...
+//   rows 5..: one row per cell with its per-cycle values
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mcs/sensing_task.h"
+
+namespace drcell::data {
+
+void save_task_csv(std::ostream& out, const mcs::SensingTask& task);
+mcs::SensingTask load_task_csv(std::istream& in);
+
+void save_task_csv_file(const std::string& path,
+                        const mcs::SensingTask& task);
+mcs::SensingTask load_task_csv_file(const std::string& path);
+
+}  // namespace drcell::data

@@ -1,0 +1,106 @@
+// Dense row-major double matrix used throughout the library (neural nets,
+// matrix completion, the GP dataset generator).
+//
+// The class is intentionally value-semantic and small: the workloads in
+// this repo are at most a few thousand elements per matrix, so clarity and
+// safety (bounds checks stay on in release) beat BLAS-grade tuning.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace drcell {
+
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+  /// rows x cols matrix, zero-initialised (or filled with `fill`).
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Builds from nested initialiser lists; all rows must be equally long.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  /// Column vector from data.
+  static Matrix column(std::span<const double> data);
+  /// Diagonal matrix from data.
+  static Matrix diagonal(std::span<const double> data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    DRCELL_CHECK_MSG(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    DRCELL_CHECK_MSG(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Mutable view of row r.
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+  /// Copy of column c.
+  std::vector<double> col(std::size_t c) const;
+  void set_col(std::size_t c, std::span<const double> values);
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  Matrix transposed() const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+  bool operator==(const Matrix& other) const = default;
+
+  /// Matrix product this * other.
+  Matrix matmul(const Matrix& other) const;
+  /// thisᵀ * other without materialising the transpose.
+  Matrix matmul_transposed_self(const Matrix& other) const;
+  /// Element-wise (Hadamard) product.
+  Matrix hadamard(const Matrix& other) const;
+  /// Applies f to every element in place.
+  template <typename F>
+  Matrix& apply(F&& f) {
+    for (double& x : data_) x = f(x);
+    return *this;
+  }
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+  /// Largest absolute element; 0 when empty.
+  double max_abs() const;
+  /// Sum of all elements.
+  double sum() const;
+  /// True if any element is NaN or infinite.
+  bool has_non_finite() const;
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = A x for a column-vector x given as a span. Returns the result vector.
+std::vector<double> matvec(const Matrix& a, std::span<const double> x);
+/// Dot product. Sizes must match.
+double dot(std::span<const double> a, std::span<const double> b);
+/// Euclidean norm.
+double norm2(std::span<const double> v);
+
+}  // namespace drcell

@@ -1,0 +1,75 @@
+#include "linalg/solvers.h"
+
+#include <cmath>
+
+#include "linalg/decompositions.h"
+
+namespace drcell {
+
+std::vector<double> ridge_solve(const Matrix& a, std::span<const double> b,
+                                double lambda) {
+  DRCELL_CHECK(a.rows() == b.size());
+  DRCELL_CHECK(lambda >= 0.0);
+  const std::size_t n = a.cols();
+  // G = AᵀA + λI, rhs = Aᵀb.
+  Matrix g = a.matmul_transposed_self(a);
+  for (std::size_t i = 0; i < n; ++i) g(i, i) += lambda;
+  std::vector<double> rhs(n, 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    const double br = b[r];
+    for (std::size_t c = 0; c < n; ++c) rhs[c] += row[c] * br;
+  }
+  // A fixed lambda can be negligible against extreme data scales, leaving
+  // the Gram matrix numerically semidefinite. Escalate a scale-aware jitter
+  // until the factorisation succeeds.
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += g(i, i);
+  double jitter = 1e-12 * std::max(trace / static_cast<double>(n), 1.0);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    try {
+      return Cholesky(g).solve(rhs);
+    } catch (const CheckError&) {
+      for (std::size_t i = 0; i < n; ++i) g(i, i) += jitter;
+      jitter *= 100.0;
+    }
+  }
+  return Cholesky(g).solve(rhs);
+}
+
+std::vector<double> spd_solve(const Matrix& a, std::span<const double> b) {
+  return Cholesky(a).solve(b);
+}
+
+std::vector<double> lu_solve(Matrix a, std::vector<double> b) {
+  DRCELL_CHECK_MSG(a.rows() == a.cols(), "lu_solve requires a square matrix");
+  DRCELL_CHECK(a.rows() == b.size());
+  const std::size_t n = a.rows();
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    std::size_t piv = k;
+    for (std::size_t i = k + 1; i < n; ++i)
+      if (std::fabs(a(i, k)) > std::fabs(a(piv, k))) piv = i;
+    DRCELL_CHECK_MSG(std::fabs(a(piv, k)) > 1e-300, "singular matrix");
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(piv, j));
+      std::swap(b[k], b[piv]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = a(i, k) / a(k, k);
+      a(i, k) = 0.0;
+      if (f == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= f * a(k, j);
+      b[i] -= f * b[k];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= a(ii, j) * x[j];
+    x[ii] = s / a(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace drcell

@@ -1,0 +1,27 @@
+// Linear solvers built on the decompositions. The ALS matrix-completion
+// engine calls ridge_solve thousands of times per campaign, so the normal
+// equations + Cholesky path is the hot one.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace drcell {
+
+/// Solves the ridge-regularised least squares problem
+///   min_x ||A x - b||² + lambda ||x||²
+/// via the normal equations (Aᵀ A + λ I) x = Aᵀ b with Cholesky.
+/// Requires lambda > 0 or A of full column rank.
+std::vector<double> ridge_solve(const Matrix& a, std::span<const double> b,
+                                double lambda);
+
+/// Solves a symmetric positive-definite system A x = b.
+std::vector<double> spd_solve(const Matrix& a, std::span<const double> b);
+
+/// Solves a general square system A x = b by partially pivoted LU.
+/// Throws CheckError if the matrix is numerically singular.
+std::vector<double> lu_solve(Matrix a, std::vector<double> b);
+
+}  // namespace drcell

@@ -1,0 +1,154 @@
+// SparseMcsEnvironment — the sequential decision process of Sec. 3/4.
+//
+// One episode walks the task's cycles in order. Within a cycle the agent
+// repeatedly picks an unsensed cell (the RL action); the environment
+// records the observation, re-runs data inference and consults the quality
+// gate. When the gate is satisfied the cycle completes: the action that
+// closed it earns R·q − c (q = 1), every other action earns −c, exactly as
+// in Algorithms 1 and 2. The environment also keeps the bookkeeping the
+// evaluation needs: the full selection matrix, per-cycle true inference
+// errors and the (epsilon, p) satisfaction ratio.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cs/inference_engine.h"
+#include "mcs/quality.h"
+#include "mcs/selection_matrix.h"
+#include "mcs/sensing_task.h"
+#include "mcs/state_encoder.h"
+
+namespace drcell::mcs {
+
+struct EnvOptions {
+  /// k — how many recent cycles form the RL state (Sec. 4.1).
+  std::size_t history_cycles = 2;
+  /// w — how many recent cycles feed the inference engine.
+  std::size_t inference_window = 12;
+  /// R — bonus when the action satisfies the quality requirement.
+  /// 0 means "use the number of cells" (the paper's worked example).
+  double reward_bonus = 0.0;
+  /// c — cost of one sensing action (uniform case).
+  double cost = 1.0;
+  /// Fewest observations in a cycle before the gate is consulted.
+  std::size_t min_observations = 3;
+  /// Hard per-cycle selection cap; 0 means "all cells".
+  std::size_t max_selections_per_cycle = 0;
+  /// Future-work extension (Sec. 6): heterogeneous per-cell sensing costs.
+  /// Empty means every cell costs `cost`.
+  std::vector<double> cell_costs;
+  /// Fully-observed history prepended before cycle 0 — the preliminary
+  /// study data the organiser already holds when deployment starts
+  /// (Sec. 5.3: "a 2-day preliminary study to collect data from all the
+  /// cells"). cells x h; the inference window reaches back into it.
+  /// Empty disables warm starting.
+  Matrix warm_start;
+};
+
+struct StepResult {
+  double reward = 0.0;
+  bool cycle_complete = false;     ///< the cycle's data collection ended
+  bool quality_satisfied = false;  ///< gate fired (vs forced completion)
+  bool episode_done = false;       ///< no more cycles in the horizon
+  double true_cycle_error = 0.0;   ///< only valid when cycle_complete
+};
+
+/// Summary of one completed episode (used by trainers and the campaign
+/// runner alike).
+struct EpisodeStats {
+  std::size_t cycles = 0;
+  std::size_t total_selections = 0;
+  double total_reward = 0.0;
+  double total_cost = 0.0;
+  std::vector<double> cycle_errors;        ///< true error per cycle
+  std::vector<std::size_t> cycle_selected; ///< #selected per cycle
+
+  double average_selections_per_cycle() const {
+    return cycles ? static_cast<double>(total_selections) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+  /// Fraction of cycles whose true error was <= epsilon — the post-hoc
+  /// verification of (epsilon, p)-quality (Eq. 1).
+  double quality_satisfaction_ratio(double epsilon) const;
+};
+
+class SparseMcsEnvironment {
+ public:
+  SparseMcsEnvironment(std::shared_ptr<const SensingTask> task,
+                       cs::InferenceEnginePtr engine,
+                       std::shared_ptr<const QualityGate> gate,
+                       EnvOptions options = {});
+
+  const SensingTask& task() const { return *task_; }
+  const EnvOptions& options() const { return options_; }
+  const StateEncoder& encoder() const { return encoder_; }
+  std::size_t num_cells() const { return task_->num_cells(); }
+
+  /// Starts a fresh episode at cycle 0.
+  void reset();
+
+  std::size_t current_cycle() const { return cycle_; }
+  bool episode_done() const { return done_; }
+
+  /// Flat RL state (k*m, oldest cycle first) at the current position.
+  std::vector<double> state() const;
+  /// mask[i] == 1 iff cell i may be selected now.
+  std::vector<std::uint8_t> action_mask() const;
+
+  /// Senses `cell` in the current cycle. Requires an unsensed cell and an
+  /// unfinished episode.
+  StepResult step(std::size_t cell);
+
+  /// Runs the rest of the current cycle with an arbitrary selection policy
+  /// (used by baselines). Returns the step result that completed the cycle.
+  template <typename PickCell>
+  StepResult run_cycle(PickCell&& pick) {
+    StepResult last;
+    do {
+      last = step(pick(*this));
+    } while (!last.cycle_complete);
+    return last;
+  }
+
+  /// The observation window the inference engine currently sees.
+  const cs::PartialMatrix& observation_window() const { return window_; }
+  /// First campaign cycle covered by the window (warm-start columns, if
+  /// any, precede it).
+  std::size_t window_start() const {
+    return window_anchor_ < 0 ? 0 : static_cast<std::size_t>(window_anchor_);
+  }
+  /// Column of the window holding the current cycle.
+  std::size_t current_window_col() const {
+    return static_cast<std::size_t>(static_cast<long>(cycle_) -
+                                    window_anchor_);
+  }
+  /// Observations of the current cycle so far.
+  std::size_t observations_this_cycle() const { return obs_this_cycle_; }
+
+  const SelectionMatrix& selections() const { return selection_; }
+  const EpisodeStats& stats() const { return stats_; }
+
+ private:
+  void advance_window_to(std::size_t cycle);
+  double cost_of(std::size_t cell) const;
+  std::size_t max_selections() const;
+
+  std::shared_ptr<const SensingTask> task_;
+  cs::InferenceEnginePtr engine_;
+  std::shared_ptr<const QualityGate> gate_;
+  EnvOptions options_;
+  StateEncoder encoder_;
+
+  SelectionMatrix selection_;
+  cs::PartialMatrix window_;  // cells x window-cycles observations
+  long window_anchor_ = 0;    // campaign cycle of window col 0 (< 0 = warm)
+  std::size_t cycle_ = 0;
+  std::size_t obs_this_cycle_ = 0;
+  bool done_ = false;
+  EpisodeStats stats_;
+};
+
+}  // namespace drcell::mcs

@@ -1,0 +1,119 @@
+#include "mcs/quality.h"
+
+#include <cmath>
+
+#include "util/statistics.h"
+
+namespace drcell::mcs {
+
+std::vector<std::size_t> unobserved_cells_in_cycle(
+    const cs::PartialMatrix& window, std::size_t window_col) {
+  std::vector<std::size_t> out;
+  for (std::size_t cell = 0; cell < window.rows(); ++cell)
+    if (!window.observed(cell, window_col)) out.push_back(cell);
+  return out;
+}
+
+double true_cycle_error(const SensingTask& task,
+                        const cs::PartialMatrix& window,
+                        std::size_t window_col, const Matrix& inferred,
+                        std::size_t cycle) {
+  const std::size_t col = window_col;
+  DRCELL_CHECK(col < window.cols());
+  DRCELL_CHECK(cycle < task.num_cycles());
+  const auto unobserved = unobserved_cells_in_cycle(window, col);
+  std::vector<double> truth(task.num_cells());
+  std::vector<double> est(task.num_cells());
+  for (std::size_t cell = 0; cell < task.num_cells(); ++cell) {
+    truth[cell] = task.truth(cell, cycle);
+    est[cell] = inferred(cell, col);
+  }
+  return task.metric().error(truth, est, unobserved);
+}
+
+GroundTruthGate::GroundTruthGate(double epsilon) : epsilon_(epsilon) {
+  DRCELL_CHECK(epsilon_ >= 0.0);
+}
+
+bool GroundTruthGate::satisfied(const QualityContext& ctx) const {
+  DRCELL_CHECK_MSG(ctx.inferred != nullptr,
+                   "GroundTruthGate requires the inferred window");
+  return true_cycle_error(ctx.task, ctx.window, ctx.window_col,
+                          *ctx.inferred, ctx.cycle) <= epsilon_;
+}
+
+LooBayesianGate::LooBayesianGate(double epsilon, double p)
+    : epsilon_(epsilon), p_(p) {
+  DRCELL_CHECK(epsilon_ >= 0.0);
+  DRCELL_CHECK(p_ > 0.0 && p_ < 1.0);
+}
+
+double LooBayesianGate::probability(const QualityContext& ctx) const {
+  const std::size_t col = ctx.window_col;
+  DRCELL_CHECK(col < ctx.window.cols());
+  const auto observed = ctx.window.observed_rows_in_col(col);
+  if (observed.empty()) return 0.0;  // nothing sensed: no evidence at all
+  const auto unobserved = unobserved_cells_in_cycle(ctx.window, col);
+  if (unobserved.empty()) return 1.0;  // everything sensed: error is zero
+
+  // Leave-one-out: withhold each current-cycle observation in turn and
+  // record the error the engine makes on the held-out cell.
+  const std::vector<double> loo_predictions =
+      ctx.engine.loo_column_predictions(ctx.window, col);
+  DRCELL_CHECK(loo_predictions.size() == observed.size());
+  std::vector<double> loo_errors;
+  loo_errors.reserve(observed.size());
+  for (std::size_t k = 0; k < observed.size(); ++k) {
+    const double truth = ctx.window.value(observed[k], col);
+    loo_errors.push_back(
+        ctx.task.metric().pointwise_error(truth, loo_predictions[k]));
+  }
+
+  if (ctx.task.metric().is_classification()) {
+    // Beta-Bernoulli posterior over the per-cell misclassification rate.
+    // The prior carries one pseudo-failure (Beta(2, 1)): LOO errors are
+    // measured at *sensed* cells, which systematically look easier than the
+    // unsensed cells the gate is actually vouching for, so the prior leans
+    // pessimistic until the evidence accumulates.
+    double fails = 0.0;
+    for (double e : loo_errors) fails += e;
+    const double alpha = 2.0 + fails;
+    const double beta =
+        1.0 + static_cast<double>(loo_errors.size()) - fails;
+    return incomplete_beta(alpha, beta, epsilon_);
+  }
+
+  // Continuous metric: Bayesian estimate of the cycle error. The LOO
+  // errors are s samples of the per-cell inference error with mean mu and
+  // spread sd; the cycle error is the average over the u unsensed cells.
+  // Per-cell errors are neither independent (they share one low-rank fit,
+  // so a pure CLT sqrt(u) shrinkage is overconfident) nor perfectly
+  // correlated (each cell also carries its own unpredictable residual, so
+  // treating the average as a single draw is far too conservative). We use
+  // an effective sample size u_eff between those extremes, and a Student-t
+  // with s−1 dof to account for estimating (mu, sd) from only s LOO
+  // samples:  P = T_{s-1}((eps − mu) / (sd · sqrt(1/u_eff + 1/s))).
+  const double mu = mean(loo_errors);
+  const double sd = stddev(loo_errors);
+  const double s = static_cast<double>(loo_errors.size());
+  // Fewer than three LOO samples cannot support a confident continuous
+  // decision (with two, the deviations from their mean are always equal, so
+  // the spread estimate degenerates to zero).
+  if (s < 3.0) return 0.0;
+  if (sd <= 1e-12) return mu <= epsilon_ ? 1.0 : 0.0;
+  // u^0.2 rather than the CLT's sqrt(u): inference errors share the
+  // low-rank fit and the LOO sample is drawn from the (easier) sensed
+  // cells, so the averaging over unsensed cells buys far less certainty
+  // than independence would suggest. Calibrated against the post-hoc
+  // satisfaction ratios of the Fig. 6 bench.
+  const double u_eff = std::max(
+      1.0, std::pow(static_cast<double>(unobserved.size()), 0.2));
+  const double scale = sd * std::sqrt(1.0 / u_eff + 1.0 / s);
+  return student_t_cdf((epsilon_ - mu) / scale, s - 1.0);
+}
+
+bool LooBayesianGate::satisfied(const QualityContext& ctx) const {
+  return probability(ctx) >= p_;
+}
+
+}  // namespace drcell::mcs

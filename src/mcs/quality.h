@@ -1,0 +1,105 @@
+// Quality gates: decide whether the cells sensed so far in the current
+// cycle suffice, i.e. whether data collection may stop (Definition 6).
+//
+// Two implementations mirror the paper's two phases:
+//  * GroundTruthGate — the training stage, where the organiser has run a
+//    preliminary study and knows every cell's value (footnote 2), so the
+//    inference error is computed directly.
+//  * LooBayesianGate — the deployed testing stage, where the truth of
+//    unsensed cells is unknown and a leave-one-out Bayesian estimate of
+//    P(cycle error <= epsilon) gates against the requested p.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cs/inference_engine.h"
+#include "mcs/sensing_task.h"
+
+namespace drcell::mcs {
+
+struct QualityContext {
+  const SensingTask& task;
+  /// Observations over the inference window (cells x window cycles).
+  const cs::PartialMatrix& window;
+  /// Column of `window` holding the cycle being assessed (its last column).
+  std::size_t window_col = 0;
+  /// Absolute index of the cycle being assessed.
+  std::size_t cycle = 0;
+  /// Engine output on `window`. Provided by the environment only when the
+  /// gate declares needs_inference(); may be null otherwise.
+  const Matrix* inferred = nullptr;
+  /// Engine, for gates that need to re-run inference (leave-one-out).
+  const cs::InferenceEngine& engine;
+};
+
+class QualityGate {
+ public:
+  virtual ~QualityGate() = default;
+  /// True if the current cycle's quality requirement is met.
+  virtual bool satisfied(const QualityContext& ctx) const = 0;
+  /// Whether satisfied() reads ctx.inferred. Gates that run their own
+  /// (leave-one-out) inference return false so the environment can skip a
+  /// redundant full inference per step.
+  virtual bool needs_inference() const { return true; }
+  virtual std::string name() const = 0;
+};
+
+/// Training-stage gate: true cycle inference error (over the unsensed cells
+/// of the current cycle) <= epsilon.
+class GroundTruthGate final : public QualityGate {
+ public:
+  explicit GroundTruthGate(double epsilon);
+  bool satisfied(const QualityContext& ctx) const override;
+  std::string name() const override { return "ground-truth"; }
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+};
+
+/// Testing-stage gate: leave-one-out Bayesian estimate of
+/// P(error(D[:,k], D-hat[:,k]) <= epsilon) >= p.
+///
+/// Continuous metrics (MAE/RMSE): the LOO errors e_1..e_s at sensed cells
+/// are samples of the per-cell inference error; with a noninformative
+/// prior, the Bayesian posterior predictive of a new error is Student-t
+/// with s−1 dof, location mean(e) and scale sd(e)·sqrt(1+1/s), and
+/// P = T_{s−1}((epsilon − mean) / scale). The cycle error counts as a
+/// single predictive draw because inference errors are spatially
+/// correlated (see quality.cpp for the full argument).
+/// Classification metric: LOO mismatches are Bernoulli; with a Beta(1,1)
+/// prior the posterior over the per-cell error rate theta is
+/// Beta(1 + fails, 1 + hits) and P = I_epsilon(alpha, beta).
+class LooBayesianGate final : public QualityGate {
+ public:
+  LooBayesianGate(double epsilon, double p);
+  bool satisfied(const QualityContext& ctx) const override;
+  bool needs_inference() const override { return false; }
+  std::string name() const override { return "loo-bayesian"; }
+
+  /// The probability estimate itself (exposed for tests and diagnostics).
+  double probability(const QualityContext& ctx) const;
+
+  double epsilon() const { return epsilon_; }
+  double p() const { return p_; }
+
+ private:
+  double epsilon_;
+  double p_;
+};
+
+/// Indices of the current-cycle column that are *not* observed — the cells
+/// whose values must be inferred and therefore define the cycle error.
+std::vector<std::size_t> unobserved_cells_in_cycle(
+    const cs::PartialMatrix& window, std::size_t window_col);
+
+/// True inference error of a cycle given the inferred window (restricted to
+/// the unsensed cells of that cycle). Shared by the training gate and the
+/// post-hoc (epsilon, p) verifier.
+double true_cycle_error(const SensingTask& task,
+                        const cs::PartialMatrix& window,
+                        std::size_t window_col, const Matrix& inferred,
+                        std::size_t cycle);
+
+}  // namespace drcell::mcs

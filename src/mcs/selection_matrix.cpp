@@ -1,0 +1,52 @@
+#include "mcs/selection_matrix.h"
+
+namespace drcell::mcs {
+
+SelectionMatrix::SelectionMatrix(std::size_t cells, std::size_t cycles)
+    : cells_(cells), cycles_(cycles), bits_(cells * cycles, 0) {
+  DRCELL_CHECK(cells > 0 && cycles > 0);
+}
+
+void SelectionMatrix::mark(std::size_t cell, std::size_t cycle) {
+  auto& b = bits_[index(cell, cycle)];
+  DRCELL_CHECK_MSG(b == 0, "cell selected twice in the same cycle");
+  b = 1;
+  ++total_;
+}
+
+std::size_t SelectionMatrix::selected_count_in_cycle(std::size_t cycle) const {
+  std::size_t n = 0;
+  for (std::size_t cell = 0; cell < cells_; ++cell)
+    if (selected(cell, cycle)) ++n;
+  return n;
+}
+
+std::vector<std::size_t> SelectionMatrix::selected_cells_in_cycle(
+    std::size_t cycle) const {
+  std::vector<std::size_t> out;
+  for (std::size_t cell = 0; cell < cells_; ++cell)
+    if (selected(cell, cycle)) out.push_back(cell);
+  return out;
+}
+
+std::vector<std::size_t> SelectionMatrix::unselected_cells_in_cycle(
+    std::size_t cycle) const {
+  std::vector<std::size_t> out;
+  for (std::size_t cell = 0; cell < cells_; ++cell)
+    if (!selected(cell, cycle)) out.push_back(cell);
+  return out;
+}
+
+std::vector<double> SelectionMatrix::cycle_vector(std::size_t cycle) const {
+  std::vector<double> v(cells_, 0.0);
+  for (std::size_t cell = 0; cell < cells_; ++cell)
+    if (selected(cell, cycle)) v[cell] = 1.0;
+  return v;
+}
+
+void SelectionMatrix::reset() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace drcell::mcs

@@ -1,0 +1,50 @@
+// The cell-selection matrix S of Definition 4: S[i, j] = 1 iff cell i was
+// selected for sensing at cycle j. The RL state (Sec. 4.1) is a recent-k
+// window of its columns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace drcell::mcs {
+
+class SelectionMatrix {
+ public:
+  SelectionMatrix(std::size_t cells, std::size_t cycles);
+
+  std::size_t cells() const { return cells_; }
+  std::size_t cycles() const { return cycles_; }
+
+  bool selected(std::size_t cell, std::size_t cycle) const {
+    return bits_[index(cell, cycle)] != 0;
+  }
+  /// Marks the cell selected; selecting twice in the same cycle is an error
+  /// (the paper forbids re-selection within a cycle).
+  void mark(std::size_t cell, std::size_t cycle);
+
+  std::size_t selected_count() const { return total_; }
+  std::size_t selected_count_in_cycle(std::size_t cycle) const;
+  std::vector<std::size_t> selected_cells_in_cycle(std::size_t cycle) const;
+  std::vector<std::size_t> unselected_cells_in_cycle(std::size_t cycle) const;
+
+  /// 0/1 column of the given cycle (length = cells()).
+  std::vector<double> cycle_vector(std::size_t cycle) const;
+
+  void reset();
+
+ private:
+  std::size_t index(std::size_t cell, std::size_t cycle) const {
+    DRCELL_CHECK_MSG(cell < cells_ && cycle < cycles_,
+                     "selection index out of range");
+    return cell * cycles_ + cycle;
+  }
+
+  std::size_t cells_;
+  std::size_t cycles_;
+  std::vector<std::uint8_t> bits_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace drcell::mcs

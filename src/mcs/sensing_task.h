@@ -1,0 +1,46 @@
+// A Sparse MCS sensing task: the ground-truth data matrix (Definition 3),
+// the geometry of the sensing area (Definition 1) and the error metric the
+// organiser cares about.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cs/knn_inference.h"  // CellCoord
+#include "linalg/matrix.h"
+#include "mcs/error_metric.h"
+
+namespace drcell::mcs {
+
+class SensingTask {
+ public:
+  /// ground_truth is cells x cycles; coords has one entry per cell.
+  SensingTask(std::string name, Matrix ground_truth,
+              std::vector<cs::CellCoord> coords, ErrorMetric metric,
+              double cycle_hours = 1.0);
+
+  const std::string& name() const { return name_; }
+  std::size_t num_cells() const { return ground_truth_.rows(); }
+  std::size_t num_cycles() const { return ground_truth_.cols(); }
+  double cycle_hours() const { return cycle_hours_; }
+
+  const Matrix& ground_truth() const { return ground_truth_; }
+  double truth(std::size_t cell, std::size_t cycle) const {
+    return ground_truth_(cell, cycle);
+  }
+  const std::vector<cs::CellCoord>& coords() const { return coords_; }
+  const ErrorMetric& metric() const { return metric_; }
+
+  /// Restriction of the task to cycles [first, last) — used to carve the
+  /// preliminary-study training stage out of the full campaign.
+  SensingTask slice_cycles(std::size_t first, std::size_t last) const;
+
+ private:
+  std::string name_;
+  Matrix ground_truth_;
+  std::vector<cs::CellCoord> coords_;
+  ErrorMetric metric_;
+  double cycle_hours_;
+};
+
+}  // namespace drcell::mcs

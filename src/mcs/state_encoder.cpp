@@ -1,0 +1,49 @@
+#include "mcs/state_encoder.h"
+
+namespace drcell::mcs {
+
+StateEncoder::StateEncoder(std::size_t cells, std::size_t history_cycles)
+    : cells_(cells), k_(history_cycles) {
+  DRCELL_CHECK(cells_ > 0);
+  DRCELL_CHECK_MSG(k_ > 0, "state needs at least the current cycle");
+}
+
+std::vector<double> StateEncoder::encode(const SelectionMatrix& selection,
+                                         std::size_t cycle) const {
+  DRCELL_CHECK(selection.cells() == cells_);
+  DRCELL_CHECK(cycle < selection.cycles());
+  std::vector<double> state(state_size(), 0.0);
+  // Slice j of the flat state holds cycle (cycle - k + 1 + j).
+  for (std::size_t j = 0; j < k_; ++j) {
+    const std::size_t age = k_ - 1 - j;  // how many cycles back
+    if (age > cycle) continue;           // before the campaign: zeros
+    const std::size_t src = cycle - age;
+    for (std::size_t cell = 0; cell < cells_; ++cell)
+      if (selection.selected(cell, src)) state[j * cells_ + cell] = 1.0;
+  }
+  return state;
+}
+
+std::vector<Matrix> StateEncoder::to_sequence(
+    const std::vector<double>& flat_state) const {
+  const std::vector<const std::vector<double>*> one{&flat_state};
+  return to_sequence_batch(one);
+}
+
+std::vector<Matrix> StateEncoder::to_sequence_batch(
+    const std::vector<const std::vector<double>*>& flat_states) const {
+  DRCELL_CHECK(!flat_states.empty());
+  const std::size_t batch = flat_states.size();
+  std::vector<Matrix> steps(k_, Matrix(batch, cells_));
+  for (std::size_t b = 0; b < batch; ++b) {
+    DRCELL_CHECK(flat_states[b] != nullptr);
+    const auto& flat = *flat_states[b];
+    DRCELL_CHECK_MSG(flat.size() == state_size(), "flat state size mismatch");
+    for (std::size_t j = 0; j < k_; ++j)
+      for (std::size_t cell = 0; cell < cells_; ++cell)
+        steps[j](b, cell) = flat[j * cells_ + cell];
+  }
+  return steps;
+}
+
+}  // namespace drcell::mcs

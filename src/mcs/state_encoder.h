@@ -1,0 +1,39 @@
+// Encodes the RL state of Sec. 4.1: the recent-k window of the cell
+// selection matrix, S = [s_{-k+1}, …, s_{-1}, s_0], where s_0 is the
+// (partial) selection vector of the current cycle. Cycles before the start
+// of the campaign are zero-padded.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "mcs/selection_matrix.h"
+
+namespace drcell::mcs {
+
+class StateEncoder {
+ public:
+  StateEncoder(std::size_t cells, std::size_t history_cycles);
+
+  std::size_t cells() const { return cells_; }
+  std::size_t history_cycles() const { return k_; }
+  /// Length of the flat encoding: k * m, ordered oldest step first.
+  std::size_t state_size() const { return k_ * cells_; }
+
+  /// Flat state vector at `cycle` (includes the in-progress selections of
+  /// that cycle from the matrix).
+  std::vector<double> encode(const SelectionMatrix& selection,
+                             std::size_t cycle) const;
+
+  /// Splits a flat state into the k per-step observation vectors that feed
+  /// the DRQN's LSTM (each 1 x m). Batch variant stacks several states.
+  std::vector<Matrix> to_sequence(const std::vector<double>& flat_state) const;
+  std::vector<Matrix> to_sequence_batch(
+      const std::vector<const std::vector<double>*>& flat_states) const;
+
+ private:
+  std::size_t cells_;
+  std::size_t k_;
+};
+
+}  // namespace drcell::mcs

@@ -1,0 +1,69 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace drcell::nn {
+
+double sigmoid(double x) {
+  // Numerically stable in both tails.
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double dsigmoid_from_output(double y) { return y * (1.0 - y); }
+
+double dtanh_from_output(double y) { return 1.0 - y * y; }
+
+Matrix ReLU::forward(const Matrix& input) {
+  cached_input_ = input;
+  Matrix out = input;
+  out.apply([](double x) { return x > 0.0 ? x : 0.0; });
+  return out;
+}
+
+Matrix ReLU::backward(const Matrix& grad_output) {
+  DRCELL_CHECK(grad_output.rows() == cached_input_.rows() &&
+               grad_output.cols() == cached_input_.cols());
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.data().size(); ++i)
+    if (cached_input_.data()[i] <= 0.0) grad.data()[i] = 0.0;
+  return grad;
+}
+
+Matrix Tanh::forward(const Matrix& input) {
+  Matrix out = input;
+  out.apply([](double x) { return std::tanh(x); });
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Tanh::backward(const Matrix& grad_output) {
+  DRCELL_CHECK(grad_output.rows() == cached_output_.rows() &&
+               grad_output.cols() == cached_output_.cols());
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.data().size(); ++i)
+    grad.data()[i] *= dtanh_from_output(cached_output_.data()[i]);
+  return grad;
+}
+
+Matrix Sigmoid::forward(const Matrix& input) {
+  Matrix out = input;
+  out.apply([](double x) { return sigmoid(x); });
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Sigmoid::backward(const Matrix& grad_output) {
+  DRCELL_CHECK(grad_output.rows() == cached_output_.rows() &&
+               grad_output.cols() == cached_output_.cols());
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.data().size(); ++i)
+    grad.data()[i] *= dsigmoid_from_output(cached_output_.data()[i]);
+  return grad;
+}
+
+}  // namespace drcell::nn

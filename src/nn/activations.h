@@ -1,0 +1,43 @@
+// Element-wise activation layers and the scalar activation functions the
+// LSTM cell reuses.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace drcell::nn {
+
+double sigmoid(double x);
+double dsigmoid_from_output(double y);  // y = sigmoid(x) -> y(1-y)
+double dtanh_from_output(double y);     // y = tanh(x)    -> 1-y²
+
+class ReLU : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Matrix cached_input_;
+};
+
+class Tanh : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Matrix cached_output_;
+};
+
+class Sigmoid : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Matrix cached_output_;
+};
+
+}  // namespace drcell::nn

@@ -1,0 +1,35 @@
+#include "nn/dense.h"
+
+#include "nn/init.h"
+
+namespace drcell::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : w_(in_features, out_features), b_(1, out_features) {
+  DRCELL_CHECK(in_features > 0 && out_features > 0);
+  xavier_uniform(w_.value, in_features, out_features, rng);
+}
+
+Matrix Dense::forward(const Matrix& input) {
+  DRCELL_CHECK_MSG(input.cols() == w_.value.rows(),
+                   "Dense: input feature mismatch");
+  cached_input_ = input;
+  Matrix out = input.matmul(w_.value);
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += b_.value(0, c);
+  return out;
+}
+
+Matrix Dense::backward(const Matrix& grad_output) {
+  DRCELL_CHECK_MSG(grad_output.rows() == cached_input_.rows() &&
+                       grad_output.cols() == w_.value.cols(),
+                   "Dense: backward shape mismatch");
+  // dW += xᵀ g, db += colsum(g), dx = g Wᵀ.
+  w_.grad += cached_input_.matmul_transposed_self(grad_output);
+  for (std::size_t r = 0; r < grad_output.rows(); ++r)
+    for (std::size_t c = 0; c < grad_output.cols(); ++c)
+      b_.grad(0, c) += grad_output(r, c);
+  return grad_output.matmul(w_.value.transposed());
+}
+
+}  // namespace drcell::nn

@@ -1,0 +1,31 @@
+// Fully-connected layer: y = x W + b.
+#pragma once
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace drcell::nn {
+
+class Dense : public Layer {
+ public:
+  /// Xavier-initialised in_features x out_features layer.
+  Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&w_, &b_}; }
+  std::string name() const override { return "Dense"; }
+
+  std::size_t in_features() const { return w_.value.rows(); }
+  std::size_t out_features() const { return w_.value.cols(); }
+
+  Parameter& weight() { return w_; }
+  Parameter& bias() { return b_; }
+
+ private:
+  Parameter w_;  // in x out
+  Parameter b_;  // 1 x out
+  Matrix cached_input_;
+};
+
+}  // namespace drcell::nn

@@ -1,0 +1,62 @@
+// Core abstractions of the drcell neural-network library: trainable
+// parameters and the feed-forward Layer interface.
+//
+// The library is deliberately layer-based with explicit forward/backward
+// (no general autograd): the paper's networks are a dense MLP (DQN) and an
+// LSTM + dense head (DRQN), both of which map cleanly onto this design
+// while keeping every gradient auditable and finite-difference-checkable.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace drcell::nn {
+
+/// A trainable tensor together with its accumulated gradient.
+struct Parameter {
+  Parameter() = default;
+  Parameter(std::size_t rows, std::size_t cols)
+      : value(rows, cols), grad(rows, cols) {}
+
+  void zero_grad() { grad = Matrix(value.rows(), value.cols()); }
+
+  Matrix value;
+  Matrix grad;
+};
+
+/// Feed-forward layer operating on batch-major matrices (batch x features).
+///
+/// forward() caches whatever backward() needs; backward() consumes the
+/// gradient w.r.t. the layer output, accumulates parameter gradients and
+/// returns the gradient w.r.t. the layer input. One backward per forward.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Matrix forward(const Matrix& input) = 0;
+  virtual Matrix backward(const Matrix& grad_output) = 0;
+
+  /// Trainable parameters (empty for activations).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+  virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Collects parameters from several parameter-owning objects.
+template <typename... Owners>
+std::vector<Parameter*> collect_parameters(Owners&... owners) {
+  std::vector<Parameter*> all;
+  (
+      [&] {
+        auto ps = owners.parameters();
+        all.insert(all.end(), ps.begin(), ps.end());
+      }(),
+      ...);
+  return all;
+}
+
+}  // namespace drcell::nn

@@ -1,0 +1,73 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace drcell::nn {
+
+namespace {
+void check_same_shape(const Matrix& a, const Matrix& b) {
+  DRCELL_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
+                   "loss shape mismatch");
+}
+}  // namespace
+
+LossResult mse_loss(const Matrix& predictions, const Matrix& targets) {
+  Matrix ones(predictions.rows(), predictions.cols(), 1.0);
+  return masked_mse_loss(predictions, targets, ones);
+}
+
+LossResult huber_loss(const Matrix& predictions, const Matrix& targets,
+                      double delta) {
+  Matrix ones(predictions.rows(), predictions.cols(), 1.0);
+  return masked_huber_loss(predictions, targets, ones, delta);
+}
+
+LossResult masked_mse_loss(const Matrix& predictions, const Matrix& targets,
+                           const Matrix& mask) {
+  check_same_shape(predictions, targets);
+  check_same_shape(predictions, mask);
+  LossResult out;
+  out.grad = Matrix(predictions.rows(), predictions.cols());
+  double count = 0.0;
+  for (std::size_t i = 0; i < predictions.data().size(); ++i)
+    if (mask.data()[i] != 0.0) count += 1.0;
+  DRCELL_CHECK_MSG(count > 0.0, "loss mask is entirely zero");
+  for (std::size_t i = 0; i < predictions.data().size(); ++i) {
+    if (mask.data()[i] == 0.0) continue;
+    const double d = predictions.data()[i] - targets.data()[i];
+    out.value += d * d;
+    out.grad.data()[i] = 2.0 * d / count;
+  }
+  out.value /= count;
+  return out;
+}
+
+LossResult masked_huber_loss(const Matrix& predictions, const Matrix& targets,
+                             const Matrix& mask, double delta) {
+  check_same_shape(predictions, targets);
+  check_same_shape(predictions, mask);
+  DRCELL_CHECK(delta > 0.0);
+  LossResult out;
+  out.grad = Matrix(predictions.rows(), predictions.cols());
+  double count = 0.0;
+  for (std::size_t i = 0; i < predictions.data().size(); ++i)
+    if (mask.data()[i] != 0.0) count += 1.0;
+  DRCELL_CHECK_MSG(count > 0.0, "loss mask is entirely zero");
+  for (std::size_t i = 0; i < predictions.data().size(); ++i) {
+    if (mask.data()[i] == 0.0) continue;
+    const double d = predictions.data()[i] - targets.data()[i];
+    if (std::fabs(d) <= delta) {
+      out.value += 0.5 * d * d;
+      out.grad.data()[i] = d / count;
+    } else {
+      out.value += delta * (std::fabs(d) - 0.5 * delta);
+      out.grad.data()[i] = (d > 0.0 ? delta : -delta) / count;
+    }
+  }
+  out.value /= count;
+  return out;
+}
+
+}  // namespace drcell::nn

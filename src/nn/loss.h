@@ -1,0 +1,32 @@
+// Loss functions. The DQN trainer uses the masked variants: only the
+// Q-value of the action actually taken receives a TD error (Eq. 5 of the
+// paper); all other action outputs get zero gradient.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace drcell::nn {
+
+struct LossResult {
+  double value = 0.0;  ///< scalar loss averaged over contributing elements
+  Matrix grad;         ///< gradient w.r.t. predictions (same shape)
+};
+
+/// Mean squared error over all elements: mean((pred - target)²).
+LossResult mse_loss(const Matrix& predictions, const Matrix& targets);
+
+/// Huber loss with threshold delta (gradient clipping built into the loss —
+/// the standard DQN stabilisation).
+LossResult huber_loss(const Matrix& predictions, const Matrix& targets,
+                      double delta = 1.0);
+
+/// Masked MSE: elements where mask == 0 contribute neither loss nor
+/// gradient. The mean is over unmasked elements only.
+LossResult masked_mse_loss(const Matrix& predictions, const Matrix& targets,
+                           const Matrix& mask);
+
+/// Masked Huber (see above).
+LossResult masked_huber_loss(const Matrix& predictions, const Matrix& targets,
+                             const Matrix& mask, double delta = 1.0);
+
+}  // namespace drcell::nn

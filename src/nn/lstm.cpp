@@ -1,0 +1,151 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/init.h"
+
+namespace drcell::nn {
+
+Lstm::Lstm(std::size_t input_size, std::size_t hidden_size, Rng& rng)
+    : wx_(input_size, 4 * hidden_size),
+      wh_(hidden_size, 4 * hidden_size),
+      b_(1, 4 * hidden_size) {
+  DRCELL_CHECK(input_size > 0 && hidden_size > 0);
+  xavier_uniform(wx_.value, input_size, hidden_size, rng);
+  xavier_uniform(wh_.value, hidden_size, hidden_size, rng);
+  // Forget-gate bias starts at 1 so early training does not erase memory.
+  for (std::size_t c = hidden_size; c < 2 * hidden_size; ++c)
+    b_.value(0, c) = 1.0;
+}
+
+Matrix Lstm::forward(const std::vector<Matrix>& steps) {
+  DRCELL_CHECK_MSG(!steps.empty(), "LSTM forward on empty sequence");
+  const std::size_t hidden = hidden_size();
+  batch_ = steps.front().rows();
+
+  const std::size_t t_max = steps.size();
+  x_.assign(steps.begin(), steps.end());
+  gates_.assign(t_max, Matrix());
+  c_.assign(t_max, Matrix());
+  tanh_c_.assign(t_max, Matrix());
+  h_.assign(t_max, Matrix());
+
+  Matrix h_prev(batch_, hidden);
+  Matrix c_prev(batch_, hidden);
+  for (std::size_t t = 0; t < t_max; ++t) {
+    const Matrix& xt = steps[t];
+    DRCELL_CHECK_MSG(xt.rows() == batch_ && xt.cols() == input_size(),
+                     "LSTM: inconsistent step shape");
+    // Pre-activations z = x Wx + h_prev Wh + b.
+    Matrix z = xt.matmul(wx_.value);
+    z += h_prev.matmul(wh_.value);
+    for (std::size_t r = 0; r < batch_; ++r)
+      for (std::size_t col = 0; col < 4 * hidden; ++col)
+        z(r, col) += b_.value(0, col);
+
+    Matrix gates(batch_, 4 * hidden);
+    Matrix ct(batch_, hidden);
+    Matrix tct(batch_, hidden);
+    Matrix ht(batch_, hidden);
+    for (std::size_t r = 0; r < batch_; ++r) {
+      for (std::size_t j = 0; j < hidden; ++j) {
+        const double zi = z(r, j);
+        const double zf = z(r, hidden + j);
+        const double zg = z(r, 2 * hidden + j);
+        const double zo = z(r, 3 * hidden + j);
+        const double i = sigmoid(zi);
+        const double f = sigmoid(zf);
+        const double g = std::tanh(zg);
+        const double o = sigmoid(zo);
+        gates(r, j) = i;
+        gates(r, hidden + j) = f;
+        gates(r, 2 * hidden + j) = g;
+        gates(r, 3 * hidden + j) = o;
+        const double c_new = f * c_prev(r, j) + i * g;
+        ct(r, j) = c_new;
+        const double tc = std::tanh(c_new);
+        tct(r, j) = tc;
+        ht(r, j) = o * tc;
+      }
+    }
+    gates_[t] = std::move(gates);
+    c_[t] = ct;
+    tanh_c_[t] = std::move(tct);
+    h_[t] = ht;
+    h_prev = std::move(ht);
+    c_prev = std::move(ct);
+  }
+  return h_.back();
+}
+
+std::vector<Matrix> Lstm::backward(const Matrix& grad_last_hidden) {
+  DRCELL_CHECK_MSG(!h_.empty(), "LSTM backward before forward");
+  std::vector<Matrix> grads(h_.size(),
+                            Matrix(batch_, hidden_size()));
+  grads.back() = grad_last_hidden;
+  return backward_sequence(grads);
+}
+
+std::vector<Matrix> Lstm::backward_sequence(
+    const std::vector<Matrix>& grad_hidden_per_step) {
+  const std::size_t t_max = h_.size();
+  DRCELL_CHECK_MSG(t_max > 0, "LSTM backward before forward");
+  DRCELL_CHECK(grad_hidden_per_step.size() == t_max);
+  const std::size_t hidden = hidden_size();
+
+  std::vector<Matrix> grad_x(t_max);
+  Matrix dh_next(batch_, hidden);  // gradient flowing back through h
+  Matrix dc_next(batch_, hidden);  // gradient flowing back through c
+
+  for (std::size_t t = t_max; t-- > 0;) {
+    // Total gradient into h_t: external + recurrent.
+    Matrix dh = grad_hidden_per_step[t];
+    DRCELL_CHECK(dh.rows() == batch_ && dh.cols() == hidden);
+    dh += dh_next;
+
+    const Matrix& gates = gates_[t];
+    const Matrix& tct = tanh_c_[t];
+    Matrix dz(batch_, 4 * hidden);
+    Matrix dc_prev(batch_, hidden);
+    for (std::size_t r = 0; r < batch_; ++r) {
+      for (std::size_t j = 0; j < hidden; ++j) {
+        const double i = gates(r, j);
+        const double f = gates(r, hidden + j);
+        const double g = gates(r, 2 * hidden + j);
+        const double o = gates(r, 3 * hidden + j);
+        const double tc = tct(r, j);
+        const double c_prev =
+            t > 0 ? c_[t - 1](r, j) : 0.0;
+
+        const double dht = dh(r, j);
+        const double d_o = dht * tc;
+        const double dct = dc_next(r, j) + dht * o * dtanh_from_output(tc);
+        const double d_i = dct * g;
+        const double d_f = dct * c_prev;
+        const double d_g = dct * i;
+        dc_prev(r, j) = dct * f;
+
+        dz(r, j) = d_i * dsigmoid_from_output(i);
+        dz(r, hidden + j) = d_f * dsigmoid_from_output(f);
+        dz(r, 2 * hidden + j) = d_g * dtanh_from_output(g);
+        dz(r, 3 * hidden + j) = d_o * dsigmoid_from_output(o);
+      }
+    }
+
+    // Parameter gradients.
+    wx_.grad += x_[t].matmul_transposed_self(dz);
+    if (t > 0) wh_.grad += h_[t - 1].matmul_transposed_self(dz);
+    for (std::size_t r = 0; r < batch_; ++r)
+      for (std::size_t col = 0; col < 4 * hidden; ++col)
+        b_.grad(0, col) += dz(r, col);
+
+    // Gradients flowing to inputs and to the previous step.
+    grad_x[t] = dz.matmul(wx_.value.transposed());
+    dh_next = dz.matmul(wh_.value.transposed());
+    dc_next = std::move(dc_prev);
+  }
+  return grad_x;
+}
+
+}  // namespace drcell::nn

@@ -1,0 +1,58 @@
+// LSTM over an observation sequence with full backpropagation through time.
+//
+// This is the recurrent core of the paper's DRQN (Sec. 4.3, Eq. 8): the
+// state S = [s_{-k+1}, …, s_0] is fed as k time steps; the final hidden
+// vector summarises the recent cell-selection history and is consumed by a
+// dense head that scores all m candidate actions.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace drcell::nn {
+
+class Lstm {
+ public:
+  Lstm(std::size_t input_size, std::size_t hidden_size, Rng& rng);
+
+  /// Runs the cell over `steps` (each batch x input). Returns the hidden
+  /// state after the last step (batch x hidden). Caches everything needed
+  /// for backward().
+  Matrix forward(const std::vector<Matrix>& steps);
+
+  /// All per-step hidden states from the previous forward() call
+  /// (useful for sequence-output heads and for tests).
+  const std::vector<Matrix>& hidden_states() const { return h_; }
+
+  /// BPTT from the gradient w.r.t. the final hidden state. Accumulates
+  /// parameter gradients and returns the gradients w.r.t. each input step.
+  std::vector<Matrix> backward(const Matrix& grad_last_hidden);
+
+  /// BPTT from gradients w.r.t. every per-step hidden state.
+  std::vector<Matrix> backward_sequence(
+      const std::vector<Matrix>& grad_hidden_per_step);
+
+  std::vector<Parameter*> parameters() { return {&wx_, &wh_, &b_}; }
+
+  std::size_t input_size() const { return wx_.value.rows(); }
+  std::size_t hidden_size() const { return wh_.value.rows(); }
+
+ private:
+  // Gate block layout along columns: [input | forget | candidate | output],
+  // each hidden_size wide.
+  Parameter wx_;  // input  x 4*hidden
+  Parameter wh_;  // hidden x 4*hidden
+  Parameter b_;   // 1      x 4*hidden
+
+  // Forward caches (one entry per time step).
+  std::vector<Matrix> x_;       // inputs
+  std::vector<Matrix> gates_;   // post-activation [i f g o]
+  std::vector<Matrix> c_;       // cell states
+  std::vector<Matrix> tanh_c_;  // tanh(cell state)
+  std::vector<Matrix> h_;       // hidden states
+  std::size_t batch_ = 0;
+};
+
+}  // namespace drcell::nn

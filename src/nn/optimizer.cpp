@@ -1,0 +1,106 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace drcell::nn {
+
+Optimizer::Optimizer(std::vector<Parameter*> params)
+    : params_(std::move(params)) {
+  DRCELL_CHECK_MSG(!params_.empty(), "optimizer needs at least one parameter");
+  for (auto* p : params_) DRCELL_CHECK(p != nullptr);
+}
+
+void Optimizer::zero_grad() {
+  for (auto* p : params_) p->zero_grad();
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, double learning_rate, double momentum)
+    : Optimizer(std::move(params)), lr_(learning_rate), momentum_(momentum) {
+  DRCELL_CHECK(lr_ > 0.0 && momentum_ >= 0.0 && momentum_ < 1.0);
+  velocity_.reserve(params_.size());
+  for (auto* p : params_)
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& p = *params_[k];
+    auto vdata = velocity_[k].data();
+    for (std::size_t i = 0; i < p.value.data().size(); ++i) {
+      vdata[i] = momentum_ * vdata[i] - lr_ * p.grad.data()[i];
+      p.value.data()[i] += vdata[i];
+    }
+  }
+}
+
+RmsProp::RmsProp(std::vector<Parameter*> params, double learning_rate,
+                 double decay, double epsilon)
+    : Optimizer(std::move(params)), lr_(learning_rate), decay_(decay),
+      eps_(epsilon) {
+  DRCELL_CHECK(lr_ > 0.0 && decay_ > 0.0 && decay_ < 1.0 && eps_ > 0.0);
+  mean_square_.reserve(params_.size());
+  for (auto* p : params_)
+    mean_square_.emplace_back(p->value.rows(), p->value.cols());
+}
+
+void RmsProp::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& p = *params_[k];
+    auto ms = mean_square_[k].data();
+    for (std::size_t i = 0; i < p.value.data().size(); ++i) {
+      const double g = p.grad.data()[i];
+      ms[i] = decay_ * ms[i] + (1.0 - decay_) * g * g;
+      p.value.data()[i] -= lr_ * g / (std::sqrt(ms[i]) + eps_);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, double learning_rate, double beta1,
+           double beta2, double epsilon)
+    : Optimizer(std::move(params)), lr_(learning_rate), beta1_(beta1),
+      beta2_(beta2), eps_(epsilon) {
+  DRCELL_CHECK(lr_ > 0.0);
+  DRCELL_CHECK(beta1_ >= 0.0 && beta1_ < 1.0);
+  DRCELL_CHECK(beta2_ >= 0.0 && beta2_ < 1.0);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& p = *params_[k];
+    auto m = m_[k].data();
+    auto v = v_[k].data();
+    for (std::size_t i = 0; i < p.value.data().size(); ++i) {
+      const double g = p.grad.data()[i];
+      m[i] = beta1_ * m[i] + (1.0 - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0 - beta2_) * g * g;
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      p.value.data()[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm) {
+  DRCELL_CHECK(max_norm > 0.0);
+  double sq = 0.0;
+  for (const auto* p : params)
+    for (double g : p->grad.data()) sq += g * g;
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const double scale = max_norm / norm;
+    for (auto* p : params)
+      for (double& g : p->grad.data()) g *= scale;
+  }
+  return norm;
+}
+
+}  // namespace drcell::nn

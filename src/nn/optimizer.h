@@ -1,0 +1,69 @@
+// First-order optimisers over a flat list of Parameters, plus global-norm
+// gradient clipping (standard stabilisation for recurrent Q-networks).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace drcell::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the accumulated gradients.
+  virtual void step() = 0;
+  /// Clears all gradients.
+  void zero_grad();
+
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// Stochastic gradient descent with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double learning_rate,
+      double momentum = 0.0);
+  void step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// RMSProp (the optimiser of the original DQN paper).
+class RmsProp : public Optimizer {
+ public:
+  RmsProp(std::vector<Parameter*> params, double learning_rate,
+          double decay = 0.99, double epsilon = 1e-8);
+  void step() override;
+
+ private:
+  double lr_, decay_, eps_;
+  std::vector<Matrix> mean_square_;
+};
+
+/// Adam with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double learning_rate,
+       double beta1 = 0.9, double beta2 = 0.999, double epsilon = 1e-8);
+  void step() override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<Matrix> m_, v_;
+};
+
+/// Scales gradients so their global L2 norm does not exceed max_norm.
+/// Returns the pre-clipping norm.
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm);
+
+}  // namespace drcell::nn

@@ -1,0 +1,159 @@
+#include "rl/dqn_trainer.h"
+
+#include <limits>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+
+namespace drcell::rl {
+
+DqnTrainer::DqnTrainer(QNetworkPtr online, DqnOptions options,
+                       std::uint64_t seed)
+    : online_(std::move(online)),
+      options_(options),
+      replay_(options.replay_capacity),
+      encoder_(online_ ? online_->num_actions() : 1,
+               online_ ? online_->history_steps() : 1),
+      rng_(seed) {
+  DRCELL_CHECK(online_ != nullptr);
+  DRCELL_CHECK(options_.gamma >= 0.0 && options_.gamma <= 1.0);
+  DRCELL_CHECK(options_.batch_size > 0);
+  DRCELL_CHECK(options_.target_sync_interval > 0);
+  DRCELL_CHECK(options_.min_replay >= options_.batch_size);
+  target_ = online_->clone_architecture(rng_);
+  sync_target();
+  optimizer_ = std::make_unique<nn::Adam>(online_->parameters(),
+                                          options_.learning_rate);
+}
+
+double DqnTrainer::current_epsilon() const {
+  return options_.epsilon.value(env_steps_);
+}
+
+std::vector<Matrix> DqnTrainer::to_sequence(
+    const std::vector<const std::vector<double>*>& states) const {
+  return encoder_.to_sequence_batch(states);
+}
+
+std::size_t DqnTrainer::masked_argmax(
+    const Matrix& q, std::size_t row,
+    const std::vector<std::uint8_t>& mask) const {
+  DRCELL_CHECK(mask.size() == q.cols());
+  std::size_t best = mask.size();
+  double best_q = -std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < mask.size(); ++a) {
+    if (!mask[a]) continue;
+    if (q(row, a) > best_q) {
+      best_q = q(row, a);
+      best = a;
+    }
+  }
+  DRCELL_CHECK_MSG(best < mask.size(), "no selectable action");
+  return best;
+}
+
+std::size_t DqnTrainer::select_action(const std::vector<double>& state,
+                                      const std::vector<std::uint8_t>& mask) {
+  const double eps = current_epsilon();
+  ++env_steps_;
+  const Matrix q = online_->forward(to_sequence({&state}));
+  const std::size_t best = masked_argmax(q, 0, mask);
+
+  std::vector<std::size_t> others;
+  for (std::size_t a = 0; a < mask.size(); ++a)
+    if (mask[a] && a != best) others.push_back(a);
+  if (!others.empty() && rng_.bernoulli(eps))
+    return others[rng_.uniform_index(others.size())];
+  return best;
+}
+
+std::size_t DqnTrainer::greedy_action(const std::vector<double>& state,
+                                      const std::vector<std::uint8_t>& mask) {
+  const Matrix q = online_->forward(to_sequence({&state}));
+  return masked_argmax(q, 0, mask);
+}
+
+std::vector<double> DqnTrainer::q_values(const std::vector<double>& state) {
+  const Matrix q = online_->forward(to_sequence({&state}));
+  std::vector<double> out(q.cols());
+  for (std::size_t a = 0; a < q.cols(); ++a) out[a] = q(0, a);
+  return out;
+}
+
+void DqnTrainer::observe(Experience e) {
+  DRCELL_CHECK(e.action < online_->num_actions());
+  DRCELL_CHECK(e.state.size() == encoder_.state_size());
+  DRCELL_CHECK(e.next_state.size() == encoder_.state_size());
+  DRCELL_CHECK(e.next_mask.size() == online_->num_actions());
+  replay_.add(std::move(e));
+}
+
+double DqnTrainer::train_step() {
+  if (replay_.size() < options_.min_replay) return 0.0;
+  const auto batch = replay_.sample(options_.batch_size, rng_);
+  const std::size_t b = batch.size();
+  const std::size_t actions = online_->num_actions();
+
+  // Bootstrap values for every next state from the fixed-target network
+  // (Eq. 7); optionally Double-DQN: argmax from the online network, value
+  // from the target network.
+  std::vector<const std::vector<double>*> next_states(b);
+  for (std::size_t i = 0; i < b; ++i) next_states[i] = &batch[i]->next_state;
+  const auto next_seq = to_sequence(next_states);
+  const Matrix q_next_target = target_->forward(next_seq);
+  Matrix q_next_online;
+  if (options_.double_dqn) q_next_online = online_->forward(next_seq);
+
+  std::vector<double> bootstrap(b, 0.0);
+  for (std::size_t i = 0; i < b; ++i) {
+    const Experience& e = *batch[i];
+    if (e.terminal) continue;
+    bool any = false;
+    for (std::uint8_t allowed : e.next_mask)
+      if (allowed) {
+        any = true;
+        break;
+      }
+    if (!any) continue;
+    if (options_.double_dqn) {
+      const std::size_t a_star = masked_argmax(q_next_online, i, e.next_mask);
+      bootstrap[i] = q_next_target(i, a_star);
+    } else {
+      bootstrap[i] =
+          q_next_target(i, masked_argmax(q_next_target, i, e.next_mask));
+    }
+  }
+
+  // Forward the current states, then regress the taken action's Q-value
+  // towards R + γ max Q'(S', A') with a masked Huber loss (Eqs. 5-7).
+  std::vector<const std::vector<double>*> states(b);
+  for (std::size_t i = 0; i < b; ++i) states[i] = &batch[i]->state;
+  const Matrix q_pred = online_->forward(to_sequence(states));
+
+  Matrix targets(b, actions);
+  Matrix mask(b, actions);
+  for (std::size_t i = 0; i < b; ++i) {
+    const Experience& e = *batch[i];
+    targets(i, e.action) = e.reward + options_.gamma * bootstrap[i];
+    mask(i, e.action) = 1.0;
+  }
+
+  const auto loss =
+      nn::masked_huber_loss(q_pred, targets, mask, options_.huber_delta);
+  optimizer_->zero_grad();
+  online_->backward(loss.grad);
+  if (options_.grad_clip_norm > 0.0)
+    nn::clip_grad_norm(online_->parameters(), options_.grad_clip_norm);
+  optimizer_->step();
+
+  ++train_steps_;
+  if (train_steps_ % options_.target_sync_interval == 0) sync_target();
+  return loss.value;
+}
+
+void DqnTrainer::sync_target() {
+  nn::copy_parameters(online_->parameters(), target_->parameters());
+}
+
+}  // namespace drcell::rl

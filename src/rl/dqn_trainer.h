@@ -1,0 +1,82 @@
+// Deep (recurrent) Q-network learning, Algorithm 2 of the paper: δ-greedy
+// behaviour policy, experience replay, fixed Q-targets synchronised every
+// RPLACE_ITER gradient steps, TD loss (Eqs. 5-7) restricted to the action
+// actually taken.
+#pragma once
+
+#include <memory>
+
+#include "mcs/state_encoder.h"
+#include "nn/optimizer.h"
+#include "rl/epsilon.h"
+#include "rl/qnetwork.h"
+#include "rl/replay_buffer.h"
+
+namespace drcell::rl {
+
+struct DqnOptions {
+  double gamma = 0.9;                 ///< discount factor
+  double learning_rate = 1e-3;        ///< Adam step size
+  std::size_t batch_size = 32;        ///< replay minibatch
+  std::size_t replay_capacity = 20000;
+  std::size_t min_replay = 200;       ///< warm-up before training starts
+  std::size_t target_sync_interval = 150;  ///< RPLACE_ITER of Algorithm 2
+  double grad_clip_norm = 5.0;        ///< global-norm clipping; 0 disables
+  double huber_delta = 1.0;           ///< TD-error robustness threshold
+  bool double_dqn = false;            ///< Hasselt-style target (extension)
+  EpsilonSchedule epsilon{1.0, 0.05, 5000};
+};
+
+class DqnTrainer {
+ public:
+  /// Takes ownership of the online network; the fixed-target copy is built
+  /// via clone_architecture and immediately synchronised.
+  DqnTrainer(QNetworkPtr online, DqnOptions options, std::uint64_t seed);
+
+  QNetwork& online() { return *online_; }
+  const DqnOptions& options() const { return options_; }
+  ReplayBuffer& replay() { return replay_; }
+  std::size_t env_steps() const { return env_steps_; }
+  std::size_t train_steps() const { return train_steps_; }
+  double current_epsilon() const;
+
+  /// δ-greedy action over the unmasked cells; advances the exploration
+  /// schedule by one step.
+  std::size_t select_action(const std::vector<double>& state,
+                            const std::vector<std::uint8_t>& mask);
+
+  /// Greedy (δ = 0) action — the deployed policy of the testing stage.
+  std::size_t greedy_action(const std::vector<double>& state,
+                            const std::vector<std::uint8_t>& mask);
+
+  /// Q-values for one state (diagnostics / tests).
+  std::vector<double> q_values(const std::vector<double>& state);
+
+  /// Stores a transition in the replay pool.
+  void observe(Experience e);
+
+  /// One minibatch update; returns the TD loss, or 0 while the pool is
+  /// below the warm-up threshold.
+  double train_step();
+
+  /// Copies the online parameters into the fixed-target network.
+  void sync_target();
+
+ private:
+  std::vector<Matrix> to_sequence(
+      const std::vector<const std::vector<double>*>& states) const;
+  std::size_t masked_argmax(const Matrix& q, std::size_t row,
+                            const std::vector<std::uint8_t>& mask) const;
+
+  QNetworkPtr online_;
+  QNetworkPtr target_;
+  DqnOptions options_;
+  ReplayBuffer replay_;
+  mcs::StateEncoder encoder_;
+  std::unique_ptr<nn::Optimizer> optimizer_;
+  Rng rng_;
+  std::size_t env_steps_ = 0;
+  std::size_t train_steps_ = 0;
+};
+
+}  // namespace drcell::rl

@@ -1,0 +1,50 @@
+#include "rl/drqn_qnetwork.h"
+
+#include "nn/activations.h"
+#include "nn/sequential.h"
+
+namespace drcell::rl {
+
+DrqnQNetwork::DrqnQNetwork(std::size_t num_cells, std::size_t history_steps,
+                           std::size_t lstm_hidden, std::size_t head_hidden,
+                           Rng& rng)
+    : num_cells_(num_cells),
+      history_steps_(history_steps),
+      head_hidden_(head_hidden),
+      lstm_(num_cells, lstm_hidden, rng) {
+  DRCELL_CHECK(num_cells_ > 0 && history_steps_ > 0);
+  if (head_hidden_ > 0) {
+    head_.emplace<nn::Dense>(lstm_hidden, head_hidden_, rng);
+    head_.emplace<nn::ReLU>();
+    head_.emplace<nn::Dense>(head_hidden_, num_cells_, rng);
+  } else {
+    head_.emplace<nn::Dense>(lstm_hidden, num_cells_, rng);
+  }
+}
+
+Matrix DrqnQNetwork::forward(const std::vector<Matrix>& sequence) {
+  DRCELL_CHECK_MSG(sequence.size() == history_steps_,
+                   "sequence length mismatch");
+  const Matrix last_hidden = lstm_.forward(sequence);
+  return head_.forward(last_hidden);
+}
+
+void DrqnQNetwork::backward(const Matrix& grad_q) {
+  const Matrix grad_hidden = head_.backward(grad_q);
+  lstm_.backward(grad_hidden);
+}
+
+std::vector<nn::Parameter*> DrqnQNetwork::parameters() {
+  auto ps = lstm_.parameters();
+  const auto head_ps = head_.parameters();
+  ps.insert(ps.end(), head_ps.begin(), head_ps.end());
+  return ps;
+}
+
+std::unique_ptr<QNetwork> DrqnQNetwork::clone_architecture(Rng& rng) const {
+  return std::make_unique<DrqnQNetwork>(num_cells_, history_steps_,
+                                        lstm_.hidden_size(), head_hidden_,
+                                        rng);
+}
+
+}  // namespace drcell::rl

@@ -1,0 +1,38 @@
+// The paper's Deep Recurrent Q-Network (Sec. 4.3, Eq. 8): an LSTM consumes
+// the k recent selection vectors step by step; its final hidden state is
+// mapped by a dense head to one Q-value per cell.
+#pragma once
+
+#include "nn/dense.h"
+#include "nn/lstm.h"
+#include "nn/sequential.h"
+#include "rl/qnetwork.h"
+
+namespace drcell::rl {
+
+class DrqnQNetwork final : public QNetwork {
+ public:
+  /// `head_hidden` = 0 connects the LSTM straight to the output layer;
+  /// otherwise one ReLU hidden layer of that width is inserted.
+  DrqnQNetwork(std::size_t num_cells, std::size_t history_steps,
+               std::size_t lstm_hidden, std::size_t head_hidden, Rng& rng);
+
+  Matrix forward(const std::vector<Matrix>& sequence) override;
+  void backward(const Matrix& grad_q) override;
+  std::vector<nn::Parameter*> parameters() override;
+  std::unique_ptr<QNetwork> clone_architecture(Rng& rng) const override;
+  std::size_t num_actions() const override { return num_cells_; }
+  std::size_t history_steps() const override { return history_steps_; }
+  std::string name() const override { return "drqn-lstm"; }
+
+  std::size_t lstm_hidden() const { return lstm_.hidden_size(); }
+
+ private:
+  std::size_t num_cells_;
+  std::size_t history_steps_;
+  std::size_t head_hidden_;
+  nn::Lstm lstm_;
+  nn::Sequential head_;
+};
+
+}  // namespace drcell::rl

@@ -1,0 +1,21 @@
+// One transition e_t = <S, A, R, S'> of Sec. 4.3, extended with the action
+// mask of S' (cells already sensed in the next state may not be chosen, so
+// the bootstrap max must exclude them) and a terminal flag (the end of the
+// training horizon must not bootstrap into the next episode).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace drcell::rl {
+
+struct Experience {
+  std::vector<double> state;             ///< flat k*m encoding of S
+  std::size_t action = 0;                ///< A: the selected cell
+  double reward = 0.0;                   ///< R = q·R − c
+  std::vector<double> next_state;        ///< flat encoding of S'
+  std::vector<std::uint8_t> next_mask;   ///< valid actions at S'
+  bool terminal = false;                 ///< no bootstrapping past here
+};
+
+}  // namespace drcell::rl

@@ -1,0 +1,54 @@
+#include "rl/mlp_qnetwork.h"
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+
+namespace drcell::rl {
+
+MlpQNetwork::MlpQNetwork(std::size_t num_cells, std::size_t history_steps,
+                         std::vector<std::size_t> hidden_sizes, Rng& rng)
+    : num_cells_(num_cells),
+      history_steps_(history_steps),
+      hidden_sizes_(std::move(hidden_sizes)) {
+  DRCELL_CHECK(num_cells_ > 0 && history_steps_ > 0);
+  std::size_t in = num_cells_ * history_steps_;
+  for (std::size_t h : hidden_sizes_) {
+    DRCELL_CHECK(h > 0);
+    net_.emplace<nn::Dense>(in, h, rng);
+    net_.emplace<nn::ReLU>();
+    in = h;
+  }
+  net_.emplace<nn::Dense>(in, num_cells_, rng);
+}
+
+Matrix MlpQNetwork::flatten(const std::vector<Matrix>& sequence) const {
+  DRCELL_CHECK_MSG(sequence.size() == history_steps_,
+                   "sequence length mismatch");
+  const std::size_t batch = sequence.front().rows();
+  Matrix flat(batch, num_cells_ * history_steps_);
+  for (std::size_t t = 0; t < history_steps_; ++t) {
+    const Matrix& step = sequence[t];
+    DRCELL_CHECK(step.rows() == batch && step.cols() == num_cells_);
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t c = 0; c < num_cells_; ++c)
+        flat(b, t * num_cells_ + c) = step(b, c);
+  }
+  return flat;
+}
+
+Matrix MlpQNetwork::forward(const std::vector<Matrix>& sequence) {
+  return net_.forward(flatten(sequence));
+}
+
+void MlpQNetwork::backward(const Matrix& grad_q) { net_.backward(grad_q); }
+
+std::vector<nn::Parameter*> MlpQNetwork::parameters() {
+  return net_.parameters();
+}
+
+std::unique_ptr<QNetwork> MlpQNetwork::clone_architecture(Rng& rng) const {
+  return std::make_unique<MlpQNetwork>(num_cells_, history_steps_,
+                                       hidden_sizes_, rng);
+}
+
+}  // namespace drcell::rl

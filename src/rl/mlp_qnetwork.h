@@ -1,0 +1,34 @@
+// Dense (non-recurrent) Q-network: the k-step state window is flattened and
+// fed through an MLP. The Sec. 4.3 strawman that the DRQN is compared
+// against in the network-architecture ablation.
+#pragma once
+
+#include "nn/sequential.h"
+#include "rl/qnetwork.h"
+
+namespace drcell::rl {
+
+class MlpQNetwork final : public QNetwork {
+ public:
+  /// history_steps * num_cells inputs -> hidden ReLU layers -> num_cells.
+  MlpQNetwork(std::size_t num_cells, std::size_t history_steps,
+              std::vector<std::size_t> hidden_sizes, Rng& rng);
+
+  Matrix forward(const std::vector<Matrix>& sequence) override;
+  void backward(const Matrix& grad_q) override;
+  std::vector<nn::Parameter*> parameters() override;
+  std::unique_ptr<QNetwork> clone_architecture(Rng& rng) const override;
+  std::size_t num_actions() const override { return num_cells_; }
+  std::size_t history_steps() const override { return history_steps_; }
+  std::string name() const override { return "dqn-mlp"; }
+
+ private:
+  Matrix flatten(const std::vector<Matrix>& sequence) const;
+
+  std::size_t num_cells_;
+  std::size_t history_steps_;
+  std::vector<std::size_t> hidden_sizes_;
+  nn::Sequential net_;
+};
+
+}  // namespace drcell::rl

@@ -1,0 +1,40 @@
+// Q-function approximators. Both the paper's DRQN (LSTM) and the plain
+// dense DQN (the ablation baseline of Sec. 4.3: "one common way is using
+// dense layers") implement this interface, so one trainer serves both.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace drcell::rl {
+
+class QNetwork {
+ public:
+  virtual ~QNetwork() = default;
+
+  /// `sequence` holds the k recent selection vectors, oldest first, each a
+  /// batch x m matrix. Returns Q-values, batch x m (one score per cell).
+  virtual Matrix forward(const std::vector<Matrix>& sequence) = 0;
+
+  /// Backpropagates the gradient w.r.t. the Q output of the last forward.
+  virtual void backward(const Matrix& grad_q) = 0;
+
+  virtual std::vector<nn::Parameter*> parameters() = 0;
+
+  /// A freshly initialised network of identical architecture (used to build
+  /// the fixed Q-target copy).
+  virtual std::unique_ptr<QNetwork> clone_architecture(Rng& rng) const = 0;
+
+  virtual std::size_t num_actions() const = 0;
+  virtual std::size_t history_steps() const = 0;
+  virtual std::string name() const = 0;
+};
+
+using QNetworkPtr = std::unique_ptr<QNetwork>;
+
+}  // namespace drcell::rl

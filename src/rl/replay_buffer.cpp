@@ -1,0 +1,34 @@
+#include "rl/replay_buffer.h"
+
+namespace drcell::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  DRCELL_CHECK_MSG(capacity_ > 0, "replay buffer needs positive capacity");
+  items_.reserve(capacity_);
+}
+
+void ReplayBuffer::add(Experience e) {
+  if (items_.size() < capacity_) {
+    items_.push_back(std::move(e));
+  } else {
+    items_[next_] = std::move(e);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<const Experience*> ReplayBuffer::sample(std::size_t count,
+                                                    Rng& rng) const {
+  DRCELL_CHECK_MSG(!items_.empty(), "sampling from an empty replay buffer");
+  std::vector<const Experience*> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(&items_[rng.uniform_index(items_.size())]);
+  return out;
+}
+
+void ReplayBuffer::clear() {
+  items_.clear();
+  next_ = 0;
+}
+
+}  // namespace drcell::rl

@@ -1,0 +1,34 @@
+// Uniform experience-replay memory (the pool D of Algorithm 2).
+#pragma once
+
+#include <vector>
+
+#include "rl/experience.h"
+#include "util/rng.h"
+
+namespace drcell::rl {
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Adds a transition, evicting the oldest once full (ring buffer).
+  void add(Experience e);
+
+  /// Uniformly samples `count` transitions with replacement.
+  std::vector<const Experience*> sample(std::size_t count, Rng& rng) const;
+
+  const Experience& at(std::size_t i) const { return items_.at(i); }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // ring cursor once at capacity
+  std::vector<Experience> items_;
+};
+
+}  // namespace drcell::rl

@@ -1,0 +1,41 @@
+// Lightweight precondition / invariant checking for the drcell libraries.
+//
+// DRCELL_CHECK is always on (also in release builds): the library is a
+// research artefact and silent state corruption is far more expensive than
+// a branch. Violations throw, so callers and tests can observe them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace drcell {
+
+/// Thrown when a DRCELL_CHECK precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::string full = std::string("DRCELL_CHECK failed: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw CheckError(full);
+}
+}  // namespace detail
+
+}  // namespace drcell
+
+#define DRCELL_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::drcell::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define DRCELL_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::drcell::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,63 @@
+// Statistical helpers shared by the quality assessor, dataset generators
+// and the benchmark harness: moments, quantiles, distribution CDFs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace drcell {
+
+/// Streaming mean/variance via Welford's algorithm.
+class RunningStats {
+ public:
+  void add(double x);
+  /// Number of samples added so far.
+  std::size_t count() const { return n_; }
+  /// Sample mean; 0 when empty.
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  /// sqrt(variance()).
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Merge another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+/// Unbiased sample variance; 0 for fewer than two samples.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+/// Linear-interpolation quantile, q in [0, 1]. Requires non-empty input.
+double quantile(std::vector<double> xs, double q);
+double median(std::vector<double> xs);
+/// Pearson correlation; 0 if either side is constant. Sizes must match.
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys);
+
+/// Standard normal CDF Φ(x).
+double normal_cdf(double x);
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9). Requires p in (0, 1).
+double normal_quantile(double p);
+
+/// log Γ(x) for x > 0 (Lanczos approximation).
+double log_gamma(double x);
+/// CDF of Student's t distribution with `dof` degrees of freedom.
+/// Used by the quality assessor's posterior predictive (small LOO samples).
+double student_t_cdf(double t, double dof);
+/// Regularised incomplete beta function I_x(a, b) for x in [0,1], a,b > 0.
+/// This is the CDF of the Beta(a, b) distribution — used by the Bayesian
+/// quality assessor for classification error metrics.
+double incomplete_beta(double a, double b, double x);
+
+}  // namespace drcell

@@ -1,0 +1,170 @@
+// Cross-engine property sweeps: contracts every inference engine must
+// satisfy on arbitrary observation patterns, plus consistency between the
+// generic leave-one-out path and MatrixCompletion's fast approximation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "cs/committee.h"
+#include "cs/knn_inference.h"
+#include "cs/matrix_completion.h"
+#include "cs/mean_inference.h"
+#include "cs/temporal_inference.h"
+#include "data/synthetic_field.h"
+#include "util/statistics.h"
+
+namespace drcell::cs {
+namespace {
+
+struct EngineCase {
+  std::string engine;
+  double density;
+  std::uint64_t seed;
+};
+
+void PrintTo(const EngineCase& c, std::ostream* os) {
+  *os << c.engine << "/density=" << c.density << "/seed=" << c.seed;
+}
+
+class EngineProperty : public ::testing::TestWithParam<EngineCase> {
+ protected:
+  static InferenceEnginePtr make_engine(const std::string& name,
+                                        const std::vector<CellCoord>& coords) {
+    if (name == "completion") return std::make_shared<MatrixCompletion>();
+    if (name == "knn") return std::make_shared<KnnInference>(coords);
+    if (name == "mean") return std::make_shared<MeanInference>();
+    return std::make_shared<TemporalInterpolation>();
+  }
+};
+
+TEST_P(EngineProperty, FiniteEstimatesAndObservedPassthrough) {
+  const auto& param = GetParam();
+  const auto coords = data::grid_coords(4, 4, 10.0, 10.0);
+  data::SyntheticFieldGenerator gen(coords);
+  data::FieldParams field;
+  field.mean = 12.0;
+  field.stddev = 3.0;
+  field.spatial_length = 15.0;
+  field.num_modes = 2;
+  Rng rng(param.seed);
+  const Matrix truth = gen.generate(field, 20, rng);
+
+  PartialMatrix observed(16, 20);
+  for (std::size_t i = 0; i < 16; ++i)
+    for (std::size_t t = 0; t < 20; ++t)
+      if (rng.bernoulli(param.density)) observed.set(i, t, truth(i, t));
+
+  const auto engine = make_engine(param.engine, coords);
+  const Matrix est = engine->infer(observed);
+  ASSERT_EQ(est.rows(), 16u);
+  ASSERT_EQ(est.cols(), 20u);
+  EXPECT_FALSE(est.has_non_finite());
+  for (std::size_t i = 0; i < 16; ++i)
+    for (std::size_t t = 0; t < 20; ++t)
+      if (observed.observed(i, t))
+        EXPECT_EQ(est(i, t), truth(i, t))
+            << param.engine << " altered an observed entry";
+
+  // Estimates stay within a sane multiple of the observed data range.
+  if (observed.observed_count() > 0) {
+    RunningStats stats;
+    for (std::size_t i = 0; i < 16; ++i)
+      for (std::size_t t = 0; t < 20; ++t)
+        if (observed.observed(i, t)) stats.add(observed.value(i, t));
+    const double span =
+        std::max(1.0, stats.max() - stats.min());
+    EXPECT_LE(est.max_abs(),
+              std::fabs(stats.mean()) + 10.0 * span + 10.0);
+  }
+}
+
+std::vector<EngineCase> engine_cases() {
+  std::vector<EngineCase> cases;
+  for (const char* engine :
+       {"completion", "knn", "mean", "temporal"})
+    for (double density : {0.05, 0.3, 0.7})
+      for (std::uint64_t seed : {1ull, 2ull})
+        cases.push_back({engine, density, seed});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EngineProperty,
+                         ::testing::ValuesIn(engine_cases()));
+
+class LooConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LooConsistency, FastPathTracksGenericLoo) {
+  // The fast factor-reuse LOO must correlate strongly with the exact
+  // refit-per-cell default on a realistic window.
+  const auto coords = data::grid_coords(4, 4, 10.0, 10.0);
+  data::SyntheticFieldGenerator gen(coords);
+  data::FieldParams field;
+  field.mean = 10.0;
+  field.stddev = 2.0;
+  field.spatial_length = 15.0;
+  field.num_modes = 2;
+  Rng rng(GetParam());
+  const Matrix truth = gen.generate(field, 16, rng);
+
+  PartialMatrix observed(16, 16);
+  for (std::size_t i = 0; i < 16; ++i)
+    for (std::size_t t = 0; t < 15; ++t)
+      if (rng.bernoulli(0.6)) observed.set(i, t, truth(i, t));
+  // Last column: 8 observations to hold out.
+  for (std::size_t i = 0; i < 16; i += 2) observed.set(i, 15, truth(i, 15));
+
+  MatrixCompletionOptions options;
+  options.rank = 3;
+  const MatrixCompletion engine(options);
+  const auto fast = engine.loo_column_predictions(observed, 15);
+
+  // Generic path via the base-class implementation.
+  struct GenericOnly : InferenceEngine {
+    explicit GenericOnly(const MatrixCompletion& mc) : mc_(mc) {}
+    Matrix infer(const PartialMatrix& o) const override {
+      return mc_.infer(o);
+    }
+    std::string name() const override { return "generic"; }
+    const MatrixCompletion& mc_;
+  };
+  const GenericOnly generic(engine);
+  const auto exact = generic.loo_column_predictions(observed, 15);
+
+  ASSERT_EQ(fast.size(), exact.size());
+  ASSERT_EQ(fast.size(), 8u);
+  const double rho = pearson_correlation(fast, exact);
+  EXPECT_GT(rho, 0.9) << "fast LOO diverged from the exact refit";
+  // And both must be finite.
+  for (std::size_t k = 0; k < fast.size(); ++k) {
+    EXPECT_TRUE(std::isfinite(fast[k]));
+    EXPECT_TRUE(std::isfinite(exact[k]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LooConsistency,
+                         ::testing::Values(3, 4, 5, 6));
+
+TEST(LooEdgeCases, SingleObservationColumn) {
+  // One observation in the assessed column: the fast path must fall back to
+  // the mean-only prediction without crashing.
+  PartialMatrix observed(6, 4);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t t = 0; t < 3; ++t)
+      observed.set(i, t, 5.0 + static_cast<double>(i + t));
+  observed.set(2, 3, 9.0);
+  const MatrixCompletion engine;
+  const auto preds = engine.loo_column_predictions(observed, 3);
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_TRUE(std::isfinite(preds[0]));
+}
+
+TEST(LooEdgeCases, EmptyColumnYieldsNoPredictions) {
+  PartialMatrix observed(6, 4);
+  observed.set(0, 0, 1.0);
+  const MatrixCompletion engine;
+  EXPECT_TRUE(engine.loo_column_predictions(observed, 3).empty());
+}
+
+}  // namespace
+}  // namespace drcell::cs

@@ -1,0 +1,209 @@
+// Failure injection: degenerate shapes, corrupted streams, hostile inputs.
+// The library must fail loudly (CheckError / SerializationError), never
+// silently corrupt state or crash.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/agent.h"
+#include "cs/matrix_completion.h"
+#include "data/task_io.h"
+#include "mcs/environment.h"
+#include "nn/serialize.h"
+#include "rl/dqn_trainer.h"
+#include "rl/mlp_qnetwork.h"
+#include "test_helpers.h"
+
+namespace drcell {
+namespace {
+
+TEST(FailureInjection, EnvironmentRejectsNullDependencies) {
+  auto task = std::make_shared<const mcs::SensingTask>(
+      testing::make_toy_task());
+  auto engine = testing::default_engine();
+  auto gate = std::make_shared<mcs::GroundTruthGate>(0.5);
+  EXPECT_THROW(mcs::SparseMcsEnvironment(nullptr, engine, gate), CheckError);
+  EXPECT_THROW(mcs::SparseMcsEnvironment(task, nullptr, gate), CheckError);
+  EXPECT_THROW(mcs::SparseMcsEnvironment(task, engine, nullptr), CheckError);
+}
+
+TEST(FailureInjection, EnvironmentRejectsZeroWindow) {
+  auto task = std::make_shared<const mcs::SensingTask>(
+      testing::make_toy_task());
+  mcs::EnvOptions opt;
+  opt.inference_window = 0;
+  EXPECT_THROW(testing::make_toy_environment(task, 0.5, opt), CheckError);
+}
+
+TEST(FailureInjection, EnvironmentRejectsZeroMinObservations) {
+  auto task = std::make_shared<const mcs::SensingTask>(
+      testing::make_toy_task());
+  mcs::EnvOptions opt;
+  opt.min_observations = 0;
+  EXPECT_THROW(testing::make_toy_environment(task, 0.5, opt), CheckError);
+}
+
+TEST(FailureInjection, EnvironmentRejectsNegativeCellCost) {
+  auto task = std::make_shared<const mcs::SensingTask>(
+      testing::make_toy_task(6, 12));
+  mcs::EnvOptions opt;
+  opt.cell_costs.assign(6, 1.0);
+  opt.cell_costs[3] = -2.0;
+  EXPECT_THROW(testing::make_toy_environment(task, 0.5, opt), CheckError);
+}
+
+TEST(FailureInjection, SingleCycleTaskCompletesCleanly) {
+  auto task = std::make_shared<const mcs::SensingTask>(
+      testing::make_toy_task(4, 1));
+  mcs::EnvOptions opt;
+  opt.min_observations = 1;
+  auto env = testing::make_toy_environment(task, 1e9, opt);
+  const auto r = env.step(0);
+  EXPECT_TRUE(r.cycle_complete);
+  EXPECT_TRUE(r.episode_done);
+}
+
+TEST(FailureInjection, MinObservationsAboveCellCountStillTerminates) {
+  auto task = std::make_shared<const mcs::SensingTask>(
+      testing::make_toy_task(3, 2));
+  mcs::EnvOptions opt;
+  opt.min_observations = 10;  // more than the 3 cells
+  auto env = testing::make_toy_environment(task, 1e9, opt);
+  mcs::StepResult last;
+  for (std::size_t cell = 0; cell < 3; ++cell) last = env.step(cell);
+  EXPECT_TRUE(last.cycle_complete);  // full sensing forces completion
+}
+
+TEST(FailureInjection, CompletionWithRankAboveObservations) {
+  cs::MatrixCompletionOptions opt;
+  opt.rank = 10;
+  const cs::MatrixCompletion mc(opt);
+  cs::PartialMatrix p(5, 5);
+  p.set(0, 0, 1.0);
+  p.set(2, 3, 2.0);
+  const Matrix est = mc.infer(p);  // rank silently clamped
+  EXPECT_FALSE(est.has_non_finite());
+}
+
+TEST(FailureInjection, CompletionWithConstantData) {
+  // Zero-variance observations: factors collapse but estimates stay finite
+  // and equal the constant.
+  const cs::MatrixCompletion mc;
+  cs::PartialMatrix p(4, 6);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 6; j += 2) p.set(i, j, 7.0);
+  const Matrix est = mc.infer(p);
+  EXPECT_FALSE(est.has_non_finite());
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 6; ++j) EXPECT_NEAR(est(i, j), 7.0, 0.3);
+}
+
+TEST(FailureInjection, CompletionWithExtremeValues) {
+  const cs::MatrixCompletion mc;
+  cs::PartialMatrix p(4, 4);
+  p.set(0, 0, 1e9);
+  p.set(1, 1, -1e9);
+  p.set(2, 2, 1e-9);
+  const Matrix est = mc.infer(p);
+  EXPECT_FALSE(est.has_non_finite());
+}
+
+TEST(FailureInjection, CorruptedWeightStreamVariants) {
+  Rng rng(1);
+  rl::MlpQNetwork net(3, 1, {4}, rng);
+
+  // Flip bytes inside a valid stream at several offsets.
+  std::stringstream good;
+  nn::save_parameters(good, net.parameters());
+  const std::string blob = good.str();
+  for (std::size_t offset : {0ul, 4ul, 8ul, 12ul}) {
+    std::string corrupted = blob;
+    ASSERT_GT(corrupted.size(), offset);
+    corrupted[offset] = static_cast<char>(corrupted[offset] ^ 0xff);
+    std::stringstream in(corrupted);
+    // Header corruption throws; payload corruption loads garbage values but
+    // must not crash. Either outcome is acceptable — assert no UB by just
+    // executing it.
+    try {
+      nn::load_parameters(in, net.parameters());
+    } catch (const nn::SerializationError&) {
+      // expected for header/shape corruption
+    }
+  }
+}
+
+TEST(FailureInjection, WeightStreamWithAbsurdShapeRejected) {
+  // Hand-craft a stream declaring a 10^18-element matrix.
+  std::stringstream ss;
+  ss.write("DRCW", 4);
+  const std::uint32_t version = 1;
+  ss.write(reinterpret_cast<const char*>(&version), 4);
+  const std::uint64_t count = 1;
+  ss.write(reinterpret_cast<const char*>(&count), 8);
+  const std::uint64_t rows = 1'000'000'000ull, cols = 1'000'000'000ull;
+  ss.write(reinterpret_cast<const char*>(&rows), 8);
+  ss.write(reinterpret_cast<const char*>(&cols), 8);
+  EXPECT_THROW(nn::load_matrices(ss), nn::SerializationError);
+}
+
+TEST(FailureInjection, TaskCsvWithRaggedRowsThrows) {
+  const auto task = testing::make_toy_task(3, 4);
+  std::stringstream ss;
+  data::save_task_csv(ss, task);
+  std::string text = ss.str();
+  // Drop the last field of the final row (making it ragged).
+  const auto last_comma = text.find_last_of(',');
+  text = text.substr(0, last_comma) + "\n";
+  std::stringstream corrupted(text);
+  EXPECT_THROW(data::load_task_csv(corrupted), CheckError);
+}
+
+TEST(FailureInjection, TaskCsvTruncatedHeaderThrows) {
+  std::stringstream ss("name,toy\ncycle_hours,1\n");
+  EXPECT_THROW(data::load_task_csv(ss), CheckError);
+}
+
+TEST(FailureInjection, AgentConfigValidation) {
+  core::DrCellConfig config;
+  config.history_cycles = 0;
+  EXPECT_THROW(core::DrCellAgent(5, config), CheckError);
+  core::DrCellConfig bad_batch;
+  bad_batch.dqn.batch_size = 0;
+  EXPECT_THROW(core::DrCellAgent(5, bad_batch), CheckError);
+  core::DrCellConfig bad_warmup;
+  bad_warmup.dqn.min_replay = 4;
+  bad_warmup.dqn.batch_size = 32;  // warm-up below batch size
+  EXPECT_THROW(core::DrCellAgent(5, bad_warmup), CheckError);
+}
+
+TEST(FailureInjection, TrainerRejectsZeroCells) {
+  core::DrCellConfig config;
+  EXPECT_THROW(core::DrCellAgent(0, config), CheckError);
+}
+
+TEST(FailureInjection, GateOnNoisyTaskNeverSatisfiedStillTerminates) {
+  // Epsilon = 0 on a noisy task: only full sensing closes cycles. The
+  // episode must still terminate with every cycle fully sensed.
+  auto task = std::make_shared<const mcs::SensingTask>(
+      testing::make_toy_task(4, 3, /*noise=*/1.0));
+  mcs::EnvOptions opt;
+  opt.min_observations = 1;
+  auto env = mcs::SparseMcsEnvironment(
+      task, testing::default_engine(),
+      std::make_shared<mcs::GroundTruthGate>(0.0), opt);
+  std::size_t guard = 0;
+  while (!env.episode_done()) {
+    const auto mask = env.action_mask();
+    for (std::size_t a = 0; a < mask.size(); ++a)
+      if (mask[a]) {
+        env.step(a);
+        break;
+      }
+    ASSERT_LT(++guard, 100u) << "episode failed to terminate";
+  }
+  for (auto count : env.stats().cycle_selected) EXPECT_EQ(count, 4u);
+}
+
+}  // namespace
+}  // namespace drcell

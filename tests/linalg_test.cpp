@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/decompositions.h"
+#include "linalg/matrix.h"
+#include "linalg/solvers.h"
+#include "util/rng.h"
+
+namespace drcell {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (double& x : m.data()) x = rng.normal();
+  return m;
+}
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  Matrix a = random_matrix(n, n, rng);
+  Matrix spd = a.matmul_transposed_self(a);  // AᵀA
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 1.0;
+  return spd;
+}
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), CheckError);
+}
+
+TEST(Matrix, OutOfRangeIndexThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), CheckError);
+  EXPECT_THROW(m(0, 2), CheckError);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_EQ(i(0, 0), 1.0);
+  EXPECT_EQ(i(0, 1), 0.0);
+  const std::vector<double> d{1.0, 2.0, 3.0};
+  const Matrix diag = Matrix::diagonal(d);
+  EXPECT_EQ(diag(1, 1), 2.0);
+  EXPECT_EQ(diag(1, 2), 0.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Rng rng(1);
+  const Matrix m = random_matrix(3, 5, rng);
+  EXPECT_EQ(m.transposed().transposed(), m);
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  const Matrix sum = a + b;
+  EXPECT_EQ(sum(0, 0), 5.0);
+  EXPECT_EQ(sum(1, 1), 5.0);
+  const Matrix diff = a - b;
+  EXPECT_EQ(diff(0, 0), -3.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, CheckError);
+  EXPECT_THROW(a.matmul(Matrix(3, 1)), CheckError);
+}
+
+TEST(Matrix, MatmulMatchesHandComputation) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a.matmul(b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulTransposedSelfEqualsExplicit) {
+  Rng rng(2);
+  const Matrix a = random_matrix(4, 3, rng);
+  const Matrix b = random_matrix(4, 2, rng);
+  const Matrix expected = a.transposed().matmul(b);
+  const Matrix actual = a.matmul_transposed_self(b);
+  EXPECT_NEAR((expected - actual).max_abs(), 0.0, 1e-12);
+}
+
+TEST(Matrix, HadamardProduct) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{2, 2}, {0.5, 1}};
+  const Matrix h = a.hadamard(b);
+  EXPECT_EQ(h(0, 1), 4.0);
+  EXPECT_EQ(h(1, 0), 1.5);
+}
+
+TEST(Matrix, NormsAndSums) {
+  Matrix m{{3, 4}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 7.0);
+}
+
+TEST(Matrix, HasNonFiniteDetectsNanAndInf) {
+  Matrix m(2, 2);
+  EXPECT_FALSE(m.has_non_finite());
+  m(0, 0) = std::nan("");
+  EXPECT_TRUE(m.has_non_finite());
+  m(0, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(m.has_non_finite());
+}
+
+TEST(Matrix, ColumnAccessors) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const auto c1 = m.col(1);
+  EXPECT_EQ(c1, (std::vector<double>{2, 4, 6}));
+  m.set_col(0, std::vector<double>{7, 8, 9});
+  EXPECT_EQ(m(2, 0), 9.0);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  const std::vector<double> a{1, 2, 2};
+  const std::vector<double> b{2, 0, 1};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 3.0);
+}
+
+TEST(VectorOps, MatvecMatchesMatmul) {
+  Rng rng(3);
+  const Matrix a = random_matrix(4, 3, rng);
+  const std::vector<double> x{1.0, -2.0, 0.5};
+  const auto y = matvec(a, x);
+  const Matrix xm = Matrix::column(x);
+  const Matrix ym = a.matmul(xm);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(y[i], ym(i, 0), 1e-12);
+}
+
+TEST(Cholesky, ReconstructsMatrix) {
+  Rng rng(4);
+  const Matrix a = random_spd(5, rng);
+  const Cholesky chol(a);
+  const Matrix rec = chol.l.matmul(chol.l.transposed());
+  EXPECT_NEAR((rec - a).max_abs(), 0.0, 1e-9);
+}
+
+TEST(Cholesky, SolvesLinearSystem) {
+  Rng rng(5);
+  const Matrix a = random_spd(6, rng);
+  std::vector<double> x_true(6);
+  for (std::size_t i = 0; i < 6; ++i) x_true[i] = std::sin(i + 1.0);
+  const auto b = matvec(a, x_true);
+  const auto x = Cholesky(a).solve(b);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Cholesky, RejectsNonSpd) {
+  Matrix not_spd{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_THROW(Cholesky{not_spd}, CheckError);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(Cholesky{Matrix(2, 3)}, CheckError);
+}
+
+TEST(QRDecomposition, QHasOrthonormalColumns) {
+  Rng rng(6);
+  const Matrix a = random_matrix(7, 4, rng);
+  const QR qr(a);
+  const Matrix qtq = qr.q.matmul_transposed_self(qr.q);
+  EXPECT_NEAR((qtq - Matrix::identity(4)).max_abs(), 0.0, 1e-10);
+}
+
+TEST(QRDecomposition, Reconstructs) {
+  Rng rng(7);
+  const Matrix a = random_matrix(6, 3, rng);
+  const QR qr(a);
+  const Matrix rec = qr.q.matmul(qr.r);
+  EXPECT_NEAR((rec - a).max_abs(), 0.0, 1e-10);
+}
+
+TEST(QRDecomposition, LeastSquaresMatchesNormalEquations) {
+  Rng rng(8);
+  const Matrix a = random_matrix(10, 3, rng);
+  std::vector<double> b(10);
+  for (auto& v : b) v = rng.normal();
+  const auto x_qr = QR(a).solve(b);
+  const auto x_ridge = ridge_solve(a, b, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x_qr[i], x_ridge[i], 1e-8);
+}
+
+TEST(SVDDecomposition, SingularValuesOfDiagonal) {
+  const std::vector<double> d{3.0, 1.0, 2.0};
+  const SVD svd(Matrix::diagonal(d));
+  ASSERT_EQ(svd.singular.size(), 3u);
+  EXPECT_NEAR(svd.singular[0], 3.0, 1e-10);
+  EXPECT_NEAR(svd.singular[1], 2.0, 1e-10);
+  EXPECT_NEAR(svd.singular[2], 1.0, 1e-10);
+}
+
+TEST(SVDDecomposition, ReconstructsTallMatrix) {
+  Rng rng(9);
+  const Matrix a = random_matrix(8, 4, rng);
+  const SVD svd(a);
+  EXPECT_NEAR((svd.reconstruct() - a).max_abs(), 0.0, 1e-9);
+}
+
+TEST(SVDDecomposition, ReconstructsWideMatrix) {
+  Rng rng(10);
+  const Matrix a = random_matrix(3, 7, rng);
+  const SVD svd(a);
+  EXPECT_NEAR((svd.reconstruct() - a).max_abs(), 0.0, 1e-9);
+}
+
+TEST(SVDDecomposition, OrthonormalFactors) {
+  Rng rng(11);
+  const Matrix a = random_matrix(6, 4, rng);
+  const SVD svd(a);
+  const Matrix utu = svd.u.matmul_transposed_self(svd.u);
+  const Matrix vtv = svd.v.matmul_transposed_self(svd.v);
+  EXPECT_NEAR((utu - Matrix::identity(4)).max_abs(), 0.0, 1e-9);
+  EXPECT_NEAR((vtv - Matrix::identity(4)).max_abs(), 0.0, 1e-9);
+}
+
+TEST(SVDDecomposition, RankOfLowRankMatrix) {
+  Rng rng(12);
+  const Matrix u = random_matrix(8, 2, rng);
+  const Matrix v = random_matrix(5, 2, rng);
+  const Matrix low_rank = u.matmul(v.transposed());
+  EXPECT_EQ(SVD(low_rank).rank(), 2u);
+}
+
+TEST(Solvers, RidgeShrinksTowardsZero) {
+  Rng rng(13);
+  const Matrix a = random_matrix(20, 3, rng);
+  std::vector<double> b(20);
+  for (auto& v : b) v = rng.normal();
+  const auto x0 = ridge_solve(a, b, 1e-9);
+  const auto x1 = ridge_solve(a, b, 100.0);
+  EXPECT_LT(norm2(x1), norm2(x0));
+}
+
+TEST(Solvers, RidgeHandlesUnderdeterminedWithRegularisation) {
+  // 2 rows, 3 unknowns: only solvable thanks to lambda > 0.
+  Matrix a{{1, 0, 1}, {0, 1, 1}};
+  const std::vector<double> b{1.0, 2.0};
+  const auto x = ridge_solve(a, b, 0.1);
+  EXPECT_EQ(x.size(), 3u);
+  for (double v : x) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Solvers, LuSolveMatchesKnownSolution) {
+  Matrix a{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}};
+  const std::vector<double> b{8, -11, -3};
+  const auto x = lu_solve(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 3.0, 1e-10);
+  EXPECT_NEAR(x[2], -1.0, 1e-10);
+}
+
+TEST(Solvers, LuSolveNeedsPivoting) {
+  // Zero pivot in the (0,0) position requires row exchange.
+  Matrix a{{0, 1}, {1, 0}};
+  const std::vector<double> b{2, 3};
+  const auto x = lu_solve(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solvers, LuSolveSingularThrows) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(lu_solve(a, {1.0, 2.0}), CheckError);
+}
+
+TEST(Solvers, SpdSolveAgainstLu) {
+  Rng rng(14);
+  const Matrix a = random_spd(5, rng);
+  std::vector<double> b(5);
+  for (auto& v : b) v = rng.normal();
+  const auto x1 = spd_solve(a, b);
+  const auto x2 = lu_solve(a, b);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace drcell

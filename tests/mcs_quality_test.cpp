@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cs/matrix_completion.h"
+#include "cs/mean_inference.h"
+#include "mcs/quality.h"
+#include "test_helpers.h"
+
+namespace drcell::mcs {
+namespace {
+
+struct QualityFixture : public ::testing::Test {
+  QualityFixture()
+      : task(testing::make_toy_task(6, 12)),
+        engine(std::make_shared<cs::MatrixCompletion>()) {}
+
+  /// Builds a window over cycles [0, width) with `sensed` cells observed in
+  /// the last column and everything observed in earlier columns.
+  cs::PartialMatrix make_window(std::size_t width,
+                                const std::vector<std::size_t>& sensed) {
+    cs::PartialMatrix w(task.num_cells(), width);
+    for (std::size_t c = 0; c + 1 < width; ++c)
+      for (std::size_t cell = 0; cell < task.num_cells(); ++cell)
+        w.set(cell, c, task.truth(cell, c));
+    for (std::size_t cell : sensed)
+      w.set(cell, width - 1, task.truth(cell, width - 1));
+    return w;
+  }
+
+  SensingTask task;
+  std::shared_ptr<cs::MatrixCompletion> engine;
+};
+
+TEST_F(QualityFixture, UnobservedCellsHelper) {
+  const auto w = make_window(3, {1, 4});
+  const auto unobs = unobserved_cells_in_cycle(w, 2);
+  EXPECT_EQ(unobs, (std::vector<std::size_t>{0, 2, 3, 5}));
+}
+
+TEST_F(QualityFixture, TrueCycleErrorZeroWhenFullySensed) {
+  const auto w = make_window(3, {0, 1, 2, 3, 4, 5});
+  const Matrix inferred = engine->infer(w);
+  EXPECT_EQ(true_cycle_error(task, w, 2, inferred, 2), 0.0);
+}
+
+TEST_F(QualityFixture, TrueCycleErrorMatchesManualComputation) {
+  const auto w = make_window(3, {0, 1, 2});
+  const Matrix inferred = engine->infer(w);
+  double expected = 0.0;
+  for (std::size_t cell : {3, 4, 5})
+    expected += std::fabs(inferred(cell, 2) - task.truth(cell, 2));
+  expected /= 3.0;
+  EXPECT_NEAR(true_cycle_error(task, w, 2, inferred, 2), expected, 1e-12);
+}
+
+TEST_F(QualityFixture, GroundTruthGateThresholds) {
+  const auto w = make_window(3, {0, 2, 4});
+  const Matrix inferred = engine->infer(w);
+  const double err = true_cycle_error(task, w, 2, inferred, 2);
+  const QualityContext ctx{task, w, 2, 2, &inferred, *engine};
+  EXPECT_TRUE(GroundTruthGate(err + 1e-9).satisfied(ctx));
+  EXPECT_FALSE(GroundTruthGate(err - 1e-9).satisfied(ctx));
+}
+
+TEST_F(QualityFixture, LooGateNoObservationsGivesZeroProbability) {
+  const auto w = make_window(3, {});
+  const Matrix inferred = engine->infer(w);
+  const QualityContext ctx{task, w, 2, 2, &inferred, *engine};
+  EXPECT_EQ(LooBayesianGate(0.5, 0.9).probability(ctx), 0.0);
+  EXPECT_FALSE(LooBayesianGate(0.5, 0.9).satisfied(ctx));
+}
+
+TEST_F(QualityFixture, LooGateFullySensedIsCertain) {
+  const auto w = make_window(3, {0, 1, 2, 3, 4, 5});
+  const Matrix inferred = engine->infer(w);
+  const QualityContext ctx{task, w, 2, 2, &inferred, *engine};
+  EXPECT_EQ(LooBayesianGate(0.01, 0.99).probability(ctx), 1.0);
+}
+
+TEST_F(QualityFixture, LooProbabilityMonotoneInEpsilon) {
+  const auto w = make_window(4, {0, 1, 3, 5});
+  const Matrix inferred = engine->infer(w);
+  const QualityContext ctx{task, w, 3, 3, &inferred, *engine};
+  double prev = -1.0;
+  for (double eps : {0.01, 0.1, 0.5, 1.0, 3.0}) {
+    const double p = LooBayesianGate(eps, 0.9).probability(ctx);
+    EXPECT_GE(p, prev) << "eps=" << eps;
+    prev = p;
+  }
+}
+
+TEST_F(QualityFixture, LooGateSatisfiedConsistentWithProbability) {
+  const auto w = make_window(4, {0, 1, 3, 5});
+  const Matrix inferred = engine->infer(w);
+  const QualityContext ctx{task, w, 3, 3, &inferred, *engine};
+  const LooBayesianGate gate(0.5, 0.9);
+  EXPECT_EQ(gate.satisfied(ctx), gate.probability(ctx) >= 0.9);
+}
+
+TEST_F(QualityFixture, LooGateLargeEpsilonAlwaysSatisfied) {
+  const auto w = make_window(3, {0, 1, 2});
+  const Matrix inferred = engine->infer(w);
+  const QualityContext ctx{task, w, 2, 2, &inferred, *engine};
+  // The toy task's values live near 20; eps = 100 is unmissable.
+  EXPECT_TRUE(LooBayesianGate(100.0, 0.95).satisfied(ctx));
+}
+
+TEST_F(QualityFixture, LooGateTinyEpsilonRejected) {
+  const auto w = make_window(3, {0, 1, 2});
+  const Matrix inferred = engine->infer(w);
+  const QualityContext ctx{task, w, 2, 2, &inferred, *engine};
+  EXPECT_FALSE(LooBayesianGate(1e-12, 0.5).satisfied(ctx));
+}
+
+TEST_F(QualityFixture, GateConstructorValidation) {
+  EXPECT_THROW(LooBayesianGate(-1.0, 0.9), CheckError);
+  EXPECT_THROW(LooBayesianGate(0.5, 0.0), CheckError);
+  EXPECT_THROW(LooBayesianGate(0.5, 1.0), CheckError);
+  EXPECT_THROW(GroundTruthGate(-0.1), CheckError);
+}
+
+TEST(QualityClassification, BetaPosteriorGate) {
+  // Classification task: truth in category 0 everywhere; a mean-inference
+  // engine will predict values near the truth, so LOO mismatches are rare
+  // and the Beta posterior mass below a generous epsilon is high.
+  const std::size_t cells = 8;
+  Matrix truth(cells, 2);
+  for (std::size_t i = 0; i < cells; ++i) {
+    truth(i, 0) = 20.0 + static_cast<double>(i);
+    truth(i, 1) = 25.0 + static_cast<double>(i);
+  }
+  std::vector<cs::CellCoord> coords(cells);
+  for (std::size_t i = 0; i < cells; ++i)
+    coords[i] = {static_cast<double>(i), 0.0};
+  SensingTask task("cls", std::move(truth), std::move(coords),
+                   ErrorMetric::aqi_classification(), 1.0);
+  auto engine = std::make_shared<cs::MeanInference>();
+
+  cs::PartialMatrix w(cells, 2);
+  for (std::size_t i = 0; i < cells; ++i) w.set(i, 0, task.truth(i, 0));
+  for (std::size_t i = 0; i < 5; ++i) w.set(i, 1, task.truth(i, 1));
+  const Matrix inferred = engine->infer(w);
+  const QualityContext ctx{task, w, 1, 1, &inferred, *engine};
+
+  const double p_generous = LooBayesianGate(0.5, 0.9).probability(ctx);
+  const double p_strict = LooBayesianGate(0.01, 0.9).probability(ctx);
+  EXPECT_GT(p_generous, p_strict);
+  EXPECT_GT(p_generous, 0.5);
+  EXPECT_LT(p_strict, 0.2);
+}
+
+}  // namespace
+}  // namespace drcell::mcs

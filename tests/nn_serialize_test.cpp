@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/dense.h"
+#include "nn/lstm.h"
+#include "nn/serialize.h"
+
+namespace drcell::nn {
+namespace {
+
+TEST(Serialize, MatrixRoundTrip) {
+  Matrix a{{1.5, -2.0}, {0.0, 3.25}};
+  Matrix b(1, 3, 7.0);
+  std::stringstream ss;
+  save_matrices(ss, {&a, &b});
+  const auto loaded = load_matrices(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0], a);
+  EXPECT_EQ(loaded[1], b);
+}
+
+TEST(Serialize, EmptyListRoundTrip) {
+  std::stringstream ss;
+  save_matrices(ss, {});
+  EXPECT_TRUE(load_matrices(ss).empty());
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss("not a weight stream at all");
+  EXPECT_THROW(load_matrices(ss), SerializationError);
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  Matrix a(4, 4, 1.0);
+  std::stringstream ss;
+  save_matrices(ss, {&a});
+  std::string data = ss.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW(load_matrices(truncated), SerializationError);
+}
+
+TEST(Serialize, EmptyStreamThrows) {
+  std::stringstream ss;
+  EXPECT_THROW(load_matrices(ss), SerializationError);
+}
+
+TEST(Serialize, ParameterRoundTripRestoresValues) {
+  Rng rng(1);
+  Dense original(3, 4, rng);
+  std::stringstream ss;
+  save_parameters(ss, original.parameters());
+
+  Rng rng2(99);
+  Dense restored(3, 4, rng2);
+  ASSERT_NE(restored.weight().value, original.weight().value);
+  load_parameters(ss, restored.parameters());
+  EXPECT_EQ(restored.weight().value, original.weight().value);
+  EXPECT_EQ(restored.bias().value, original.bias().value);
+}
+
+TEST(Serialize, ParameterCountMismatchThrows) {
+  Rng rng(2);
+  Dense d(2, 2, rng);
+  std::stringstream ss;
+  save_parameters(ss, d.parameters());
+  Lstm lstm(2, 2, rng);  // 3 parameters vs Dense's 2
+  EXPECT_THROW(load_parameters(ss, lstm.parameters()), SerializationError);
+}
+
+TEST(Serialize, ShapeMismatchThrows) {
+  Rng rng(3);
+  Dense small(2, 2, rng);
+  std::stringstream ss;
+  save_parameters(ss, small.parameters());
+  Dense big(3, 3, rng);
+  EXPECT_THROW(load_parameters(ss, big.parameters()), SerializationError);
+}
+
+TEST(Serialize, LstmRoundTripPreservesBehaviour) {
+  Rng rng(4);
+  Lstm original(3, 5, rng);
+  std::stringstream ss;
+  save_parameters(ss, original.parameters());
+
+  Rng rng2(5);
+  Lstm restored(3, 5, rng2);
+  load_parameters(ss, restored.parameters());
+
+  Rng data_rng(6);
+  std::vector<Matrix> seq(3, Matrix(2, 3));
+  for (auto& m : seq)
+    for (double& v : m.data()) v = data_rng.normal();
+  EXPECT_EQ(original.forward(seq), restored.forward(seq));
+}
+
+TEST(Serialize, CopyParametersTransfersValues) {
+  Rng rng(7);
+  Dense a(2, 3, rng), b(2, 3, rng);
+  ASSERT_NE(a.weight().value, b.weight().value);
+  copy_parameters(a.parameters(), b.parameters());
+  EXPECT_EQ(a.weight().value, b.weight().value);
+  // Independent storage: mutating the source must not affect the copy.
+  a.weight().value(0, 0) += 1.0;
+  EXPECT_NE(a.weight().value, b.weight().value);
+}
+
+TEST(Serialize, CopyParametersShapeMismatchThrows) {
+  Rng rng(8);
+  Dense a(2, 3, rng), b(3, 2, rng);
+  EXPECT_THROW(copy_parameters(a.parameters(), b.parameters()), CheckError);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Rng rng(9);
+  Dense original(4, 2, rng);
+  const std::string path = ::testing::TempDir() + "/drcell_weights.bin";
+  save_parameters_to_file(path, original.parameters());
+  Rng rng2(10);
+  Dense restored(4, 2, rng2);
+  load_parameters_from_file(path, restored.parameters());
+  EXPECT_EQ(original.weight().value, restored.weight().value);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  Rng rng(11);
+  Dense d(2, 2, rng);
+  EXPECT_THROW(
+      load_parameters_from_file("/nonexistent/dir/w.bin", d.parameters()),
+      SerializationError);
+}
+
+}  // namespace
+}  // namespace drcell::nn

@@ -1,0 +1,78 @@
+// Shared fixtures for the drcell test suite: tiny deterministic sensing
+// tasks that keep end-to-end tests fast.
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "cs/matrix_completion.h"
+#include "data/synthetic_field.h"
+#include "mcs/environment.h"
+#include "mcs/sensing_task.h"
+
+namespace drcell::testing {
+
+/// A smooth, strongly structured toy task: value = base(cell) + wave(cycle),
+/// exactly rank-2 plus mean, so matrix completion recovers it from few
+/// observations. Cells sit on a tiny grid.
+inline mcs::SensingTask make_toy_task(std::size_t cells = 6,
+                                      std::size_t cycles = 24,
+                                      double noise = 0.0,
+                                      std::uint64_t seed = 5) {
+  std::vector<cs::CellCoord> coords;
+  for (std::size_t i = 0; i < cells; ++i)
+    coords.push_back({static_cast<double>(i % 3) * 10.0,
+                      static_cast<double>(i / 3) * 10.0});
+  Matrix truth(cells, cycles);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < cells; ++i) {
+    const double base = 20.0 + 0.5 * static_cast<double>(i);
+    for (std::size_t t = 0; t < cycles; ++t) {
+      const double wave =
+          2.0 * std::sin(2.0 * 3.14159265 * static_cast<double>(t) / 12.0);
+      truth(i, t) = base + wave + (noise > 0.0 ? rng.normal(0.0, noise) : 0.0);
+    }
+  }
+  return mcs::SensingTask("toy", std::move(truth), std::move(coords),
+                          mcs::ErrorMetric::mae(), 1.0);
+}
+
+/// A GP-generated task, small enough for integration tests.
+inline mcs::SensingTask make_gp_task(std::size_t side = 3,
+                                     std::size_t cycles = 48,
+                                     std::uint64_t seed = 11) {
+  auto coords = data::grid_coords(side, side, 10.0, 10.0);
+  data::SyntheticFieldGenerator gen(coords);
+  data::FieldParams params;
+  params.mean = 15.0;
+  params.stddev = 2.0;
+  params.spatial_length = 18.0;
+  params.temporal_ar1 = 0.9;
+  params.diurnal_amplitude = 1.0;
+  params.cycles_per_day = 24.0;
+  // Keep the latent rank low relative to the tiny cell count so rank-3
+  // completion is well-specified.
+  params.num_modes = 2;
+  Rng rng(seed);
+  Matrix field = gen.generate(params, cycles, rng);
+  return mcs::SensingTask("gp-toy", std::move(field), std::move(coords),
+                          mcs::ErrorMetric::mae(), 1.0);
+}
+
+inline cs::InferenceEnginePtr default_engine() {
+  // The toy/GP tasks are rank-2/3 plus mean; a low-rank engine avoids
+  // overfitting their tiny windows.
+  cs::MatrixCompletionOptions options;
+  options.rank = 3;
+  return std::make_shared<cs::MatrixCompletion>(options);
+}
+
+inline mcs::SparseMcsEnvironment make_toy_environment(
+    std::shared_ptr<const mcs::SensingTask> task, double epsilon,
+    mcs::EnvOptions options = {}) {
+  return mcs::SparseMcsEnvironment(
+      std::move(task), default_engine(),
+      std::make_shared<mcs::GroundTruthGate>(epsilon), options);
+}
+
+}  // namespace drcell::testing
