@@ -8,6 +8,9 @@ using namespace drcell;
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  const std::string json = bench::json_path(argc, argv, "BENCH_ablation_inference.json");
+  bench::JsonReporter report("a4_inference", quick);
+  Stopwatch total_watch;
 
   const auto dataset = data::make_sensorscope_like(2018);
   auto slices = bench::make_slices(dataset.temperature, 48, 96);
@@ -59,5 +62,5 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nA4b — inference window sweep (RANDOM selection):\n";
   window_table.print(std::cout);
-  return 0;
+  return bench::finish_report(report, json, total_watch);
 }

@@ -11,6 +11,9 @@ using namespace drcell;
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  const std::string json = bench::json_path(argc, argv, "BENCH_ablation_oracle.json");
+  bench::JsonReporter report("oracle", quick);
+  Stopwatch total_watch;
   const std::size_t test_cycles = quick ? 12 : 24;
   const std::size_t episodes = quick ? 2 : 8;
 
@@ -41,5 +44,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(ORACLE greedily minimises the *true* cycle error using "
                "ground truth — impractical, per the paper's footnote 1)\n";
-  return 0;
+  return bench::finish_report(report, json, total_watch);
 }

@@ -7,6 +7,9 @@ using namespace drcell;
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  const std::string json = bench::json_path(argc, argv, "BENCH_ablation_reward.json");
+  bench::JsonReporter report("a3_reward", quick);
+  Stopwatch total_watch;
   const std::size_t episodes = quick ? 2 : 8;
 
   const auto dataset = data::make_sensorscope_like(2018);
@@ -43,5 +46,5 @@ int main(int argc, char** argv) {
   std::cout << "\nA3 — reward shaping ablation (temperature, "
                "(0.3 degC, 0.9)-quality):\n";
   table.print(std::cout);
-  return 0;
+  return bench::finish_report(report, json, total_watch);
 }

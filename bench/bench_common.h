@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/qbc_selector.h"
 #include "baselines/random_selector.h"
@@ -29,6 +31,129 @@ inline bool quick_mode(int argc, char** argv) {
     if (std::string(argv[i]) == "--quick") return true;
   const char* env = std::getenv("DRCELL_QUICK");
   return env != nullptr && std::string(env) == "1";
+}
+
+/// `--json [path]` enables the machine-readable perf report. With no path
+/// the bench's default (e.g. BENCH_micro.json) is used; returns "" when the
+/// flag is absent.
+inline std::string json_path(int argc, char** argv,
+                             const std::string& default_path) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--json") continue;
+    if (i + 1 < argc && argv[i + 1][0] != '-') return argv[i + 1];
+    return default_path;
+  }
+  return "";
+}
+
+/// Collects measurements and writes the BENCH_*.json perf report consumed
+/// by CI and by future PRs comparing against this baseline. Schema is
+/// documented in bench/README.md.
+class JsonReporter {
+ public:
+  JsonReporter(std::string bench, bool quick)
+      : bench_(std::move(bench)), quick_(quick) {}
+
+  /// Records one op. `wall_ms` is the mean wall time of a single execution;
+  /// `per_sec` is how many such executions fit in a second (for campaign
+  /// benches this is sensing cycles per second).
+  void add(const std::string& op, double wall_ms, double iterations,
+           double per_sec) {
+    entries_.push_back({op, wall_ms, iterations, per_sec, 0.0, false});
+  }
+
+  /// Records an optimised op together with the wall time of the retained
+  /// naive reference implementation; the speedup lands in the report. The
+  /// two runs are measured independently, so each carries its own iteration
+  /// count.
+  void add_with_reference(const std::string& op, double wall_ms,
+                          double iterations, double per_sec,
+                          double naive_wall_ms, double naive_iterations) {
+    entries_.push_back({op, wall_ms, iterations, per_sec,
+                        naive_wall_ms / wall_ms, true});
+    entries_.push_back({op + "_naive_reference", naive_wall_ms,
+                        naive_iterations, 1e3 / naive_wall_ms, 0.0, false});
+  }
+
+  double speedup(const std::string& op) const {
+    for (const auto& e : entries_)
+      if (e.op == op && e.has_speedup) return e.speedup;
+    return 0.0;
+  }
+
+  /// Returns false (after printing why) when the report cannot be written,
+  /// so benches can exit non-zero instead of silently dropping the artifact.
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << '\n';
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << bench_ << "\",\n  \"quick\": "
+        << (quick_ ? "true" : "false") << ",\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << "    {\"op\": \"" << e.op << "\", \"wall_ms\": "
+          << format_double(e.wall_ms, 4) << ", \"iterations\": "
+          << format_double(e.iterations, 0) << ", \"per_sec\": "
+          << format_double(e.per_sec, 2);
+      if (e.has_speedup)
+        out << ", \"speedup_vs_naive\": " << format_double(e.speedup, 2);
+      out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    out.flush();
+    if (!out.good()) {
+      std::cerr << "failed while writing " << path << '\n';
+      return false;
+    }
+    std::cout << "wrote " << path << '\n';
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string op;
+    double wall_ms = 0.0;
+    double iterations = 0.0;
+    double per_sec = 0.0;
+    double speedup = 0.0;
+    bool has_speedup = false;
+  };
+  std::string bench_;
+  bool quick_;
+  std::vector<Entry> entries_;
+};
+
+/// Standard bench epilogue: records total wall time and writes the JSON
+/// report when --json was given. Returns the process exit code.
+inline int finish_report(JsonReporter& report, const std::string& json,
+                         const Stopwatch& total) {
+  const double total_ms = total.elapsed_ms();
+  report.add("total", total_ms, 1, 1e3 / total_ms);
+  if (!json.empty() && !report.write(json)) return 1;
+  return 0;
+}
+
+struct Measurement {
+  double wall_ms = 0.0;  ///< mean wall time per call
+  int iterations = 0;
+};
+
+/// Times `f` by running it until ~`target_ms` of wall time has accumulated
+/// (after one untimed warm-up call), capped at `max_iters` executions.
+template <typename F>
+Measurement measure_ms(F&& f, double target_ms = 300.0, int max_iters = 1000) {
+  f();  // warm-up: page in code and data, populate solver caches
+  Measurement m;
+  Stopwatch sw;
+  while (m.iterations < max_iters) {
+    f();
+    ++m.iterations;
+    if (sw.elapsed_ms() >= target_ms && m.iterations >= 3) break;
+  }
+  m.wall_ms = sw.elapsed_ms() / m.iterations;
+  return m;
 }
 
 struct ExperimentSlices {

@@ -14,6 +14,9 @@ using namespace drcell;
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  const std::string json = bench::json_path(argc, argv, "BENCH_fig5.json");
+  bench::JsonReporter report("fig5_tabular", quick);
+  Stopwatch total;
   // A 5-cell task, as in the paper's worked example (Sec. 4.2).
   const auto coords = data::grid_coords(1, 5, 50.0, 30.0);
   data::SyntheticFieldGenerator gen(coords);
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
   mcs::SparseMcsEnvironment env(task, engine, gate, env_options);
   std::size_t step_count = 0;
   std::vector<double> episode_cells;
+  Stopwatch train_watch;
   for (std::size_t ep = 0; ep < episodes; ++ep) {
     env.reset();
     while (!env.episode_done()) {
@@ -59,6 +63,9 @@ int main(int argc, char** argv) {
     }
     episode_cells.push_back(env.stats().average_selections_per_cycle());
   }
+  const double train_ms = train_watch.elapsed_ms();
+  report.add("tabular_training_episode", train_ms / episodes,
+             static_cast<double>(episodes), episodes * 1e3 / train_ms);
 
   // Greedy tabular policy vs random, on the same environment.
   env.reset();
@@ -91,5 +98,5 @@ int main(int argc, char** argv) {
             << std::pow(2.0, static_cast<double>(env_options.history_cycles *
                                                  task->num_cells()))
             << " states — why Sec. 4.3 switches to a DRQN for 57 cells)\n";
-  return 0;
+  return bench::finish_report(report, json, total);
 }

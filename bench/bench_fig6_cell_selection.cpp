@@ -14,7 +14,8 @@ namespace {
 
 void run_dataset(const std::string& label, const mcs::SensingTask& full,
                  double epsilon, std::size_t warm, std::size_t train,
-                 std::size_t window, std::size_t episodes, bool quick) {
+                 std::size_t window, std::size_t episodes, bool quick,
+                 bench::JsonReporter& report) {
   bench::ExperimentSlices slices = bench::make_slices(full, warm, train);
   if (quick) {
     // Shrink the testing horizon for smoke runs.
@@ -33,6 +34,10 @@ void run_dataset(const std::string& label, const mcs::SensingTask& full,
                                    &train_seconds);
   std::cout << "[" << label << "] trained in "
             << format_double(train_seconds, 1) << " s\n";
+  report.add(label + "_drcell_training_episode",
+             train_seconds * 1e3 / static_cast<double>(episodes),
+             static_cast<double>(episodes),
+             static_cast<double>(episodes) / train_seconds);
 
   TablePrinter table({"quality", "method", "avg cells/cycle",
                       "fraction of cells", "satisfaction", "error"});
@@ -42,8 +47,14 @@ void run_dataset(const std::string& label, const mcs::SensingTask& full,
     baselines::RandomSelector random(102);
     baselines::CellSelector* selectors[] = {&drcell, &qbc, &random};
     for (auto* selector : selectors) {
+      Stopwatch eval_watch;
       const auto r =
           bench::evaluate(slices, *selector, epsilon, p, config);
+      const double eval_ms = eval_watch.elapsed_ms();
+      const double cycles =
+          static_cast<double>(slices.test_task->num_cycles());
+      report.add(label + "_eval_" + r.selector + "_p" + format_double(p, 2),
+                 eval_ms / cycles, cycles, cycles * 1e3 / eval_ms);
       table.add_row(
           {"(" + format_double(epsilon, 2) + ", " + format_double(p, 2) + ")",
            r.selector, format_double(r.avg_cells_per_cycle, 2),
@@ -62,22 +73,24 @@ void run_dataset(const std::string& label, const mcs::SensingTask& full,
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  const std::string json = bench::json_path(argc, argv, "BENCH_fig6.json");
+  bench::JsonReporter report("fig6_cell_selection", quick);
   Stopwatch total;
 
   {
     const auto dataset = data::make_sensorscope_like(2018);
     run_dataset("temperature", dataset.temperature, /*epsilon=*/0.3,
                 /*warm=*/48, /*train=*/96, /*window=*/48,
-                /*episodes=*/quick ? 3 : 12, quick);
+                /*episodes=*/quick ? 3 : 12, quick, report);
   }
   {
     const auto dataset = data::make_uair_like(2013);
     run_dataset("pm2.5", dataset.pm25, /*epsilon=*/9.0 / 36.0,
                 /*warm=*/24, /*train=*/48, /*window=*/36,
-                /*episodes=*/quick ? 3 : 12, quick);
+                /*episodes=*/quick ? 3 : 12, quick, report);
   }
 
   std::cout << "total bench time: " << format_double(total.elapsed_seconds(), 1)
             << " s\n";
-  return 0;
+  return bench::finish_report(report, json, total);
 }

@@ -89,18 +89,26 @@ void run_direction(const std::string& label, const mcs::SensingTask& source,
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  const std::string json = bench::json_path(argc, argv, "BENCH_fig7.json");
+  bench::JsonReporter report("fig7_transfer", quick);
   const std::size_t episodes = quick ? 3 : 10;
   Stopwatch total;
 
   const auto dataset = data::make_sensorscope_like(2018);
+  Stopwatch direction_watch;
   run_direction("temperature -> humidity", dataset.temperature,
                 dataset.humidity, /*source_epsilon=*/0.3,
                 /*target_epsilon=*/1.5, episodes, quick);
+  double ms = direction_watch.elapsed_ms();
+  report.add("temperature_to_humidity", ms, 1, 1e3 / ms);
+  direction_watch.reset();
   run_direction("humidity -> temperature", dataset.humidity,
                 dataset.temperature, /*source_epsilon=*/1.5,
                 /*target_epsilon=*/0.3, episodes, quick);
+  ms = direction_watch.elapsed_ms();
+  report.add("humidity_to_temperature", ms, 1, 1e3 / ms);
 
   std::cout << "total bench time: "
             << format_double(total.elapsed_seconds(), 1) << " s\n";
-  return 0;
+  return bench::finish_report(report, json, total);
 }

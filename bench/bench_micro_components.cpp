@@ -1,17 +1,26 @@
-// Micro benchmarks (google-benchmark) for the computation-time report of
-// Sec. 5.4: per-component throughput of the pieces a deployment exercises
-// on every step — data inference, LOO quality assessment, environment
-// steps, DRQN forward passes and gradient steps, dataset generation.
-#include <benchmark/benchmark.h>
-
+// Micro benchmarks for the computation-time report of Sec. 5.4: per-component
+// throughput of the pieces a deployment exercises on every step — the matmul
+// kernel, data inference (cold and warm-started ALS), the pooled committee,
+// LOO quality assessment, environment steps, DRQN forward passes and gradient
+// steps, dataset generation.
+//
+// The optimised hot paths are measured against the retained naive reference
+// implementations (compiled under DRCELL_ENABLE_REFERENCE_KERNELS), and
+// `--json [path]` writes the BENCH_micro.json perf baseline that later PRs
+// are compared against.
 #include <memory>
+#include <vector>
 
-#include "cs/matrix_completion.h"
-#include "data/datasets.h"
+#include "bench_common.h"
+#include "cs/committee.h"
+#include "cs/knn_inference.h"
+#include "cs/mean_inference.h"
+#include "cs/temporal_inference.h"
 #include "mcs/environment.h"
 #include "rl/dqn_trainer.h"
 #include "rl/drqn_qnetwork.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 using namespace drcell;
 
@@ -31,74 +40,219 @@ cs::PartialMatrix make_window() {
   return window;
 }
 
-void BM_MatrixCompletionInfer(benchmark::State& state) {
-  const auto window = make_window();
-  const cs::MatrixCompletion engine;
-  for (auto _ : state) benchmark::DoNotOptimize(engine.infer(window));
+/// Successive sensing-cycle windows: each reveals ~`reveals` more entries of
+/// the sparse block, the way a campaign's window evolves between infer calls.
+std::vector<cs::PartialMatrix> make_window_sequence(std::size_t steps,
+                                                    std::size_t reveals) {
+  const auto dataset = data::make_sensorscope_like(2018);
+  const auto& task = dataset.temperature;
+  std::vector<cs::PartialMatrix> windows;
+  cs::PartialMatrix window = make_window();
+  Rng rng(71);
+  for (std::size_t s = 0; s < steps; ++s) {
+    for (std::size_t k = 0; k < reveals; ++k) {
+      const std::size_t cell = rng.uniform_index(task.num_cells());
+      const std::size_t cycle = 24 + rng.uniform_index(24);
+      if (!window.observed(cell, cycle))
+        window.set(cell, cycle, task.truth(cell, cycle));
+    }
+    windows.push_back(window);
+  }
+  return windows;
 }
-BENCHMARK(BM_MatrixCompletionInfer)->Unit(benchmark::kMillisecond);
 
-void BM_LooColumnPredictions(benchmark::State& state) {
-  const auto window = make_window();
-  const cs::MatrixCompletion engine;
-  for (auto _ : state)
-    benchmark::DoNotOptimize(engine.loo_column_predictions(window, 47));
+void bench_matmul(bench::JsonReporter& report, bool quick) {
+  // Same 320^3 problem in both modes (the blocked-vs-naive ratio depends on
+  // the working set exceeding cache); quick only trims the timing budget.
+  const std::size_t n = 320;
+  Rng rng(11);
+  const Matrix a = random_normal_matrix(n, n, rng);
+  const Matrix b = random_normal_matrix(n, n, rng);
+  Matrix out;
+  const auto fast = bench::measure_ms(
+      [&] { a.matmul_into(b, out); }, quick ? 120.0 : 400.0);
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  const auto naive = bench::measure_ms([&] { (void)a.matmul_naive(b); },
+                                       quick ? 120.0 : 400.0, 50);
+  report.add_with_reference("matmul_" + std::to_string(n), fast.wall_ms,
+                            fast.iterations, 1e3 / fast.wall_ms,
+                            naive.wall_ms, naive.iterations);
+  // The seed's actual kernel (unblocked ikj), for honest context on what
+  // the blocked kernel gained over the previously shipped code — the gated
+  // speedup above is against the textbook-naive floor.
+  const auto unblocked = bench::measure_ms(
+      [&] { (void)a.matmul_unblocked(b); }, quick ? 120.0 : 400.0, 50);
+  report.add("matmul_" + std::to_string(n) + "_unblocked_seed",
+             unblocked.wall_ms, unblocked.iterations,
+             1e3 / unblocked.wall_ms);
+  std::cout << "matmul " << n << "^3: blocked "
+            << format_double(fast.wall_ms, 3) << " ms, unblocked(seed) "
+            << format_double(unblocked.wall_ms, 3) << " ms, naive "
+            << format_double(naive.wall_ms, 3) << " ms, speedup vs naive "
+            << format_double(naive.wall_ms / fast.wall_ms, 2) << "x\n";
+#else
+  report.add("matmul_" + std::to_string(n), fast.wall_ms, fast.iterations,
+             1e3 / fast.wall_ms);
+#endif
+
+  // The DRQN head shape (batch x features times features x cells) for
+  // context on the sizes the trainer actually runs.
+  const Matrix nn_a = random_normal_matrix(32, 114, rng);
+  const Matrix nn_b = random_normal_matrix(114, 256, rng);
+  Matrix nn_out;
+  const auto nn = bench::measure_ms(
+      [&] { nn_a.matmul_into(nn_b, nn_out); }, 100.0, 20000);
+  report.add("matmul_drqn_head", nn.wall_ms, nn.iterations,
+             1e3 / nn.wall_ms);
 }
-BENCHMARK(BM_LooColumnPredictions)->Unit(benchmark::kMillisecond);
 
-void BM_KnnInfer(benchmark::State& state) {
+void bench_als(bench::JsonReporter& report, bool quick) {
+  // ~14 reveals = one sensing cycle's worth of new observations at the
+  // paper's 25% density on 57 cells.
+  const auto windows = make_window_sequence(quick ? 4 : 8, 14);
+  const double cycles = static_cast<double>(windows.size());
+
+  // The reference is the seed behaviour: cold start from random noise every
+  // call, no Frobenius early exit (only the original max-change stop).
+  cs::MatrixCompletionOptions cold_opts;
+  cold_opts.warm_start = false;
+  cold_opts.frobenius_tol = 0.0;
+  const cs::MatrixCompletion cold(cold_opts);
+  const cs::MatrixCompletion warm;  // warm-start on by default
+
+  // One f() = one pass over the window sequence = `cycles` sensing cycles.
+  const auto warm_run = bench::measure_ms(
+      [&] {
+        for (const auto& w : windows) (void)warm.infer(w);
+      },
+      quick ? 200.0 : 600.0, 50);
+  const auto cold_run = bench::measure_ms(
+      [&] {
+        for (const auto& w : windows) (void)cold.infer(w);
+      },
+      quick ? 200.0 : 600.0, 50);
+
+  const double warm_ms = warm_run.wall_ms / cycles;   // per sensing cycle
+  const double cold_ms = cold_run.wall_ms / cycles;
+  report.add_with_reference("als_completion_cycle", warm_ms,
+                            warm_run.iterations * cycles, 1e3 / warm_ms,
+                            cold_ms, cold_run.iterations * cycles);
+  std::cout << "ALS completion per cycle: warm "
+            << format_double(warm_ms, 3) << " ms, cold "
+            << format_double(cold_ms, 3) << " ms, speedup "
+            << format_double(cold_ms / warm_ms, 2) << "x\n";
+}
+
+void bench_committee(bench::JsonReporter& report, bool quick) {
   const auto dataset = data::make_sensorscope_like(2018);
   const auto window = make_window();
-  const cs::KnnInference engine(dataset.temperature.coords());
-  for (auto _ : state) benchmark::DoNotOptimize(engine.infer(window));
-}
-BENCHMARK(BM_KnnInfer)->Unit(benchmark::kMillisecond);
+  cs::MatrixCompletionOptions mc_opts;
+  mc_opts.warm_start = false;  // identical work in both modes
+  const auto make_members = [&] {
+    std::vector<cs::InferenceEnginePtr> members;
+    members.push_back(std::make_shared<cs::MeanInference>());
+    members.push_back(std::make_shared<cs::TemporalInterpolation>());
+    members.push_back(
+        std::make_shared<cs::KnnInference>(dataset.temperature.coords()));
+    members.push_back(std::make_shared<cs::MatrixCompletion>(mc_opts));
+    return members;
+  };
 
-void BM_EnvironmentStep(benchmark::State& state) {
+  cs::InferenceCommittee serial(make_members());
+  util::ThreadPool serial_pool(0);
+  serial.set_thread_pool(&serial_pool);
+  cs::InferenceCommittee pooled(make_members());
+  util::ThreadPool pool;  // hardware-sized
+  pooled.set_thread_pool(&pool);
+
+  const double target = quick ? 150.0 : 400.0;
+  const auto pooled_run =
+      bench::measure_ms([&] { (void)pooled.infer_all(window); }, target, 100);
+  const auto serial_run =
+      bench::measure_ms([&] { (void)serial.infer_all(window); }, target, 100);
+  report.add_with_reference("committee_infer_all", pooled_run.wall_ms,
+                            pooled_run.iterations, 1e3 / pooled_run.wall_ms,
+                            serial_run.wall_ms, serial_run.iterations);
+  std::cout << "committee infer_all: pooled("
+            << pool.worker_count() + 1 << " lanes) "
+            << format_double(pooled_run.wall_ms, 3) << " ms, serial "
+            << format_double(serial_run.wall_ms, 3) << " ms\n";
+}
+
+void bench_inference_details(bench::JsonReporter& report, bool quick) {
+  const auto dataset = data::make_sensorscope_like(2018);
+  const auto& task = dataset.temperature;
+  const auto window = make_window();
+  const cs::MatrixCompletion engine;
+  const double target = quick ? 100.0 : 300.0;
+
+  const auto loo = bench::measure_ms(
+      [&] { (void)engine.loo_column_predictions(window, 47); }, target, 200);
+  report.add("loo_column_predictions", loo.wall_ms, loo.iterations,
+             1e3 / loo.wall_ms);
+
+  const cs::KnnInference knn(task.coords());
+  const auto knn_run =
+      bench::measure_ms([&] { (void)knn.infer(window); }, target, 200);
+  report.add("knn_infer", knn_run.wall_ms, knn_run.iterations,
+             1e3 / knn_run.wall_ms);
+
+  const mcs::LooBayesianGate gate(0.3, 0.9);
+  const Matrix inferred = engine.infer(window);
+  const mcs::QualityContext ctx{task, window, 47, 47, &inferred, engine};
+  const auto gate_run =
+      bench::measure_ms([&] { (void)gate.probability(ctx); }, target, 500);
+  report.add("quality_gate_decision", gate_run.wall_ms, gate_run.iterations,
+             1e3 / gate_run.wall_ms);
+}
+
+void bench_environment(bench::JsonReporter& report, bool quick) {
   const auto dataset = data::make_sensorscope_like(2018);
   auto task = std::make_shared<const mcs::SensingTask>(
       dataset.temperature.slice_cycles(48, 336));
   mcs::EnvOptions options;
   options.inference_window = 48;
   options.min_observations = 4;
-  options.warm_start =
-      dataset.temperature.slice_cycles(0, 48).ground_truth();
+  options.warm_start = dataset.temperature.slice_cycles(0, 48).ground_truth();
   auto env = mcs::SparseMcsEnvironment(
       task, std::make_shared<cs::MatrixCompletion>(),
       std::make_shared<mcs::LooBayesianGate>(0.3, 0.9), options);
   Rng rng(5);
-  for (auto _ : state) {
-    if (env.episode_done()) {
-      state.PauseTiming();
-      env.reset();
-      state.ResumeTiming();
-    }
-    const auto mask = env.action_mask();
-    std::vector<std::size_t> allowed;
-    for (std::size_t a = 0; a < mask.size(); ++a)
-      if (mask[a]) allowed.push_back(a);
-    env.step(allowed[rng.uniform_index(allowed.size())]);
-  }
+  // Reset once up front and cap iterations below the episode length so no
+  // env.reset() (window re-inference, state rebuild) lands inside the timed
+  // region — this measures the per-step cost only, like the old harness's
+  // PauseTiming around resets did.
+  env.reset();
+  const auto step = bench::measure_ms(
+      [&] {
+        if (env.episode_done()) return;  // episode-length cap safety net
+        const auto mask = env.action_mask();
+        std::vector<std::size_t> allowed;
+        for (std::size_t a = 0; a < mask.size(); ++a)
+          if (mask[a]) allowed.push_back(a);
+        env.step(allowed[rng.uniform_index(allowed.size())]);
+      },
+      quick ? 150.0 : 400.0, 200);
+  report.add("environment_step", step.wall_ms, step.iterations,
+             1e3 / step.wall_ms);
 }
-BENCHMARK(BM_EnvironmentStep)->Unit(benchmark::kMillisecond);
 
-void BM_DrqnForward(benchmark::State& state) {
+void bench_rl(bench::JsonReporter& report, bool quick) {
   Rng rng(1);
   rl::DrqnQNetwork net(57, 2, 64, 0, rng);
   std::vector<Matrix> seq(2, Matrix(1, 57));
   seq[0](0, 3) = 1.0;
   seq[1](0, 11) = 1.0;
-  for (auto _ : state) benchmark::DoNotOptimize(net.forward(seq));
-}
-BENCHMARK(BM_DrqnForward)->Unit(benchmark::kMicrosecond);
+  const auto fwd = bench::measure_ms([&] { (void)net.forward(seq); },
+                                     quick ? 100.0 : 250.0, 50000);
+  report.add("drqn_forward", fwd.wall_ms, fwd.iterations, 1e3 / fwd.wall_ms);
 
-void BM_DqnTrainStep(benchmark::State& state) {
-  Rng rng(2);
+  Rng net_rng(2);
   rl::DqnOptions options;
   options.batch_size = 32;
   options.min_replay = 32;
-  rl::DqnTrainer trainer(std::make_unique<rl::DrqnQNetwork>(57, 2, 64, 0, rng),
-                         options, 7);
+  rl::DqnTrainer trainer(
+      std::make_unique<rl::DrqnQNetwork>(57, 2, 64, 0, net_rng), options, 7);
   Rng fill(3);
   for (int i = 0; i < 512; ++i) {
     rl::Experience e;
@@ -110,28 +264,63 @@ void BM_DqnTrainStep(benchmark::State& state) {
     e.next_mask.assign(57, 1);
     trainer.observe(std::move(e));
   }
-  for (auto _ : state) benchmark::DoNotOptimize(trainer.train_step());
+  const auto train = bench::measure_ms([&] { (void)trainer.train_step(); },
+                                       quick ? 150.0 : 400.0, 5000);
+  report.add("dqn_train_step", train.wall_ms, train.iterations,
+             1e3 / train.wall_ms);
 }
-BENCHMARK(BM_DqnTrainStep)->Unit(benchmark::kMillisecond);
 
-void BM_QualityGateDecision(benchmark::State& state) {
-  const auto dataset = data::make_sensorscope_like(2018);
-  const auto& task = dataset.temperature;
-  const auto window = make_window();
-  const cs::MatrixCompletion engine;
-  const mcs::LooBayesianGate gate(0.3, 0.9);
-  const Matrix inferred = engine.infer(window);
-  const mcs::QualityContext ctx{task, window, 47, 47, &inferred, engine};
-  for (auto _ : state) benchmark::DoNotOptimize(gate.probability(ctx));
+void bench_datasets(bench::JsonReporter& report, bool quick) {
+  const auto gen = bench::measure_ms(
+      [&] { (void)data::make_sensorscope_like(2018); }, quick ? 150.0 : 400.0,
+      50);
+  report.add("sensorscope_generation", gen.wall_ms, gen.iterations,
+             1e3 / gen.wall_ms);
 }
-BENCHMARK(BM_QualityGateDecision)->Unit(benchmark::kMillisecond);
-
-void BM_SensorScopeGeneration(benchmark::State& state) {
-  for (auto _ : state)
-    benchmark::DoNotOptimize(data::make_sensorscope_like(2018));
-}
-BENCHMARK(BM_SensorScopeGeneration)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  bool no_gate = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--no-perf-gate") no_gate = true;
+#ifndef NDEBUG
+  // Unoptimised builds measure untuned code; the 3x thresholds only mean
+  // something with optimisation on.
+  no_gate = true;
+#endif
+  const std::string json = bench::json_path(argc, argv, "BENCH_micro.json");
+  bench::JsonReporter report("micro_components", quick);
+  Stopwatch total;
+
+  bench_matmul(report, quick);
+  bench_als(report, quick);
+  bench_committee(report, quick);
+  bench_inference_details(report, quick);
+  bench_environment(report, quick);
+  bench_rl(report, quick);
+  bench_datasets(report, quick);
+
+  std::cout << "total bench time: "
+            << format_double(total.elapsed_seconds(), 1) << " s\n";
+  // Write the report before gating so the artifact exists for debugging a
+  // perf regression.
+  const int exit_code = bench::finish_report(report, json, total);
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  // The perf gate this PR establishes: the optimised matmul and the
+  // warm-started ALS must stay >= 3x ahead of the naive references.
+  // --no-perf-gate skips it for runs on contended machines (the CTest
+  // registration uses it; the dedicated CI bench step keeps it hard).
+  const double matmul_speedup = report.speedup("matmul_320");
+  const double als_speedup = report.speedup("als_completion_cycle");
+  if (!no_gate && (matmul_speedup < 3.0 || als_speedup < 3.0)) {
+    std::cerr << "PERF REGRESSION: matmul speedup "
+              << format_double(matmul_speedup, 2) << "x, ALS speedup "
+              << format_double(als_speedup, 2) << "x (both must be >= 3x)\n";
+    return 1;
+  }
+#endif
+  return exit_code;
+}

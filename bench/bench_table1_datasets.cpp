@@ -6,6 +6,7 @@
 //                 PM2.5 79.11 ± 81.21.
 #include <iostream>
 
+#include "bench_common.h"
 #include "data/datasets.h"
 #include "util/table.h"
 
@@ -23,9 +24,16 @@ void add_stats_row(TablePrinter& table, const data::DatasetStats& s,
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json = bench::json_path(argc, argv, "BENCH_table1.json");
+  bench::JsonReporter report("table1_datasets", bench::quick_mode(argc, argv));
+  Stopwatch total;
+  Stopwatch generation_watch;
   const auto sensorscope = data::make_sensorscope_like(2018);
   const auto uair = data::make_uair_like(2013);
+  const double generation_ms = generation_watch.elapsed_ms();
+  report.add("dataset_generation_both", generation_ms, 1,
+             1e3 / generation_ms);
 
   TablePrinter table({"dataset", "cells", "cycles", "cycle (h)",
                       "duration (d)", "mean +- std", "range", "error metric"});
@@ -41,5 +49,5 @@ int main() {
   table.print(std::cout);
   std::cout << "\npaper targets: temperature 6.04 +- 1.87 degC; humidity "
                "84.52 +- 6.32 %; PM2.5 79.11 +- 81.21\n";
-  return 0;
+  return bench::finish_report(report, json, total);
 }

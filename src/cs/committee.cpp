@@ -11,9 +11,11 @@ InferenceCommittee::InferenceCommittee(std::vector<InferenceEnginePtr> members)
 
 std::vector<Matrix> InferenceCommittee::infer_all(
     const PartialMatrix& observed) const {
-  std::vector<Matrix> out;
-  out.reserve(members_.size());
-  for (const auto& m : members_) out.push_back(m->infer(observed));
+  std::vector<Matrix> out(members_.size());
+  util::ThreadPool& pool = pool_ ? *pool_ : util::ThreadPool::global();
+  pool.parallel_for(members_.size(), [&](std::size_t i) {
+    out[i] = members_[i]->infer(observed);
+  });
   return out;
 }
 
@@ -22,8 +24,12 @@ Matrix InferenceCommittee::disagreement(
   DRCELL_CHECK_MSG(!predictions.empty(), "no predictions");
   const std::size_t m = predictions.front().rows();
   const std::size_t n = predictions.front().cols();
+  // Structural precondition, not a per-element check: it must stay active in
+  // release builds because the flat-index loops below index every member's
+  // data() against the front member's extent.
   for (const auto& p : predictions)
-    DRCELL_CHECK(p.rows() == m && p.cols() == n);
+    DRCELL_CHECK_MSG(p.rows() == m && p.cols() == n,
+                     "committee members disagree on the matrix shape");
 
   const double count = static_cast<double>(predictions.size());
   Matrix mean(m, n);

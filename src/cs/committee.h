@@ -2,11 +2,16 @@
 // their per-entry disagreement. This is the substrate of the QBC baseline
 // (Sec. 5.2): "allocate the next task to the cell with the largest variance
 // among the inferred values of different algorithms".
+//
+// infer_all fans the members out over a util::ThreadPool (the process-wide
+// pool by default). Results are written by member index, so the output is
+// bit-identical to the serial loop for any worker count.
 #pragma once
 
 #include <vector>
 
 #include "cs/inference_engine.h"
+#include "util/thread_pool.h"
 
 namespace drcell::cs {
 
@@ -16,6 +21,10 @@ class InferenceCommittee {
 
   std::size_t size() const { return members_.size(); }
   const InferenceEngine& member(std::size_t i) const { return *members_.at(i); }
+
+  /// Overrides the pool used by infer_all. nullptr restores the global pool;
+  /// a pool with 0 workers gives strictly serial execution.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
 
   /// Runs every member on the observation. Results are index-aligned with
   /// the member list.
@@ -29,6 +38,7 @@ class InferenceCommittee {
 
  private:
   std::vector<InferenceEnginePtr> members_;
+  util::ThreadPool* pool_ = nullptr;  // nullptr -> ThreadPool::global()
 };
 
 }  // namespace drcell::cs

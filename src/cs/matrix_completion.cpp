@@ -1,6 +1,7 @@
 #include "cs/matrix_completion.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "linalg/solvers.h"
@@ -8,11 +9,65 @@
 
 namespace drcell::cs {
 
+namespace {
+/// RMSE of `mu + row_factors colᵀ` against the window's observed entries.
+double observed_rmse(const Matrix& row_factors, const Matrix& col_factors,
+                     double mu, const PartialMatrix& observed) {
+  double sq = 0.0;
+  std::size_t count = 0;
+  const std::size_t rank = row_factors.cols();
+  for (std::size_t r = 0; r < observed.rows(); ++r)
+    for (std::size_t c = 0; c < observed.cols(); ++c) {
+      if (!observed.observed(r, c)) continue;
+      double pred = mu;
+      for (std::size_t k = 0; k < rank; ++k)
+        pred += row_factors(r, k) * col_factors(c, k);
+      const double d = pred - observed.value(r, c);
+      sq += d * d;
+      ++count;
+    }
+  return count ? std::sqrt(sq / static_cast<double>(count)) : 0.0;
+}
+
+/// Order-sensitive 64-bit hash of the window's shape and observed entries.
+/// A fingerprint match is treated as "same window" and returns the cached
+/// factors without touching the solver; distinct windows colliding is a
+/// ~2^-64 event per comparison, which we accept rather than storing and
+/// comparing a full copy of the previous window.
+std::uint64_t window_fingerprint(const PartialMatrix& observed) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  };
+  mix(observed.rows());
+  mix(observed.cols());
+  mix(observed.observed_count());
+  for (std::size_t r = 0; r < observed.rows(); ++r)
+    for (std::size_t c = 0; c < observed.cols(); ++c)
+      if (observed.observed(r, c)) {
+        mix(r * observed.cols() + c);
+        mix(std::bit_cast<std::uint64_t>(observed.value(r, c)));
+      }
+  return h;
+}
+}  // namespace
+
 MatrixCompletion::MatrixCompletion(MatrixCompletionOptions options)
     : options_(options) {
   DRCELL_CHECK(options_.rank > 0);
   DRCELL_CHECK(options_.lambda > 0.0);
   DRCELL_CHECK(options_.iterations > 0);
+  DRCELL_CHECK(options_.warm_iterations > 0);
+  DRCELL_CHECK(options_.warm_trust_factor >= 1.0);
+  DRCELL_CHECK(options_.warm_rmse_factor >= options_.warm_trust_factor);
+  DRCELL_CHECK(options_.frobenius_tol >= 0.0);
+}
+
+void MatrixCompletion::reset_warm_start() const {
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  warm_.reset();
 }
 
 MatrixCompletion::Fit MatrixCompletion::fit(
@@ -32,26 +87,76 @@ MatrixCompletion::Fit MatrixCompletion::fit(
        std::max<std::size_t>(observed.observed_count(), 1)});
   const std::size_t rank = result.rank;
 
-  Rng rng(options_.seed);
   result.row_factors = Matrix(m, rank);
   result.col_factors = Matrix(n, rank);
   if (observed.observed_count() == 0) return result;
-  const double init_sd = 1.0;
-  for (double& x : result.row_factors.data()) x = rng.normal(0.0, init_sd);
-  for (double& x : result.col_factors.data()) x = rng.normal(0.0, init_sd);
+
+  // Resume from the previous window's converged factors when they fit this
+  // window's shape; otherwise start from random noise. A fingerprint match
+  // means the window is unchanged since the cached fit converged — return it
+  // outright (repeated infer/LOO calls per cycle then cost one hash pass).
+  const std::uint64_t fingerprint =
+      options_.warm_start ? window_fingerprint(observed) : 0;
+  bool warm_resumed = false;
+  bool warm_trusted = false;
+  if (options_.warm_start) {
+    std::lock_guard<std::mutex> lock(warm_mutex_);
+    if (warm_.has_value() && warm_->fit.rank == rank &&
+        warm_->fit.row_factors.rows() == m &&
+        warm_->fit.col_factors.rows() == n) {
+      if (warm_->fingerprint == fingerprint) return warm_->fit;
+      // A matching shape is not enough: after an episode reset or a window
+      // slide the columns hold different cycles, and polishing unrelated
+      // factors for a few sweeps would silently under-converge. Resume only
+      // if the cached factors still predict the new observations about as
+      // well as they predicted their own — and grant the reduced sweep
+      // budget only below the (tighter) trust threshold.
+      const double init_rmse = observed_rmse(
+          warm_->fit.row_factors, warm_->fit.col_factors, result.mu, observed);
+      if (init_rmse <=
+          options_.warm_rmse_factor * warm_->rmse + options_.convergence_tol) {
+        result.row_factors = warm_->fit.row_factors;
+        result.col_factors = warm_->fit.col_factors;
+        warm_resumed = true;
+        warm_trusted =
+            init_rmse <= options_.warm_trust_factor * warm_->rmse +
+                             options_.convergence_tol;
+      }
+    }
+  }
+  if (!warm_resumed) {
+    // Same draw stream as the hand-rolled normal(0, 1) loops this replaces.
+    Rng rng(options_.seed);
+    result.row_factors = random_normal_matrix(m, rank, rng);
+    result.col_factors = random_normal_matrix(n, rank, rng);
+  }
 
   // Pre-compute observation lists.
   std::vector<std::vector<std::size_t>> cols_of_row(m), rows_of_col(n);
-  for (std::size_t r = 0; r < m; ++r)
+  std::size_t max_obs = 1;
+  for (std::size_t r = 0; r < m; ++r) {
     cols_of_row[r] = observed.observed_cols_in_row(r);
-  for (std::size_t c = 0; c < n; ++c)
+    max_obs = std::max(max_obs, cols_of_row[r].size());
+  }
+  for (std::size_t c = 0; c < n; ++c) {
     rows_of_col[c] = observed.observed_rows_in_col(c);
+    max_obs = std::max(max_obs, rows_of_col[c].size());
+  }
 
   Matrix& row_f = result.row_factors;
   Matrix& col_f = result.col_factors;
   const double mu = result.mu;
-  for (std::size_t it = 0; it < options_.iterations; ++it) {
+  // One design-matrix/rhs workspace reused across every per-row and
+  // per-column solve (resize() recycles the allocation).
+  Matrix a(max_obs, rank);
+  std::vector<double> b(max_obs);
+  const std::size_t sweep_budget =
+      warm_trusted ? std::min(options_.warm_iterations, options_.iterations)
+                   : options_.iterations;
+  for (std::size_t it = 0; it < sweep_budget; ++it) {
     double max_change = 0.0;
+    double delta_sq = 0.0;   // Frobenius² of this sweep's factor delta
+    double factor_sq = 0.0;  // Frobenius² of the updated factors
     // Update row factors: for each row solve a ridge regression on the
     // column factors of its observed entries.
     for (std::size_t r = 0; r < m; ++r) {
@@ -61,10 +166,11 @@ MatrixCompletion::Fit MatrixCompletion::fit(
         for (std::size_t k = 0; k < rank; ++k) row_f(r, k) = 0.0;
         continue;
       }
-      Matrix a(cols.size(), rank);
-      std::vector<double> b(cols.size());
+      a.resize(cols.size(), rank);
+      b.resize(cols.size());
       for (std::size_t i = 0; i < cols.size(); ++i) {
-        for (std::size_t k = 0; k < rank; ++k) a(i, k) = col_f(cols[i], k);
+        const auto src = col_f.row(cols[i]);
+        std::copy(src.begin(), src.end(), a.row(i).begin());
         b[i] = observed.value(r, cols[i]) - mu;
       }
       // Weighted-lambda ALS (Zhou et al.): scaling the ridge by the number
@@ -73,7 +179,10 @@ MatrixCompletion::Fit MatrixCompletion::fit(
       const auto x = ridge_solve(
           a, b, options_.lambda * static_cast<double>(cols.size()));
       for (std::size_t k = 0; k < rank; ++k) {
-        max_change = std::max(max_change, std::fabs(row_f(r, k) - x[k]));
+        const double d = row_f(r, k) - x[k];
+        max_change = std::max(max_change, std::fabs(d));
+        delta_sq += d * d;
+        factor_sq += x[k] * x[k];
         row_f(r, k) = x[k];
       }
     }
@@ -84,20 +193,35 @@ MatrixCompletion::Fit MatrixCompletion::fit(
         for (std::size_t k = 0; k < rank; ++k) col_f(c, k) = 0.0;
         continue;
       }
-      Matrix a(rows.size(), rank);
-      std::vector<double> b(rows.size());
+      a.resize(rows.size(), rank);
+      b.resize(rows.size());
       for (std::size_t i = 0; i < rows.size(); ++i) {
-        for (std::size_t k = 0; k < rank; ++k) a(i, k) = row_f(rows[i], k);
+        const auto src = row_f.row(rows[i]);
+        std::copy(src.begin(), src.end(), a.row(i).begin());
         b[i] = observed.value(rows[i], c) - mu;
       }
       const auto x = ridge_solve(
           a, b, options_.lambda * static_cast<double>(rows.size()));
       for (std::size_t k = 0; k < rank; ++k) {
-        max_change = std::max(max_change, std::fabs(col_f(c, k) - x[k]));
+        const double d = col_f(c, k) - x[k];
+        max_change = std::max(max_change, std::fabs(d));
+        delta_sq += d * d;
+        factor_sq += x[k] * x[k];
         col_f(c, k) = x[k];
       }
     }
     if (max_change < options_.convergence_tol) break;
+    if (options_.frobenius_tol > 0.0 &&
+        std::sqrt(delta_sq) <
+            options_.frobenius_tol * std::max(std::sqrt(factor_sq), 1.0))
+      break;
+  }
+
+  if (options_.warm_start) {
+    const double final_rmse =
+        observed_rmse(row_f, col_f, result.mu, observed);
+    std::lock_guard<std::mutex> lock(warm_mutex_);
+    warm_ = WarmState{result, fingerprint, final_rmse};
   }
   return result;
 }

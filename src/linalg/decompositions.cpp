@@ -57,9 +57,10 @@ QR::QR(const Matrix& a) {
   q = a;
   r = Matrix(n, n);
   for (std::size_t j = 0; j < n; ++j) {
-    auto qj = q.col(j);
+    // In-place strided views: no per-column std::vector copies in the loop.
+    const auto qj = q.col_view(j);
     for (std::size_t i = 0; i < j; ++i) {
-      const auto qi = q.col(i);
+      const ConstColumnView qi = q.col_view(i);
       const double rij = dot(qi, qj);
       r(i, j) = rij;
       for (std::size_t k = 0; k < m; ++k) qj[k] -= rij * qi[k];
@@ -67,8 +68,7 @@ QR::QR(const Matrix& a) {
     const double njj = norm2(qj);
     DRCELL_CHECK_MSG(njj > 1e-300, "rank-deficient matrix in QR");
     r(j, j) = njj;
-    for (double& x : qj) x /= njj;
-    q.set_col(j, qj);
+    for (std::size_t k = 0; k < m; ++k) qj[k] /= njj;
   }
 }
 

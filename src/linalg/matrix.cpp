@@ -1,10 +1,23 @@
 #include "linalg/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
 #include <sstream>
 
+#include "util/rng.h"
+
 namespace drcell {
+
+namespace {
+// Cache-blocking tiles for the matmul kernel. The combined footprint is
+// ~72 KiB (8 KiB A panel + 32 KiB B stripe + 32 KiB C stripe) — sized for
+// L2 residency, with the single B row and C row the inner loop touches
+// (kTileJ doubles = 1 KiB each) staying hot in L1.
+constexpr std::size_t kTileI = 32;
+constexpr std::size_t kTileK = 32;
+constexpr std::size_t kTileJ = 128;
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -37,13 +50,19 @@ Matrix Matrix::diagonal(std::span<const double> data) {
   return m;
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
 std::span<double> Matrix::row(std::size_t r) {
-  DRCELL_CHECK(r < rows_);
+  DRCELL_DCHECK(r < rows_);
   return {data_.data() + r * cols_, cols_};
 }
 
 std::span<const double> Matrix::row(std::size_t r) const {
-  DRCELL_CHECK(r < rows_);
+  DRCELL_DCHECK(r < rows_);
   return {data_.data() + r * cols_, cols_};
 }
 
@@ -52,6 +71,16 @@ std::vector<double> Matrix::col(std::size_t c) const {
   std::vector<double> out(rows_);
   for (std::size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
   return out;
+}
+
+ColumnView Matrix::col_view(std::size_t c) {
+  DRCELL_CHECK(c < cols_);
+  return {data_.data() + c, rows_, cols_};
+}
+
+ConstColumnView Matrix::col_view(std::size_t c) const {
+  DRCELL_CHECK(c < cols_);
+  return {data_.data() + c, rows_, cols_};
 }
 
 void Matrix::set_col(std::size_t c, std::span<const double> values) {
@@ -84,9 +113,60 @@ Matrix& Matrix::operator*=(double s) {
 }
 
 Matrix Matrix::matmul(const Matrix& other) const {
+  Matrix out;
+  matmul_into(other, out);
+  return out;
+}
+
+void Matrix::matmul_into(const Matrix& other, Matrix& out) const {
+  DRCELL_CHECK_MSG(cols_ == other.rows_, "matmul shape mismatch");
+  DRCELL_CHECK_MSG(&out != this && &out != &other,
+                   "matmul_into output must not alias an operand");
+  out.resize(rows_, other.cols_);
+  const std::size_t n = other.cols_;
+  const double* a = data_.data();
+  const double* b = other.data_.data();
+  double* c = out.data_.data();
+  // Blocked ikj: within a tile the inner loop is contiguous in both B and C,
+  // and the touched panels of all three matrices stay cache-resident. The
+  // aik == 0 skip is kept because the RL state sequences are near-one-hot.
+  for (std::size_t ii = 0; ii < rows_; ii += kTileI) {
+    const std::size_t i_end = std::min(rows_, ii + kTileI);
+    for (std::size_t kk = 0; kk < cols_; kk += kTileK) {
+      const std::size_t k_end = std::min(cols_, kk + kTileK);
+      for (std::size_t jj = 0; jj < n; jj += kTileJ) {
+        const std::size_t j_end = std::min(n, jj + kTileJ);
+        for (std::size_t i = ii; i < i_end; ++i) {
+          const double* arow = a + i * cols_;
+          double* crow = c + i * n;
+          for (std::size_t k = kk; k < k_end; ++k) {
+            const double aik = arow[k];
+            if (aik == 0.0) continue;
+            const double* brow = b + k * n;
+            for (std::size_t j = jj; j < j_end; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+Matrix Matrix::matmul_naive(const Matrix& other) const {
   DRCELL_CHECK_MSG(cols_ == other.rows_, "matmul shape mismatch");
   Matrix out(rows_, other.cols_);
-  // ikj loop order keeps the inner loop contiguous in both inputs.
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < other.cols_; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) s += at(i, k) * other.at(k, j);
+      out(i, j) = s;
+    }
+  return out;
+}
+
+Matrix Matrix::matmul_unblocked(const Matrix& other) const {
+  DRCELL_CHECK_MSG(cols_ == other.rows_, "matmul shape mismatch");
+  Matrix out(rows_, other.cols_);
   for (std::size_t i = 0; i < rows_; ++i) {
     for (std::size_t k = 0; k < cols_; ++k) {
       const double aik = data_[i * cols_ + k];
@@ -98,6 +178,7 @@ Matrix Matrix::matmul(const Matrix& other) const {
   }
   return out;
 }
+#endif
 
 Matrix Matrix::matmul_transposed_self(const Matrix& other) const {
   DRCELL_CHECK_MSG(rows_ == other.rows(), "matmul_transposed_self mismatch");
@@ -161,6 +242,12 @@ std::string Matrix::to_string(int precision) const {
   return ss.str();
 }
 
+Matrix random_normal_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& x : m.data()) x = rng.normal();
+  return m;
+}
+
 std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
   DRCELL_CHECK(a.cols() == x.size());
   std::vector<double> y(a.rows(), 0.0);
@@ -181,5 +268,14 @@ double dot(std::span<const double> a, std::span<const double> b) {
 }
 
 double norm2(std::span<const double> v) { return std::sqrt(dot(v, v)); }
+
+double dot(ConstColumnView a, ConstColumnView b) {
+  DRCELL_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(ConstColumnView v) { return std::sqrt(dot(v, v)); }
 
 }  // namespace drcell

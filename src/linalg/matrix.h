@@ -1,9 +1,10 @@
 // Dense row-major double matrix used throughout the library (neural nets,
 // matrix completion, the GP dataset generator).
 //
-// The class is intentionally value-semantic and small: the workloads in
-// this repo are at most a few thousand elements per matrix, so clarity and
-// safety (bounds checks stay on in release) beat BLAS-grade tuning.
+// The class is value-semantic, but the multiply kernels are tuned: matmul is
+// blocked/tiled with a raw-pointer inner loop, matmul_into reuses output
+// storage across calls, and per-element bounds checks are DRCELL_DCHECKs —
+// on in debug/DCHECK builds, compiled out of release hot loops.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +16,47 @@
 #include "util/check.h"
 
 namespace drcell {
+
+class Rng;
+
+/// Read-only strided view of one matrix column. Lets column-oriented
+/// algorithms (Gram–Schmidt, ALS gathers) walk a column without copying it
+/// into a fresh std::vector per visit.
+class ConstColumnView {
+ public:
+  ConstColumnView(const double* first, std::size_t size, std::size_t stride)
+      : first_(first), size_(size), stride_(stride) {}
+
+  std::size_t size() const { return size_; }
+  double operator[](std::size_t i) const {
+    DRCELL_DCHECK(i < size_);
+    return first_[i * stride_];
+  }
+
+ private:
+  const double* first_;
+  std::size_t size_;
+  std::size_t stride_;
+};
+
+/// Mutable strided view of one matrix column.
+class ColumnView {
+ public:
+  ColumnView(double* first, std::size_t size, std::size_t stride)
+      : first_(first), size_(size), stride_(stride) {}
+
+  std::size_t size() const { return size_; }
+  double& operator[](std::size_t i) const {
+    DRCELL_DCHECK(i < size_);
+    return first_[i * stride_];
+  }
+  operator ConstColumnView() const { return {first_, size_, stride_}; }
+
+ private:
+  double* first_;
+  std::size_t size_;
+  std::size_t stride_;
+};
 
 class Matrix {
  public:
@@ -37,19 +79,32 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   double& operator()(std::size_t r, std::size_t c) {
-    DRCELL_CHECK_MSG(r < rows_ && c < cols_, "matrix index out of range");
+    DRCELL_DCHECK_MSG(r < rows_ && c < cols_, "matrix index out of range");
     return data_[r * cols_ + c];
   }
   double operator()(std::size_t r, std::size_t c) const {
+    DRCELL_DCHECK_MSG(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  /// Always-checked element access regardless of build mode (boundary code,
+  /// parsers, and the naive reference kernels use it).
+  double at(std::size_t r, std::size_t c) const {
     DRCELL_CHECK_MSG(r < rows_ && c < cols_, "matrix index out of range");
     return data_[r * cols_ + c];
   }
+
+  /// Reshapes to rows x cols, filling with `fill`. Reuses the existing
+  /// allocation when capacity allows, so hot loops can recycle workspaces.
+  void resize(std::size_t rows, std::size_t cols, double fill = 0.0);
 
   /// Mutable view of row r.
   std::span<double> row(std::size_t r);
   std::span<const double> row(std::size_t r) const;
   /// Copy of column c.
   std::vector<double> col(std::size_t c) const;
+  /// Strided no-copy views of column c.
+  ColumnView col_view(std::size_t c);
+  ConstColumnView col_view(std::size_t c) const;
   void set_col(std::size_t c, std::span<const double> values);
 
   std::span<double> data() { return data_; }
@@ -66,8 +121,22 @@ class Matrix {
   friend Matrix operator*(double s, Matrix a) { return a *= s; }
   bool operator==(const Matrix& other) const = default;
 
-  /// Matrix product this * other.
+  /// Matrix product this * other (blocked/tiled kernel).
   Matrix matmul(const Matrix& other) const;
+  /// Matrix product written into `out`, reusing its storage when already
+  /// correctly shaped. `out` must not alias either operand.
+  void matmul_into(const Matrix& other, Matrix& out) const;
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  /// Benchmark floor: textbook i-j-k product through the always-checked
+  /// accessor (strided B walk, bounds check per element). This is the
+  /// unoptimised-scalar lower bound the perf gate compares against, NOT the
+  /// seed implementation — see matmul_unblocked for that.
+  Matrix matmul_naive(const Matrix& other) const;
+  /// The seed's actual kernel before this overhaul: single-level ikj with
+  /// raw pointers and the zero-skip, unblocked. Retained so the report can
+  /// show the blocked kernel's gain over what the repo really shipped.
+  Matrix matmul_unblocked(const Matrix& other) const;
+#endif
   /// thisᵀ * other without materialising the transpose.
   Matrix matmul_transposed_self(const Matrix& other) const;
   /// Element-wise (Hadamard) product.
@@ -96,11 +165,17 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// rows x cols matrix with i.i.d. standard-normal entries (tests, benches,
+/// and factor initialisation share this instead of rolling their own).
+Matrix random_normal_matrix(std::size_t rows, std::size_t cols, Rng& rng);
+
 /// y = A x for a column-vector x given as a span. Returns the result vector.
 std::vector<double> matvec(const Matrix& a, std::span<const double> x);
 /// Dot product. Sizes must match.
 double dot(std::span<const double> a, std::span<const double> b);
+double dot(ConstColumnView a, ConstColumnView b);
 /// Euclidean norm.
 double norm2(std::span<const double> v);
+double norm2(ConstColumnView v);
 
 }  // namespace drcell

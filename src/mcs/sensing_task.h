@@ -26,7 +26,9 @@ class SensingTask {
 
   const Matrix& ground_truth() const { return ground_truth_; }
   double truth(std::size_t cell, std::size_t cycle) const {
-    return ground_truth_(cell, cycle);
+    // Public API boundary: stays bounds-checked in every build mode (the
+    // DCHECK demotion applies to internal hot loops, not entry points).
+    return ground_truth_.at(cell, cycle);
   }
   const std::vector<cs::CellCoord>& coords() const { return coords_; }
   const ErrorMetric& metric() const { return metric_; }

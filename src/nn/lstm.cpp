@@ -37,9 +37,12 @@ Matrix Lstm::forward(const std::vector<Matrix>& steps) {
     const Matrix& xt = steps[t];
     DRCELL_CHECK_MSG(xt.rows() == batch_ && xt.cols() == input_size(),
                      "LSTM: inconsistent step shape");
-    // Pre-activations z = x Wx + h_prev Wh + b.
-    Matrix z = xt.matmul(wx_.value);
-    z += h_prev.matmul(wh_.value);
+    // Pre-activations z = x Wx + h_prev Wh + b (workspaces reused across
+    // steps and calls).
+    xt.matmul_into(wx_.value, z_ws_);
+    Matrix& z = z_ws_;
+    h_prev.matmul_into(wh_.value, recur_ws_);
+    z += recur_ws_;
     for (std::size_t r = 0; r < batch_; ++r)
       for (std::size_t col = 0; col < 4 * hidden; ++col)
         z(r, col) += b_.value(0, col);
@@ -142,7 +145,8 @@ std::vector<Matrix> Lstm::backward_sequence(
 
     // Gradients flowing to inputs and to the previous step.
     grad_x[t] = dz.matmul(wx_.value.transposed());
-    dh_next = dz.matmul(wh_.value.transposed());
+    dz.matmul_into(wh_.value.transposed(), recur_ws_);
+    std::swap(dh_next, recur_ws_);
     dc_next = std::move(dc_prev);
   }
   return grad_x;

@@ -53,6 +53,11 @@ class Lstm {
   std::vector<Matrix> tanh_c_;  // tanh(cell state)
   std::vector<Matrix> h_;       // hidden states
   std::size_t batch_ = 0;
+  // Product workspaces recycled across steps/calls via matmul_into — the
+  // trainer runs forward/backward thousands of times per episode, and these
+  // were the per-step allocations on that path.
+  Matrix z_ws_;      // x_t Wx, then += h_{t-1} Wh
+  Matrix recur_ws_;  // h_{t-1} Wh (forward) / dz Wh^T (backward)
 };
 
 }  // namespace drcell::nn

@@ -99,11 +99,31 @@ double DqnTrainer::train_step() {
   // (Eq. 7); optionally Double-DQN: argmax from the online network, value
   // from the target network.
   std::vector<const std::vector<double>*> next_states(b);
-  for (std::size_t i = 0; i < b; ++i) next_states[i] = &batch[i]->next_state;
+  std::vector<const std::vector<double>*> states(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    next_states[i] = &batch[i]->next_state;
+    states[i] = &batch[i]->state;
+  }
   const auto next_seq = to_sequence(next_states);
-  const Matrix q_next_target = target_->forward(next_seq);
+  const auto state_seq = to_sequence(states);
+
+  // The target and online networks are distinct objects, so their batch
+  // forwards run as two concurrent pool lanes. The online lane keeps its
+  // internal order (next-state forward, then current-state forward) so the
+  // activations cached for backward() always belong to q_pred; results are
+  // bit-identical to the serial path.
+  Matrix q_next_target;
   Matrix q_next_online;
-  if (options_.double_dqn) q_next_online = online_->forward(next_seq);
+  Matrix q_pred;
+  util::ThreadPool& pool = pool_ ? *pool_ : util::ThreadPool::global();
+  pool.parallel_for(2, [&](std::size_t lane) {
+    if (lane == 0) {
+      q_next_target = target_->forward(next_seq);
+    } else {
+      if (options_.double_dqn) q_next_online = online_->forward(next_seq);
+      q_pred = online_->forward(state_seq);
+    }
+  });
 
   std::vector<double> bootstrap(b, 0.0);
   for (std::size_t i = 0; i < b; ++i) {
@@ -125,12 +145,8 @@ double DqnTrainer::train_step() {
     }
   }
 
-  // Forward the current states, then regress the taken action's Q-value
-  // towards R + γ max Q'(S', A') with a masked Huber loss (Eqs. 5-7).
-  std::vector<const std::vector<double>*> states(b);
-  for (std::size_t i = 0; i < b; ++i) states[i] = &batch[i]->state;
-  const Matrix q_pred = online_->forward(to_sequence(states));
-
+  // Regress the taken action's Q-value towards R + γ max Q'(S', A') with a
+  // masked Huber loss (Eqs. 5-7).
   Matrix targets(b, actions);
   Matrix mask(b, actions);
   for (std::size_t i = 0; i < b; ++i) {

@@ -11,6 +11,7 @@
 #include "rl/epsilon.h"
 #include "rl/qnetwork.h"
 #include "rl/replay_buffer.h"
+#include "util/thread_pool.h"
 
 namespace drcell::rl {
 
@@ -62,6 +63,10 @@ class DqnTrainer {
   /// Copies the online parameters into the fixed-target network.
   void sync_target();
 
+  /// Overrides the pool that runs the batch forwards of train_step.
+  /// nullptr restores the global pool.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+
  private:
   std::vector<Matrix> to_sequence(
       const std::vector<const std::vector<double>*>& states) const;
@@ -75,6 +80,7 @@ class DqnTrainer {
   mcs::StateEncoder encoder_;
   std::unique_ptr<nn::Optimizer> optimizer_;
   Rng rng_;
+  util::ThreadPool* pool_ = nullptr;  // nullptr -> ThreadPool::global()
   std::size_t env_steps_ = 0;
   std::size_t train_steps_ = 0;
 };

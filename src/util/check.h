@@ -39,3 +39,26 @@ namespace detail {
     if (!(expr))                                                        \
       ::drcell::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+// DRCELL_DCHECK: per-element checks on hot loops (matrix indexing, span
+// accessors). Active in debug builds and whenever DRCELL_ENABLE_DCHECKS is
+// defined (the CI DCHECK job); compiled to nothing in plain release builds so
+// the hot paths run unchecked. Structural preconditions (shape mismatches,
+// empty inputs) stay on DRCELL_CHECK — they run once per call, not per
+// element, and silent corruption there is never worth the saved branch.
+#if !defined(NDEBUG) || defined(DRCELL_ENABLE_DCHECKS)
+#define DRCELL_DCHECKS_ACTIVE 1
+#define DRCELL_DCHECK(expr) DRCELL_CHECK(expr)
+#define DRCELL_DCHECK_MSG(expr, msg) DRCELL_CHECK_MSG(expr, msg)
+#else
+#define DRCELL_DCHECKS_ACTIVE 0
+#define DRCELL_DCHECK(expr) \
+  do {                      \
+    (void)sizeof((expr));   \
+  } while (false)
+#define DRCELL_DCHECK_MSG(expr, msg) \
+  do {                               \
+    (void)sizeof((expr));            \
+    (void)sizeof((msg));             \
+  } while (false)
+#endif

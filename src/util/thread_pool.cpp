@@ -1,0 +1,119 @@
+#include "util/thread_pool.h"
+
+namespace drcell::util {
+
+namespace {
+// Set for the lifetime of a worker thread. Nested parallel_for calls from
+// inside a pool task run inline instead of re-entering the pool, which would
+// deadlock a fully busy pool.
+thread_local bool t_is_pool_worker = false;
+// Set while a thread is submitting/draining a batch: a nested parallel_for
+// from the caller's own lane must not touch submission_mutex_ again
+// (try_lock on a non-recursive mutex the thread already owns is UB).
+thread_local bool t_in_parallel_for = false;
+}  // namespace
+
+std::size_t ThreadPool::default_worker_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? static_cast<std::size_t>(hw - 1) : 0;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] {
+      t_is_pool_worker = true;
+      worker_loop();
+    });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [this] {
+      return stop_ || (batch_ != nullptr && batch_->next < batch_->n);
+    });
+    if (stop_) return;
+    drain_batch(*batch_, lock);
+  }
+}
+
+void ThreadPool::drain_batch(Batch& batch,
+                             std::unique_lock<std::mutex>& lock) {
+  while (batch.next < batch.n) {
+    const std::size_t i = batch.next++;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !batch.error) batch.error = error;
+    if (++batch.completed == batch.n) batch_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || t_is_pool_worker || t_in_parallel_for) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> submission(submission_mutex_,
+                                          std::try_to_lock);
+  if (!submission.owns_lock()) {
+    // Another thread's batch is in flight; running serially is always
+    // correct and never deadlocks.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  t_in_parallel_for = true;
+  struct ReentryGuard {
+    ~ReentryGuard() { t_in_parallel_for = false; }
+  } reentry_guard;
+
+  Batch batch;
+  batch.fn = &fn;
+  batch.n = n;
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_ = &batch;
+  work_ready_.notify_all();
+  drain_batch(batch, lock);  // the caller is one of the lanes
+  batch_done_.wait(lock, [&batch] { return batch.completed == batch.n; });
+  batch_ = nullptr;
+  if (batch.error) {
+    lock.unlock();
+    std::rethrow_exception(batch.error);
+  }
+}
+
+void ThreadPool::parallel_for_seeded(
+    std::uint64_t seed, std::size_t n,
+    const std::function<void(std::size_t, Rng&)>& fn) {
+  parallel_for(n, [seed, &fn](std::size_t i) {
+    // Derive the stream from (seed, i) only — never from the executing
+    // thread — so outputs are identical for any worker count.
+    SplitMix64 mix(seed + 0x9e3779b97f4a7c15ULL * (i + 1));
+    Rng rng(mix.next());
+    fn(i, rng);
+  });
+}
+
+}  // namespace drcell::util

@@ -1,0 +1,84 @@
+// Small reusable thread pool for the library's fan-out hot paths (committee
+// inference, DQN batch forwards, benches).
+//
+// Design points:
+//  * The calling thread participates in parallel_for, so a pool constructed
+//    with 0 workers degrades to plain serial execution with no queue traffic
+//    — that is also the default on single-core machines.
+//  * Results are deterministic: parallel_for indexes are handed out in order
+//    and callers write results by index, so the output layout never depends
+//    on thread scheduling.
+//  * Stochastic tasks get a per-task Rng derived from (seed, index) via
+//    SplitMix64, making randomised fan-outs reproducible regardless of the
+//    worker count.
+//  * The first exception thrown by any task is captured and rethrown on the
+//    calling thread after the loop drains (remaining tasks still run).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace drcell::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. The default sizes the pool so that workers
+  /// plus the participating caller equal the hardware concurrency.
+  explicit ThreadPool(std::size_t workers = default_worker_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [0, n), distributing indices over the workers
+  /// and the calling thread. Blocks until all calls return. Rethrows the
+  /// first task exception on the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// parallel_for variant for stochastic tasks: fn additionally receives an
+  /// Rng seeded deterministically from (seed, i), so results do not depend
+  /// on which thread runs which index.
+  void parallel_for_seeded(
+      std::uint64_t seed, std::size_t n,
+      const std::function<void(std::size_t, Rng&)>& fn);
+
+  /// hardware_concurrency - 1 (the caller is the remaining lane), at least 0.
+  static std::size_t default_worker_count();
+
+  /// Process-wide shared pool used by the library hot paths.
+  static ThreadPool& global();
+
+ private:
+  struct Batch {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t next = 0;       // next index to claim
+    std::size_t completed = 0;  // indices fully processed
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  // Claims and runs indices of the current batch until exhausted; returns
+  // once every index has been *claimed* (caller then waits for completion).
+  void drain_batch(Batch& batch, std::unique_lock<std::mutex>& lock);
+
+  // Serialises whole batches; a parallel_for arriving while another is in
+  // flight simply runs serially instead of queueing behind it.
+  std::mutex submission_mutex_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  Batch* batch_ = nullptr;  // non-null while a parallel_for is active
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace drcell::util

@@ -10,14 +10,8 @@
 namespace drcell {
 namespace {
 
-Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
-  Matrix m(r, c);
-  for (double& x : m.data()) x = rng.normal();
-  return m;
-}
-
 Matrix random_spd(std::size_t n, Rng& rng) {
-  Matrix a = random_matrix(n, n, rng);
+  Matrix a = random_normal_matrix(n, n, rng);
   Matrix spd = a.matmul_transposed_self(a);  // AᵀA
   for (std::size_t i = 0; i < n; ++i) spd(i, i) += 1.0;
   return spd;
@@ -44,8 +38,14 @@ TEST(Matrix, RaggedInitializerThrows) {
 
 TEST(Matrix, OutOfRangeIndexThrows) {
   Matrix m(2, 2);
+  // at() is checked in every build mode; operator() only when DCHECKs are
+  // active (debug / DRCELL_ENABLE_DCHECKS builds).
+  EXPECT_THROW(m.at(2, 0), CheckError);
+  EXPECT_THROW(m.at(0, 2), CheckError);
+#if DRCELL_DCHECKS_ACTIVE
   EXPECT_THROW(m(2, 0), CheckError);
   EXPECT_THROW(m(0, 2), CheckError);
+#endif
 }
 
 TEST(Matrix, IdentityAndDiagonal) {
@@ -60,7 +60,7 @@ TEST(Matrix, IdentityAndDiagonal) {
 
 TEST(Matrix, TransposeRoundTrip) {
   Rng rng(1);
-  const Matrix m = random_matrix(3, 5, rng);
+  const Matrix m = random_normal_matrix(3, 5, rng);
   EXPECT_EQ(m.transposed().transposed(), m);
 }
 
@@ -94,8 +94,8 @@ TEST(Matrix, MatmulMatchesHandComputation) {
 
 TEST(Matrix, MatmulTransposedSelfEqualsExplicit) {
   Rng rng(2);
-  const Matrix a = random_matrix(4, 3, rng);
-  const Matrix b = random_matrix(4, 2, rng);
+  const Matrix a = random_normal_matrix(4, 3, rng);
+  const Matrix b = random_normal_matrix(4, 2, rng);
   const Matrix expected = a.transposed().matmul(b);
   const Matrix actual = a.matmul_transposed_self(b);
   EXPECT_NEAR((expected - actual).max_abs(), 0.0, 1e-12);
@@ -142,7 +142,7 @@ TEST(VectorOps, DotAndNorm) {
 
 TEST(VectorOps, MatvecMatchesMatmul) {
   Rng rng(3);
-  const Matrix a = random_matrix(4, 3, rng);
+  const Matrix a = random_normal_matrix(4, 3, rng);
   const std::vector<double> x{1.0, -2.0, 0.5};
   const auto y = matvec(a, x);
   const Matrix xm = Matrix::column(x);
@@ -179,7 +179,7 @@ TEST(Cholesky, RejectsNonSquare) {
 
 TEST(QRDecomposition, QHasOrthonormalColumns) {
   Rng rng(6);
-  const Matrix a = random_matrix(7, 4, rng);
+  const Matrix a = random_normal_matrix(7, 4, rng);
   const QR qr(a);
   const Matrix qtq = qr.q.matmul_transposed_self(qr.q);
   EXPECT_NEAR((qtq - Matrix::identity(4)).max_abs(), 0.0, 1e-10);
@@ -187,7 +187,7 @@ TEST(QRDecomposition, QHasOrthonormalColumns) {
 
 TEST(QRDecomposition, Reconstructs) {
   Rng rng(7);
-  const Matrix a = random_matrix(6, 3, rng);
+  const Matrix a = random_normal_matrix(6, 3, rng);
   const QR qr(a);
   const Matrix rec = qr.q.matmul(qr.r);
   EXPECT_NEAR((rec - a).max_abs(), 0.0, 1e-10);
@@ -195,7 +195,7 @@ TEST(QRDecomposition, Reconstructs) {
 
 TEST(QRDecomposition, LeastSquaresMatchesNormalEquations) {
   Rng rng(8);
-  const Matrix a = random_matrix(10, 3, rng);
+  const Matrix a = random_normal_matrix(10, 3, rng);
   std::vector<double> b(10);
   for (auto& v : b) v = rng.normal();
   const auto x_qr = QR(a).solve(b);
@@ -214,21 +214,21 @@ TEST(SVDDecomposition, SingularValuesOfDiagonal) {
 
 TEST(SVDDecomposition, ReconstructsTallMatrix) {
   Rng rng(9);
-  const Matrix a = random_matrix(8, 4, rng);
+  const Matrix a = random_normal_matrix(8, 4, rng);
   const SVD svd(a);
   EXPECT_NEAR((svd.reconstruct() - a).max_abs(), 0.0, 1e-9);
 }
 
 TEST(SVDDecomposition, ReconstructsWideMatrix) {
   Rng rng(10);
-  const Matrix a = random_matrix(3, 7, rng);
+  const Matrix a = random_normal_matrix(3, 7, rng);
   const SVD svd(a);
   EXPECT_NEAR((svd.reconstruct() - a).max_abs(), 0.0, 1e-9);
 }
 
 TEST(SVDDecomposition, OrthonormalFactors) {
   Rng rng(11);
-  const Matrix a = random_matrix(6, 4, rng);
+  const Matrix a = random_normal_matrix(6, 4, rng);
   const SVD svd(a);
   const Matrix utu = svd.u.matmul_transposed_self(svd.u);
   const Matrix vtv = svd.v.matmul_transposed_self(svd.v);
@@ -238,15 +238,15 @@ TEST(SVDDecomposition, OrthonormalFactors) {
 
 TEST(SVDDecomposition, RankOfLowRankMatrix) {
   Rng rng(12);
-  const Matrix u = random_matrix(8, 2, rng);
-  const Matrix v = random_matrix(5, 2, rng);
+  const Matrix u = random_normal_matrix(8, 2, rng);
+  const Matrix v = random_normal_matrix(5, 2, rng);
   const Matrix low_rank = u.matmul(v.transposed());
   EXPECT_EQ(SVD(low_rank).rank(), 2u);
 }
 
 TEST(Solvers, RidgeShrinksTowardsZero) {
   Rng rng(13);
-  const Matrix a = random_matrix(20, 3, rng);
+  const Matrix a = random_normal_matrix(20, 3, rng);
   std::vector<double> b(20);
   for (auto& v : b) v = rng.normal();
   const auto x0 = ridge_solve(a, b, 1e-9);
