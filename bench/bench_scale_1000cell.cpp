@@ -1,0 +1,218 @@
+// Scale workload beyond the paper's 57 cells: a synthetic 1000-cell city
+// deployment (ROADMAP scale target). Exercises the pieces that must hold up
+// at many-cell scale — the blocked matmul behind the completion
+// reconstruction, the ThreadPool-parallel ALS sweeps, the pooled inference
+// committee, the O(observed) sparse observation paths and the LOO quality
+// gate — and writes the BENCH_scale_1000cell.json report CI uploads as an
+// artifact.
+//
+//   ./build/bench_scale_1000cell [--quick] [--json [path]]
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "cs/committee.h"
+#include "cs/knn_inference.h"
+#include "cs/mean_inference.h"
+#include "cs/temporal_inference.h"
+#include "mcs/environment.h"
+#include "mcs/quality.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+using namespace drcell;
+
+namespace {
+
+constexpr std::size_t kWindowCycles = 48;
+constexpr std::size_t kDenseCycles = 24;  // preliminary-study block
+constexpr double kSparseDensity = 0.10;   // scale-target observation rate
+
+/// 1000 x 48 window: the first 24 cycles fully observed (warm start), the
+/// rest at the 10% density the scale target is specified at.
+cs::PartialMatrix make_scale_window(const mcs::SensingTask& task) {
+  cs::PartialMatrix window(task.num_cells(), kWindowCycles);
+  Rng rng(3);
+  for (std::size_t c = 0; c < kWindowCycles; ++c)
+    for (std::size_t cell = 0; cell < task.num_cells(); ++cell)
+      if (c < kDenseCycles || rng.bernoulli(kSparseDensity))
+        window.set(cell, c, task.truth(cell, c));
+  return window;
+}
+
+/// Successive sensing-cycle windows, each revealing ~`reveals` more entries
+/// of the sparse block — the warm-start resume pattern of a live campaign.
+std::vector<cs::PartialMatrix> make_window_sequence(
+    const mcs::SensingTask& task, std::size_t steps, std::size_t reveals) {
+  std::vector<cs::PartialMatrix> windows;
+  cs::PartialMatrix window = make_scale_window(task);
+  Rng rng(71);
+  for (std::size_t s = 0; s < steps; ++s) {
+    for (std::size_t k = 0; k < reveals; ++k) {
+      const std::size_t cell = rng.uniform_index(task.num_cells());
+      const std::size_t cycle =
+          kDenseCycles + rng.uniform_index(kWindowCycles - kDenseCycles);
+      if (!window.observed(cell, cycle))
+        window.set(cell, cycle, task.truth(cell, cycle));
+    }
+    windows.push_back(window);
+  }
+  return windows;
+}
+
+void bench_completion(const mcs::SensingTask& task,
+                      bench::JsonReporter& report, bool quick) {
+  const auto window = make_scale_window(task);
+
+  // Cold solve, serial vs pooled ALS sweeps. On single-core hardware the
+  // pool degrades to the serial path and the ratio reads ~1.0; the solves
+  // are bit-identical either way (tests/sparse_paths_test.cpp).
+  cs::MatrixCompletionOptions cold_opts;
+  cold_opts.warm_start = false;
+  cs::MatrixCompletion pooled(cold_opts);
+  util::ThreadPool pool;  // hardware-sized
+  pooled.set_thread_pool(&pool);
+  cs::MatrixCompletion serial(cold_opts);
+  util::ThreadPool serial_pool(0);
+  serial.set_thread_pool(&serial_pool);
+
+  const double target = quick ? 300.0 : 800.0;
+  const auto pooled_run =
+      bench::measure_ms([&] { (void)pooled.infer(window); }, target, 50);
+  const auto serial_run =
+      bench::measure_ms([&] { (void)serial.infer(window); }, target, 50);
+  report.add_with_reference("scale_als_infer_cold", pooled_run.wall_ms,
+                            pooled_run.iterations, 1e3 / pooled_run.wall_ms,
+                            serial_run.wall_ms, serial_run.iterations);
+  std::cout << "1000-cell cold ALS infer: pooled(" << pool.worker_count() + 1
+            << " lanes) " << format_double(pooled_run.wall_ms, 2)
+            << " ms, serial " << format_double(serial_run.wall_ms, 2)
+            << " ms\n";
+
+  // Warm-started per-cycle resume over an evolving window (~100 reveals =
+  // one sensing cycle's worth of new observations at 10% density).
+  const auto windows = make_window_sequence(task, quick ? 3 : 6, 100);
+  const double cycles = static_cast<double>(windows.size());
+  const cs::MatrixCompletion warm;  // warm-start on by default
+  const auto warm_run = bench::measure_ms(
+      [&] {
+        for (const auto& w : windows) (void)warm.infer(w);
+      },
+      target, 50);
+  const double warm_ms = warm_run.wall_ms / cycles;
+  report.add("scale_als_infer_warm_cycle", warm_ms,
+             warm_run.iterations * cycles, 1e3 / warm_ms);
+  std::cout << "1000-cell warm ALS infer per cycle: "
+            << format_double(warm_ms, 2) << " ms\n";
+}
+
+void bench_committee(const mcs::SensingTask& task,
+                     bench::JsonReporter& report, bool quick) {
+  const auto window = make_scale_window(task);
+  cs::MatrixCompletionOptions mc_opts;
+  mc_opts.warm_start = false;  // identical work in both modes
+  const auto make_members = [&] {
+    std::vector<cs::InferenceEnginePtr> members;
+    members.push_back(std::make_shared<cs::MeanInference>());
+    members.push_back(std::make_shared<cs::TemporalInterpolation>());
+    members.push_back(std::make_shared<cs::KnnInference>(task.coords()));
+    members.push_back(std::make_shared<cs::MatrixCompletion>(mc_opts));
+    return members;
+  };
+
+  cs::InferenceCommittee serial(make_members());
+  util::ThreadPool serial_pool(0);
+  serial.set_thread_pool(&serial_pool);
+  cs::InferenceCommittee pooled(make_members());
+  util::ThreadPool pool;  // hardware-sized
+  pooled.set_thread_pool(&pool);
+
+  const double target = quick ? 300.0 : 800.0;
+  const auto pooled_run =
+      bench::measure_ms([&] { (void)pooled.infer_all(window); }, target, 20);
+  const auto serial_run =
+      bench::measure_ms([&] { (void)serial.infer_all(window); }, target, 20);
+  report.add_with_reference("scale_committee_infer_all", pooled_run.wall_ms,
+                            pooled_run.iterations, 1e3 / pooled_run.wall_ms,
+                            serial_run.wall_ms, serial_run.iterations);
+  std::cout << "1000-cell committee infer_all: pooled "
+            << format_double(pooled_run.wall_ms, 2) << " ms, serial "
+            << format_double(serial_run.wall_ms, 2) << " ms\n";
+}
+
+void bench_gate(const mcs::SensingTask& task, bench::JsonReporter& report,
+                bool quick) {
+  const auto window = make_scale_window(task);
+  const cs::MatrixCompletion engine;  // warm: the fit is cached across calls
+  const mcs::LooBayesianGate gate(0.5, 0.9);
+  const Matrix inferred = engine.infer(window);
+  const mcs::QualityContext ctx{task,     window, kWindowCycles - 1,
+                                kWindowCycles - 1, &inferred, engine};
+  const auto gate_run = bench::measure_ms(
+      [&] { (void)gate.probability(ctx); }, quick ? 150.0 : 400.0, 500);
+  report.add("scale_quality_gate_decision", gate_run.wall_ms,
+             gate_run.iterations, 1e3 / gate_run.wall_ms);
+  std::cout << "1000-cell LOO gate decision: "
+            << format_double(gate_run.wall_ms, 3) << " ms\n";
+}
+
+void bench_environment(const mcs::SensingTask& task,
+                       bench::JsonReporter& report, bool quick) {
+  auto test_task = std::make_shared<const mcs::SensingTask>(
+      task.slice_cycles(kWindowCycles, task.num_cycles()));
+  mcs::EnvOptions options;
+  options.inference_window = kWindowCycles;
+  options.min_observations = 4;
+  options.max_selections_per_cycle = 100;  // bound a never-satisfied cycle
+  options.warm_start =
+      task.slice_cycles(0, kWindowCycles).ground_truth();
+  auto env = mcs::SparseMcsEnvironment(
+      test_task, std::make_shared<cs::MatrixCompletion>(),
+      std::make_shared<mcs::LooBayesianGate>(0.5, 0.9), options);
+  Rng rng(5);
+  const auto pick = [&rng](const mcs::SparseMcsEnvironment& e) {
+    const auto mask = e.action_mask();
+    std::vector<std::size_t> allowed;
+    for (std::size_t a = 0; a < mask.size(); ++a)
+      if (mask[a]) allowed.push_back(a);
+    return allowed[rng.uniform_index(allowed.size())];
+  };
+  const auto cycle = bench::measure_ms(
+      [&] {
+        if (env.episode_done()) env.reset();
+        (void)env.run_cycle(pick);
+      },
+      quick ? 300.0 : 800.0, 50);
+  report.add("scale_environment_cycle", cycle.wall_ms, cycle.iterations,
+             1e3 / cycle.wall_ms);
+  std::cout << "1000-cell environment sensing cycle: "
+            << format_double(cycle.wall_ms, 2) << " ms ("
+            << format_double(1e3 / cycle.wall_ms, 1) << " cycles/s)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  const std::string json =
+      bench::json_path(argc, argv, "BENCH_scale_1000cell.json");
+  bench::JsonReporter report("scale_1000cell", quick);
+  Stopwatch total;
+
+  std::cout << "generating 1000-cell city-scale task (25 x 40 grid)...\n";
+  Stopwatch gen_watch;
+  const auto task = data::make_city_scale_task(25, 40, quick ? 72 : 96);
+  const double gen_ms = gen_watch.elapsed_ms();
+  report.add("city_scale_generation", gen_ms, 1, 1e3 / gen_ms);
+  std::cout << "  " << task.num_cells() << " cells x " << task.num_cycles()
+            << " cycles in " << format_double(gen_ms / 1e3, 1) << " s\n";
+
+  bench_completion(task, report, quick);
+  bench_committee(task, report, quick);
+  bench_gate(task, report, quick);
+  bench_environment(task, report, quick);
+
+  std::cout << "total bench time: "
+            << format_double(total.elapsed_seconds(), 1) << " s\n";
+  return bench::finish_report(report, json, total);
+}

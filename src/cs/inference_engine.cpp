@@ -4,7 +4,9 @@ namespace drcell::cs {
 
 std::vector<double> InferenceEngine::loo_column_predictions(
     const PartialMatrix& observed, std::size_t col) const {
-  const auto rows = observed.observed_rows_in_col(col);
+  // The list reference stays valid: the LOO churn below mutates only the
+  // scratch copy, never `observed` itself.
+  const auto& rows = observed.observed_rows_in_col(col);
   std::vector<double> predictions;
   predictions.reserve(rows.size());
   PartialMatrix scratch = observed;

@@ -29,7 +29,7 @@ Matrix KnnInference::infer(const PartialMatrix& observed) const {
   // Per-cell temporal means (fallback when a cycle has no observations).
   std::vector<double> cell_mean(m, global_mean);
   for (std::size_t r = 0; r < m; ++r) {
-    const auto cols = observed.observed_cols_in_row(r);
+    const auto& cols = observed.observed_cols_in_row(r);
     if (cols.empty()) continue;
     double s = 0.0;
     for (std::size_t c : cols) s += observed.value(r, c);
@@ -37,7 +37,7 @@ Matrix KnnInference::infer(const PartialMatrix& observed) const {
   }
 
   for (std::size_t c = 0; c < n; ++c) {
-    const auto obs_rows = observed.observed_rows_in_col(c);
+    const auto& obs_rows = observed.observed_rows_in_col(c);
     for (std::size_t r = 0; r < m; ++r) {
       if (observed.observed(r, c)) {
         est(r, c) = observed.value(r, c);

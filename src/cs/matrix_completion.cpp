@@ -1,7 +1,6 @@
 #include "cs/matrix_completion.h"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 
 #include "linalg/solvers.h"
@@ -9,48 +8,52 @@
 
 namespace drcell::cs {
 
-namespace {
-/// RMSE of `mu + row_factors colᵀ` against the window's observed entries.
 double observed_rmse(const Matrix& row_factors, const Matrix& col_factors,
                      double mu, const PartialMatrix& observed) {
   double sq = 0.0;
-  std::size_t count = 0;
+  const std::size_t count = observed.observed_count();
   const std::size_t rank = row_factors.cols();
-  for (std::size_t r = 0; r < observed.rows(); ++r)
-    for (std::size_t c = 0; c < observed.cols(); ++c) {
-      if (!observed.observed(r, c)) continue;
+  for (std::size_t r = 0; r < observed.rows(); ++r) {
+    const auto row_f = row_factors.row(r);
+    for (std::size_t c : observed.observed_cols_in_row(r)) {
       double pred = mu;
-      for (std::size_t k = 0; k < rank; ++k)
-        pred += row_factors(r, k) * col_factors(c, k);
+      const auto col_f = col_factors.row(c);
+      for (std::size_t k = 0; k < rank; ++k) pred += row_f[k] * col_f[k];
       const double d = pred - observed.value(r, c);
       sq += d * d;
-      ++count;
     }
+  }
   return count ? std::sqrt(sq / static_cast<double>(count)) : 0.0;
 }
 
-/// Order-sensitive 64-bit hash of the window's shape and observed entries.
-/// A fingerprint match is treated as "same window" and returns the cached
-/// factors without touching the solver; distinct windows colliding is a
-/// ~2^-64 event per comparison, which we accept rather than storing and
-/// comparing a full copy of the previous window.
-std::uint64_t window_fingerprint(const PartialMatrix& observed) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  const auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ULL;
-    h ^= h >> 29;
-  };
-  mix(observed.rows());
-  mix(observed.cols());
-  mix(observed.observed_count());
-  for (std::size_t r = 0; r < observed.rows(); ++r)
-    for (std::size_t c = 0; c < observed.cols(); ++c)
-      if (observed.observed(r, c)) {
-        mix(r * observed.cols() + c);
-        mix(std::bit_cast<std::uint64_t>(observed.value(r, c)));
-      }
-  return h;
+namespace {
+// Fewest observations a parallel chunk should carry: below this the ridge
+// solves are too cheap to amortise pool dispatch, so the chunking collapses
+// to a single chunk and parallel_for's n == 1 fast path runs it inline.
+constexpr std::size_t kMinObsPerChunk = 1024;
+
+/// Splits [0, count) into contiguous chunks of roughly equal observation
+/// weight. The boundaries never influence the arithmetic (each solve is
+/// self-contained), only the load balance.
+std::vector<std::size_t> chunk_bounds(std::size_t count, std::size_t lanes,
+                                      std::size_t total_obs,
+                                      const std::vector<std::size_t>& weight) {
+  std::vector<std::size_t> bounds{0};
+  const std::size_t max_chunks = std::min(count, lanes * 4);
+  const std::size_t per_chunk =
+      std::max(kMinObsPerChunk,
+               max_chunks ? (total_obs + max_chunks - 1) / max_chunks
+                          : total_obs);
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    acc += weight[i];
+    if (acc >= per_chunk && i + 1 < count) {
+      bounds.push_back(i + 1);
+      acc = 0;
+    }
+  }
+  bounds.push_back(count);
+  return bounds;
 }
 }  // namespace
 
@@ -94,9 +97,10 @@ MatrixCompletion::Fit MatrixCompletion::fit(
   // Resume from the previous window's converged factors when they fit this
   // window's shape; otherwise start from random noise. A fingerprint match
   // means the window is unchanged since the cached fit converged — return it
-  // outright (repeated infer/LOO calls per cycle then cost one hash pass).
+  // outright. The fingerprint itself is cached inside the PartialMatrix, so
+  // repeated infer + LOO-gate calls per sensing step share one hash pass.
   const std::uint64_t fingerprint =
-      options_.warm_start ? window_fingerprint(observed) : 0;
+      options_.warm_start ? observed.fingerprint() : 0;
   bool warm_resumed = false;
   bool warm_trusted = false;
   if (options_.warm_start) {
@@ -131,25 +135,83 @@ MatrixCompletion::Fit MatrixCompletion::fit(
     result.col_factors = random_normal_matrix(n, rank, rng);
   }
 
-  // Pre-compute observation lists.
-  std::vector<std::vector<std::size_t>> cols_of_row(m), rows_of_col(n);
+  // Per-row/per-column observation counts (the incremental lists live inside
+  // the PartialMatrix; only the workspace sizing needs a pass here).
   std::size_t max_obs = 1;
+  std::vector<std::size_t> row_weight(m), col_weight(n);
   for (std::size_t r = 0; r < m; ++r) {
-    cols_of_row[r] = observed.observed_cols_in_row(r);
-    max_obs = std::max(max_obs, cols_of_row[r].size());
+    row_weight[r] = observed.observed_count_in_row(r);
+    max_obs = std::max(max_obs, row_weight[r]);
   }
   for (std::size_t c = 0; c < n; ++c) {
-    rows_of_col[c] = observed.observed_rows_in_col(c);
-    max_obs = std::max(max_obs, rows_of_col[c].size());
+    col_weight[c] = observed.observed_count_in_col(c);
+    max_obs = std::max(max_obs, col_weight[c]);
   }
 
   Matrix& row_f = result.row_factors;
   Matrix& col_f = result.col_factors;
   const double mu = result.mu;
-  // One design-matrix/rhs workspace reused across every per-row and
-  // per-column solve (resize() recycles the allocation).
-  Matrix a(max_obs, rank);
-  std::vector<double> b(max_obs);
+
+  util::ThreadPool& pool = pool_ ? *pool_ : util::ThreadPool::global();
+  const std::size_t lanes = pool.worker_count() + 1;
+  const std::size_t total_obs = observed.observed_count();
+  const auto row_bounds = chunk_bounds(m, lanes, total_obs, row_weight);
+  const auto col_bounds = chunk_bounds(n, lanes, total_obs, col_weight);
+
+  // Per-solve convergence stats, written by index during the parallel phase
+  // and reduced serially in index order afterwards — the sweep result and
+  // the stop decision are bit-identical for any worker count.
+  std::vector<double> solve_max(std::max(m, n), 0.0);
+  std::vector<double> solve_delta(std::max(m, n), 0.0);
+  std::vector<double> solve_factor(std::max(m, n), 0.0);
+
+  // One ALS half-sweep: for every index i, ridge-solve dst's row i against
+  // the src-side factors of its observed entries. Solves are independent
+  // (dst rows are disjoint, src is read-only during the phase), so chunks of
+  // them run concurrently; each chunk hoists one design-matrix/rhs workspace
+  // across its solves.
+  const auto half_sweep = [&](const std::vector<std::size_t>& bounds,
+                              Matrix& dst, const Matrix& src,
+                              auto&& obs_list, auto&& obs_value) {
+    pool.parallel_for(bounds.size() - 1, [&](std::size_t chunk) {
+      Matrix a(max_obs, rank);
+      std::vector<double> b(max_obs);
+      for (std::size_t i = bounds[chunk]; i < bounds[chunk + 1]; ++i) {
+        const std::vector<std::size_t>& obs = obs_list(i);
+        if (obs.empty()) {
+          // No data for this index in the window; shrink towards the mean
+          // (and contribute nothing to the convergence stats, as before).
+          for (std::size_t k = 0; k < rank; ++k) dst(i, k) = 0.0;
+          solve_max[i] = solve_delta[i] = solve_factor[i] = 0.0;
+          continue;
+        }
+        a.resize(obs.size(), rank);
+        b.resize(obs.size());
+        for (std::size_t j = 0; j < obs.size(); ++j) {
+          const auto from = src.row(obs[j]);
+          std::copy(from.begin(), from.end(), a.row(j).begin());
+          b[j] = obs_value(i, obs[j]) - mu;
+        }
+        // Weighted-lambda ALS (Zhou et al.): scaling the ridge by the number
+        // of observations keeps sparsely observed rows from blowing up to
+        // compensate for small factors on the other side.
+        const auto x = ridge_solve(
+            a, b, options_.lambda * static_cast<double>(obs.size()));
+        double mx = 0.0, dsq = 0.0, fsq = 0.0;
+        for (std::size_t k = 0; k < rank; ++k) {
+          const double d = dst(i, k) - x[k];
+          mx = std::max(mx, std::fabs(d));
+          dsq += d * d;
+          fsq += x[k] * x[k];
+          dst(i, k) = x[k];
+        }
+        solve_max[i] = mx;
+        solve_delta[i] = dsq;
+        solve_factor[i] = fsq;
+      }
+    });
+  };
+
   const std::size_t sweep_budget =
       warm_trusted ? std::min(options_.warm_iterations, options_.iterations)
                    : options_.iterations;
@@ -159,56 +221,28 @@ MatrixCompletion::Fit MatrixCompletion::fit(
     double factor_sq = 0.0;  // Frobenius² of the updated factors
     // Update row factors: for each row solve a ridge regression on the
     // column factors of its observed entries.
+    half_sweep(
+        row_bounds, row_f, col_f,
+        [&](std::size_t r) -> const std::vector<std::size_t>& {
+          return observed.observed_cols_in_row(r);
+        },
+        [&](std::size_t r, std::size_t c) { return observed.value(r, c); });
     for (std::size_t r = 0; r < m; ++r) {
-      const auto& cols = cols_of_row[r];
-      if (cols.empty()) {
-        // No data for this cell in the window; shrink towards the mean.
-        for (std::size_t k = 0; k < rank; ++k) row_f(r, k) = 0.0;
-        continue;
-      }
-      a.resize(cols.size(), rank);
-      b.resize(cols.size());
-      for (std::size_t i = 0; i < cols.size(); ++i) {
-        const auto src = col_f.row(cols[i]);
-        std::copy(src.begin(), src.end(), a.row(i).begin());
-        b[i] = observed.value(r, cols[i]) - mu;
-      }
-      // Weighted-lambda ALS (Zhou et al.): scaling the ridge by the number
-      // of observations keeps sparsely observed rows from blowing up to
-      // compensate for small factors on the other side.
-      const auto x = ridge_solve(
-          a, b, options_.lambda * static_cast<double>(cols.size()));
-      for (std::size_t k = 0; k < rank; ++k) {
-        const double d = row_f(r, k) - x[k];
-        max_change = std::max(max_change, std::fabs(d));
-        delta_sq += d * d;
-        factor_sq += x[k] * x[k];
-        row_f(r, k) = x[k];
-      }
+      max_change = std::max(max_change, solve_max[r]);
+      delta_sq += solve_delta[r];
+      factor_sq += solve_factor[r];
     }
     // Update column factors symmetrically.
+    half_sweep(
+        col_bounds, col_f, row_f,
+        [&](std::size_t c) -> const std::vector<std::size_t>& {
+          return observed.observed_rows_in_col(c);
+        },
+        [&](std::size_t c, std::size_t r) { return observed.value(r, c); });
     for (std::size_t c = 0; c < n; ++c) {
-      const auto& rows = rows_of_col[c];
-      if (rows.empty()) {
-        for (std::size_t k = 0; k < rank; ++k) col_f(c, k) = 0.0;
-        continue;
-      }
-      a.resize(rows.size(), rank);
-      b.resize(rows.size());
-      for (std::size_t i = 0; i < rows.size(); ++i) {
-        const auto src = row_f.row(rows[i]);
-        std::copy(src.begin(), src.end(), a.row(i).begin());
-        b[i] = observed.value(rows[i], c) - mu;
-      }
-      const auto x = ridge_solve(
-          a, b, options_.lambda * static_cast<double>(rows.size()));
-      for (std::size_t k = 0; k < rank; ++k) {
-        const double d = col_f(c, k) - x[k];
-        max_change = std::max(max_change, std::fabs(d));
-        delta_sq += d * d;
-        factor_sq += x[k] * x[k];
-        col_f(c, k) = x[k];
-      }
+      max_change = std::max(max_change, solve_max[c]);
+      delta_sq += solve_delta[c];
+      factor_sq += solve_factor[c];
     }
     if (max_change < options_.convergence_tol) break;
     if (options_.frobenius_tol > 0.0 &&
@@ -232,8 +266,8 @@ Matrix MatrixCompletion::infer(const PartialMatrix& observed) const {
   est.apply([&f](double x) { return x + f.mu; });
   // Observed entries are known exactly — keep them.
   for (std::size_t r = 0; r < observed.rows(); ++r)
-    for (std::size_t c = 0; c < observed.cols(); ++c)
-      if (observed.observed(r, c)) est(r, c) = observed.value(r, c);
+    for (std::size_t c : observed.observed_cols_in_row(r))
+      est(r, c) = observed.value(r, c);
   DRCELL_CHECK_MSG(!est.has_non_finite(),
                    "matrix completion produced non-finite values");
   return est;
@@ -244,7 +278,7 @@ std::vector<double> MatrixCompletion::loo_column_predictions(
   DRCELL_CHECK(col < observed.cols());
   const Fit f = fit(observed);
   const std::size_t rank = f.rank;
-  const auto rows_in_col = observed.observed_rows_in_col(col);
+  const auto& rows_in_col = observed.observed_rows_in_col(col);
   std::vector<double> predictions;
   predictions.reserve(rows_in_col.size());
 
@@ -256,7 +290,7 @@ std::vector<double> MatrixCompletion::loo_column_predictions(
     //
     // Row factor of the held-out cell from its *other* observations
     // (column factors fixed):
-    const auto cols_of_row = observed.observed_cols_in_row(cell);
+    const auto& cols_of_row = observed.observed_cols_in_row(cell);
     std::vector<double> u(rank, 0.0);
     if (cols_of_row.size() > 1) {
       Matrix a(cols_of_row.size() - 1, rank);

@@ -20,8 +20,15 @@
 #include <optional>
 
 #include "cs/inference_engine.h"
+#include "util/thread_pool.h"
 
 namespace drcell::cs {
+
+/// RMSE of `mu + row_factors col_factorsᵀ` against the window's observed
+/// entries, iterated through the observation lists (O(observed · rank), not
+/// rows x cols). Used by the warm-start trust guard and the scale benches.
+double observed_rmse(const Matrix& row_factors, const Matrix& col_factors,
+                     double mu, const PartialMatrix& observed);
 
 struct MatrixCompletionOptions {
   std::size_t rank = 5;        ///< latent dimension r
@@ -79,6 +86,12 @@ class MatrixCompletion final : public InferenceEngine {
   /// to an unrelated sensing matrix mid-stream.
   void reset_warm_start() const;
 
+  /// Overrides the pool that runs the per-row/per-column ridge solves of an
+  /// ALS sweep. nullptr restores the global pool; a 0-worker pool gives
+  /// strictly serial execution. Results are bit-identical for any worker
+  /// count (solves are independent, stats reduce in index order).
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+
  private:
   struct Fit {
     Matrix row_factors;  // m x r
@@ -94,6 +107,7 @@ class MatrixCompletion final : public InferenceEngine {
   Fit fit(const PartialMatrix& observed) const;
 
   MatrixCompletionOptions options_;
+  util::ThreadPool* pool_ = nullptr;  // nullptr -> ThreadPool::global()
   // Converged factors of the previous fit. Engines are shared as const
   // pointers across the campaign, so the cache is mutable and mutex-guarded;
   // the lock is only taken twice per fit (snapshot in, store out).

@@ -11,7 +11,7 @@ Matrix MeanInference::infer(const PartialMatrix& observed) const {
   std::vector<double> col_mean(n);
   std::vector<bool> col_has(n, false);
   for (std::size_t c = 0; c < n; ++c) {
-    const auto rows = observed.observed_rows_in_col(c);
+    const auto& rows = observed.observed_rows_in_col(c);
     if (rows.empty()) continue;
     double s = 0.0;
     for (std::size_t r : rows) s += observed.value(r, c);
@@ -21,7 +21,7 @@ Matrix MeanInference::infer(const PartialMatrix& observed) const {
   std::vector<double> row_mean(m);
   std::vector<bool> row_has(m, false);
   for (std::size_t r = 0; r < m; ++r) {
-    const auto cols = observed.observed_cols_in_row(r);
+    const auto& cols = observed.observed_cols_in_row(r);
     if (cols.empty()) continue;
     double s = 0.0;
     for (std::size_t c : cols) s += observed.value(r, c);

@@ -11,7 +11,7 @@ Matrix TemporalInterpolation::infer(const PartialMatrix& observed) const {
   // Per-cycle means for cells that were never observed.
   std::vector<double> col_mean(n, global_mean);
   for (std::size_t c = 0; c < n; ++c) {
-    const auto rows = observed.observed_rows_in_col(c);
+    const auto& rows = observed.observed_rows_in_col(c);
     if (rows.empty()) continue;
     double s = 0.0;
     for (std::size_t r : rows) s += observed.value(r, c);
@@ -19,7 +19,7 @@ Matrix TemporalInterpolation::infer(const PartialMatrix& observed) const {
   }
 
   for (std::size_t r = 0; r < m; ++r) {
-    const auto cols = observed.observed_cols_in_row(r);
+    const auto& cols = observed.observed_cols_in_row(r);
     if (cols.empty()) {
       for (std::size_t c = 0; c < n; ++c) est(r, c) = col_mean[c];
       continue;

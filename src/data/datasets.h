@@ -26,6 +26,16 @@ struct UAirDataset {
 };
 UAirDataset make_uair_like(std::uint64_t seed = 2013);
 
+/// Synthetic city-scale deployment far beyond the paper's 57 cells — the
+/// workload of the 1000-cell scale target (ROADMAP). A grid_rows x grid_cols
+/// grid of 100 m x 100 m cells (25 x 40 = 1000 by default) with a
+/// temperature-like field, half-hour cycles. Generation cost is dominated by
+/// the O(cells³) spatial Cholesky, so call it once and slice.
+mcs::SensingTask make_city_scale_task(std::size_t grid_rows = 25,
+                                      std::size_t grid_cols = 40,
+                                      std::size_t cycles = 96,
+                                      std::uint64_t seed = 1000);
+
 /// Row of Table 1.
 struct DatasetStats {
   std::string name;

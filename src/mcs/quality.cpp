@@ -51,7 +51,7 @@ LooBayesianGate::LooBayesianGate(double epsilon, double p)
 double LooBayesianGate::probability(const QualityContext& ctx) const {
   const std::size_t col = ctx.window_col;
   DRCELL_CHECK(col < ctx.window.cols());
-  const auto observed = ctx.window.observed_rows_in_col(col);
+  const auto& observed = ctx.window.observed_rows_in_col(col);
   if (observed.empty()) return 0.0;  // nothing sensed: no evidence at all
   const auto unobserved = unobserved_cells_in_cycle(ctx.window, col);
   if (unobserved.empty()) return 1.0;  // everything sensed: error is zero

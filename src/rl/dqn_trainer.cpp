@@ -91,21 +91,37 @@ void DqnTrainer::observe(Experience e) {
 
 double DqnTrainer::train_step() {
   if (replay_.size() < options_.min_replay) return 0.0;
-  const auto batch = replay_.sample(options_.batch_size, rng_);
+  const auto batch = replay_.sample_indices(options_.batch_size, rng_);
   const std::size_t b = batch.size();
   const std::size_t actions = online_->num_actions();
+
+  // Batch input sequences for the current and next states. The per-
+  // transition encodings are cached inside the replay buffer (a transition
+  // is encoded once, not once per epoch it gets sampled into); assembling a
+  // batch is then k contiguous row copies per transition.
+  const std::size_t k = encoder_.history_cycles();
+  const std::size_t cells = encoder_.cells();
+  std::vector<Matrix> next_seq(k, Matrix(b, cells));
+  std::vector<Matrix> state_seq(k, Matrix(b, cells));
+  for (std::size_t i = 0; i < b; ++i) {
+    const EncodedExperience& enc =
+        replay_.encoded(batch[i], [this](const Experience& e) {
+          return EncodedExperience{encoder_.to_sequence(e.state),
+                                   encoder_.to_sequence(e.next_state)};
+        });
+    for (std::size_t j = 0; j < k; ++j) {
+      const auto state_row = enc.state[j].row(0);
+      std::copy(state_row.begin(), state_row.end(),
+                state_seq[j].row(i).begin());
+      const auto next_row = enc.next_state[j].row(0);
+      std::copy(next_row.begin(), next_row.end(),
+                next_seq[j].row(i).begin());
+    }
+  }
 
   // Bootstrap values for every next state from the fixed-target network
   // (Eq. 7); optionally Double-DQN: argmax from the online network, value
   // from the target network.
-  std::vector<const std::vector<double>*> next_states(b);
-  std::vector<const std::vector<double>*> states(b);
-  for (std::size_t i = 0; i < b; ++i) {
-    next_states[i] = &batch[i]->next_state;
-    states[i] = &batch[i]->state;
-  }
-  const auto next_seq = to_sequence(next_states);
-  const auto state_seq = to_sequence(states);
 
   // The target and online networks are distinct objects, so their batch
   // forwards run as two concurrent pool lanes. The online lane keeps its
@@ -127,7 +143,7 @@ double DqnTrainer::train_step() {
 
   std::vector<double> bootstrap(b, 0.0);
   for (std::size_t i = 0; i < b; ++i) {
-    const Experience& e = *batch[i];
+    const Experience& e = replay_.at(batch[i]);
     if (e.terminal) continue;
     bool any = false;
     for (std::uint8_t allowed : e.next_mask)
@@ -150,7 +166,7 @@ double DqnTrainer::train_step() {
   Matrix targets(b, actions);
   Matrix mask(b, actions);
   for (std::size_t i = 0; i < b; ++i) {
-    const Experience& e = *batch[i];
+    const Experience& e = replay_.at(batch[i]);
     targets(i, e.action) = e.reward + options_.gamma * bootstrap[i];
     mask(i, e.action) = 1.0;
   }

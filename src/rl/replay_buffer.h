@@ -1,34 +1,105 @@
 // Uniform experience-replay memory (the pool D of Algorithm 2).
+//
+// Alongside each transition the buffer caches its encoded DRQN input
+// sequences: the one-hot k x (1 x m) matrices the state encoder produces
+// are a pure function of the stored transition, yet the seed re-encoded
+// every sampled transition on every train step. The cache is filled lazily
+// on first access (the trainer supplies the encoding function), invalidated
+// when the ring overwrites the slot, and bounded by a byte budget — an
+// encoded transition costs ~2·k·cells doubles, which at a 1000-cell
+// deployment with the default 20000-transition capacity would otherwise
+// grow unchecked. Past the budget, encoded() computes into a scratch slot
+// instead of caching.
 #pragma once
 
+#include <optional>
+#include <utility>
 #include <vector>
 
+#include "linalg/matrix.h"
 #include "rl/experience.h"
 #include "util/rng.h"
 
 namespace drcell::rl {
 
+/// Encoded DRQN inputs of one transition: the k per-step 1 x cells matrices
+/// of S and S' (see mcs::StateEncoder::to_sequence).
+struct EncodedExperience {
+  std::vector<Matrix> state;
+  std::vector<Matrix> next_state;
+};
+
 class ReplayBuffer {
  public:
-  explicit ReplayBuffer(std::size_t capacity);
+  /// Default byte budget of the encoded-sequence cache (256 MiB): never a
+  /// constraint at paper scale (57 cells x 20000 transitions ≈ 36 MiB
+  /// fully warm), a deliberate cap at the 1000-cell scale target.
+  static constexpr std::size_t kDefaultMaxCacheBytes =
+      std::size_t{256} << 20;
+
+  explicit ReplayBuffer(std::size_t capacity,
+                        std::size_t max_cache_bytes = kDefaultMaxCacheBytes);
 
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
 
-  /// Adds a transition, evicting the oldest once full (ring buffer).
+  /// Adds a transition, evicting the oldest once full (ring buffer). The
+  /// overwritten slot's cached encoding is invalidated.
   void add(Experience e);
 
   /// Uniformly samples `count` transitions with replacement.
   std::vector<const Experience*> sample(std::size_t count, Rng& rng) const;
+  /// Same draw stream as sample(), returning slot indices (the key of the
+  /// encoded-sequence cache).
+  std::vector<std::size_t> sample_indices(std::size_t count, Rng& rng) const;
+
+  /// Cached encoded sequences of transition i, computed via `encode` on the
+  /// first access after the slot was (re)written. Once the byte budget is
+  /// exhausted, further misses are served from a scratch slot — the
+  /// returned reference is then only valid until the next encoded() call.
+  /// Not thread-safe — call from the training thread only.
+  template <typename EncodeFn>
+  const EncodedExperience& encoded(std::size_t i, EncodeFn&& encode) const {
+    auto& slot = cache_.at(i);
+    if (slot.has_value()) return *slot;
+    EncodedExperience enc = encode(items_[i]);
+    ++encode_misses_;
+    const std::size_t bytes = encoded_bytes(enc);
+    if (cache_bytes_ + bytes <= max_cache_bytes_) {
+      cache_bytes_ += bytes;
+      slot = std::move(enc);
+      return *slot;
+    }
+    scratch_ = std::move(enc);
+    return scratch_;
+  }
+  /// How many encoded() calls had to encode (cache misses) — instrumentation
+  /// for the no-re-encoding regression tests.
+  std::size_t encode_misses() const { return encode_misses_; }
+  /// Bytes currently held by cached encodings (excludes the scratch slot).
+  std::size_t cache_bytes() const { return cache_bytes_; }
 
   const Experience& at(std::size_t i) const { return items_.at(i); }
   void clear();
 
  private:
+  static std::size_t encoded_bytes(const EncodedExperience& e) {
+    std::size_t b = 0;
+    for (const Matrix& m : e.state) b += m.data().size() * sizeof(double);
+    for (const Matrix& m : e.next_state)
+      b += m.data().size() * sizeof(double);
+    return b;
+  }
+
   std::size_t capacity_;
+  std::size_t max_cache_bytes_;
   std::size_t next_ = 0;  // ring cursor once at capacity
   std::vector<Experience> items_;
+  mutable std::vector<std::optional<EncodedExperience>> cache_;
+  mutable std::size_t cache_bytes_ = 0;
+  mutable std::size_t encode_misses_ = 0;
+  mutable EncodedExperience scratch_;  // over-budget misses land here
 };
 
 }  // namespace drcell::rl

@@ -1,0 +1,386 @@
+// Tests for the O(observed) completion pipeline: PartialMatrix's
+// incremental observation lists vs the seed's dense-scan reference,
+// consistency under LOO clear-then-restore churn, the cached window
+// fingerprint shared across infer + quality gate, ThreadPool-parallel ALS
+// bit-identity with the serial path, and the replay buffer's encoded-
+// sequence cache.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "cs/matrix_completion.h"
+#include "cs/partial_matrix.h"
+#include "data/synthetic_field.h"
+#include "mcs/quality.h"
+#include "mcs/sensing_task.h"
+#include "rl/dqn_trainer.h"
+#include "rl/drqn_qnetwork.h"
+#include "rl/replay_buffer.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace drcell {
+namespace {
+
+/// Seed-equivalent dense scans, the reference the incremental lists are
+/// checked against.
+std::vector<std::size_t> dense_rows_in_col(const cs::PartialMatrix& p,
+                                           std::size_t c) {
+  std::vector<std::size_t> out;
+  for (std::size_t r = 0; r < p.rows(); ++r)
+    if (p.observed(r, c)) out.push_back(r);
+  return out;
+}
+
+std::vector<std::size_t> dense_cols_in_row(const cs::PartialMatrix& p,
+                                           std::size_t r) {
+  std::vector<std::size_t> out;
+  for (std::size_t c = 0; c < p.cols(); ++c)
+    if (p.observed(r, c)) out.push_back(c);
+  return out;
+}
+
+double dense_mean(const cs::PartialMatrix& p) {
+  double s = 0.0;
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < p.rows(); ++r)
+    for (std::size_t c = 0; c < p.cols(); ++c)
+      if (p.observed(r, c)) {
+        s += p.value(r, c);
+        ++count;
+      }
+  return count ? s / static_cast<double>(count) : 0.0;
+}
+
+/// The seed's order-sensitive window hash (dense row-major scan) — the
+/// cached fingerprint must reproduce it exactly.
+std::uint64_t dense_fingerprint(const cs::PartialMatrix& p) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  };
+  mix(p.rows());
+  mix(p.cols());
+  mix(p.observed_count());
+  for (std::size_t r = 0; r < p.rows(); ++r)
+    for (std::size_t c = 0; c < p.cols(); ++c)
+      if (p.observed(r, c)) {
+        mix(r * p.cols() + c);
+        mix(std::bit_cast<std::uint64_t>(p.value(r, c)));
+      }
+  return h;
+}
+
+/// Full consistency check of the incremental state against the dense-scan
+/// reference and a from-scratch rebuild.
+void expect_matches_dense_reference(const cs::PartialMatrix& p) {
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    const auto dense = dense_cols_in_row(p, r);
+    EXPECT_EQ(p.observed_cols_in_row(r), dense) << "row " << r;
+    EXPECT_EQ(p.observed_count_in_row(r), dense.size()) << "row " << r;
+    total += dense.size();
+  }
+  for (std::size_t c = 0; c < p.cols(); ++c) {
+    const auto dense = dense_rows_in_col(p, c);
+    EXPECT_EQ(p.observed_rows_in_col(c), dense) << "col " << c;
+    EXPECT_EQ(p.observed_count_in_col(c), dense.size()) << "col " << c;
+  }
+  EXPECT_EQ(p.observed_count(), total);
+  EXPECT_EQ(p.observed_mean(), dense_mean(p));  // same summation order
+  EXPECT_EQ(p.fingerprint(), dense_fingerprint(p));
+
+  // From-scratch rebuild: an identical matrix built by one set() per
+  // observed entry must agree on every query.
+  cs::PartialMatrix rebuilt(p.rows(), p.cols());
+  for (std::size_t r = 0; r < p.rows(); ++r)
+    for (std::size_t c : p.observed_cols_in_row(r))
+      rebuilt.set(r, c, p.value(r, c));
+  EXPECT_EQ(rebuilt.observed_count(), p.observed_count());
+  EXPECT_EQ(rebuilt.observed_mean(), p.observed_mean());
+  EXPECT_EQ(rebuilt.fingerprint(), p.fingerprint());
+  for (std::size_t r = 0; r < p.rows(); ++r)
+    EXPECT_EQ(rebuilt.observed_cols_in_row(r), p.observed_cols_in_row(r));
+  for (std::size_t c = 0; c < p.cols(); ++c)
+    EXPECT_EQ(rebuilt.observed_rows_in_col(c), p.observed_rows_in_col(c));
+}
+
+TEST(PartialMatrixSparse, ListsMatchDenseReferenceOnRandomMasks) {
+  Rng rng(101);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t m = 1 + rng.uniform_index(14);
+    const std::size_t n = 1 + rng.uniform_index(14);
+    const double density = rng.uniform(0.0, 1.0);
+    cs::PartialMatrix p(m, n);
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        if (rng.bernoulli(density)) p.set(r, c, rng.uniform(-10.0, 10.0));
+    // A few overwrites of already-observed entries (must not duplicate
+    // list entries).
+    for (int k = 0; k < 5 && p.observed_count() > 0; ++k) {
+      const std::size_t r = rng.uniform_index(m);
+      const std::size_t c = rng.uniform_index(n);
+      p.set(r, c, rng.uniform(-10.0, 10.0));
+    }
+    expect_matches_dense_reference(p);
+  }
+}
+
+TEST(PartialMatrixChurn, ClearRestoreAndOverwriteMatchFreshRebuild) {
+  // Exhaustive set/clear churn over a small grid, checking the incremental
+  // state against the dense reference after every kind of mutation the LOO
+  // quality gate performs.
+  const std::size_t m = 6, n = 5;
+  cs::PartialMatrix p(m, n);
+  Rng rng(7);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      if ((r + c) % 2 == 0) p.set(r, c, rng.uniform(0.0, 1.0));
+  expect_matches_dense_reference(p);
+
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c) {
+      if (p.observed(r, c)) {
+        // LOO churn: clear then restore the same value.
+        const double held_out = p.value(r, c);
+        p.clear(r, c);
+        EXPECT_FALSE(p.observed(r, c));
+        expect_matches_dense_reference(p);
+        p.set(r, c, held_out);
+        EXPECT_TRUE(p.observed(r, c));
+        EXPECT_EQ(p.value(r, c), held_out);
+        // set/clear/set the same entry with a different value.
+        p.set(r, c, held_out + 1.0);
+        p.clear(r, c);
+        p.set(r, c, held_out);
+        expect_matches_dense_reference(p);
+      } else {
+        // Clearing an unobserved entry stays a no-op.
+        const std::size_t before = p.observed_count();
+        p.clear(r, c);
+        EXPECT_EQ(p.observed_count(), before);
+        expect_matches_dense_reference(p);
+      }
+    }
+}
+
+TEST(PartialMatrixFingerprint, CachedUntilMutatedAndRestoredByEqualContent) {
+  cs::PartialMatrix p(4, 4);
+  p.set(0, 0, 1.5);
+  p.set(2, 3, -2.0);
+  const std::uint64_t fp = p.fingerprint();
+  EXPECT_EQ(p.fingerprint(), fp);
+  EXPECT_EQ(p.fingerprint_computations(), 1u);  // second call hit the cache
+
+  // Re-setting the identical value leaves content and cache untouched.
+  p.set(0, 0, 1.5);
+  EXPECT_EQ(p.fingerprint(), fp);
+  EXPECT_EQ(p.fingerprint_computations(), 1u);
+
+  // Clear + restore recomputes, but lands on the same hash.
+  p.clear(2, 3);
+  EXPECT_NE(p.fingerprint(), fp);
+  p.set(2, 3, -2.0);
+  EXPECT_EQ(p.fingerprint(), fp);
+
+  // A value change lands on a different hash.
+  p.set(0, 0, 1.25);
+  EXPECT_NE(p.fingerprint(), fp);
+}
+
+/// Rank-2 field with a tunable share of entries observed.
+cs::PartialMatrix make_low_rank_window(std::size_t cells, std::size_t cycles,
+                                       std::uint64_t seed,
+                                       double density = 0.6) {
+  Rng rng(seed);
+  cs::PartialMatrix window(cells, cycles);
+  for (std::size_t r = 0; r < cells; ++r) {
+    const double base = 20.0 + 0.7 * static_cast<double>(r);
+    const double gain = 1.0 + 0.1 * static_cast<double>(r % 5);
+    for (std::size_t c = 0; c < cycles; ++c)
+      if (c < 2 || rng.bernoulli(density))
+        window.set(r, c,
+                   base + gain * std::sin(0.4 * static_cast<double>(c)));
+  }
+  return window;
+}
+
+TEST(FingerprintSharing, InferAndLooGateComputeOneFingerprintPerCycle) {
+  // The regression the ROADMAP called out: the LOO quality gate used to
+  // re-hash the window on every call. With the cache inside PartialMatrix,
+  // one sensing step — inference plus gate decision on the unchanged
+  // window — computes the fingerprint exactly once.
+  const std::size_t cells = 10, cycles = 8;
+  cs::PartialMatrix window = make_low_rank_window(cells, cycles, 3, 0.7);
+  const std::size_t col = cycles - 1;
+  // The assessed column needs observed and unobserved cells for the gate.
+  window.set(0, col, 20.0);
+  window.set(1, col, 20.5);
+  window.set(2, col, 21.0);
+  window.clear(5, col);
+  ASSERT_EQ(window.fingerprint_computations(), 0u);
+
+  Matrix truth(cells, cycles, 20.0);
+  const mcs::SensingTask task(
+      "fp-sharing", truth, data::grid_coords(2, 5, 1.0, 1.0),
+      mcs::ErrorMetric::mae());
+  const auto engine = std::make_shared<cs::MatrixCompletion>();
+  const mcs::LooBayesianGate gate(0.5, 0.9);
+
+  const Matrix inferred = engine->infer(window);
+  EXPECT_EQ(window.fingerprint_computations(), 1u);
+  const mcs::QualityContext ctx{task, window, col, col, &inferred, *engine};
+  (void)gate.probability(ctx);
+  EXPECT_EQ(window.fingerprint_computations(), 1u)
+      << "the gate's LOO fit must reuse the cycle's cached fingerprint";
+  (void)gate.probability(ctx);
+  (void)engine->infer(window);
+  EXPECT_EQ(window.fingerprint_computations(), 1u);
+
+  // Next cycle: one new observation, one new fingerprint.
+  window.set(6, col, 20.2);
+  (void)engine->infer(window);
+  (void)gate.probability(ctx);
+  EXPECT_EQ(window.fingerprint_computations(), 2u);
+}
+
+TEST(ParallelAls, PooledSweepsBitIdenticalToSerial) {
+  // Big enough that the sweep splits into several chunks per phase (the
+  // chunking targets ~1024 observations per chunk).
+  const auto window = make_low_rank_window(300, 40, 17, 0.4);
+  ASSERT_GT(window.observed_count(), 4000u);
+
+  cs::MatrixCompletionOptions opts;
+  opts.warm_start = false;
+  cs::MatrixCompletion serial_engine(opts);
+  util::ThreadPool serial_pool(0);
+  serial_engine.set_thread_pool(&serial_pool);
+  cs::MatrixCompletion pooled_engine(opts);
+  util::ThreadPool pool(3);
+  pooled_engine.set_thread_pool(&pool);
+
+  EXPECT_EQ(serial_engine.infer(window), pooled_engine.infer(window));
+
+  // Warm-started engines must agree too (resume + polish sweeps).
+  cs::MatrixCompletion warm_serial;
+  warm_serial.set_thread_pool(&serial_pool);
+  cs::MatrixCompletion warm_pooled;
+  warm_pooled.set_thread_pool(&pool);
+  auto evolving = window;
+  Rng rng(9);
+  for (int step = 0; step < 3; ++step) {
+    for (int k = 0; k < 30; ++k) {
+      const std::size_t r = rng.uniform_index(evolving.rows());
+      const std::size_t c = rng.uniform_index(evolving.cols());
+      if (!evolving.observed(r, c))
+        evolving.set(r, c, 20.0 + 0.1 * static_cast<double>(r));
+    }
+    EXPECT_EQ(warm_serial.infer(evolving), warm_pooled.infer(evolving))
+        << "step " << step;
+  }
+}
+
+rl::Experience make_experience(Rng& rng, std::size_t cells, std::size_t k) {
+  rl::Experience e;
+  e.state.assign(k * cells, 0.0);
+  e.state[rng.uniform_index(k * cells)] = 1.0;
+  e.action = rng.uniform_index(cells);
+  e.reward = rng.uniform(-1.0, 5.0);
+  e.next_state.assign(k * cells, 0.0);
+  e.next_state[rng.uniform_index(k * cells)] = 1.0;
+  e.next_mask.assign(cells, 1);
+  return e;
+}
+
+TEST(ReplayEncodedCache, InvalidatedWhenRingOverwritesSlot) {
+  Rng rng(1);
+  rl::ReplayBuffer buf(2);
+  buf.add(make_experience(rng, 4, 1));
+  buf.add(make_experience(rng, 4, 1));
+
+  std::size_t encode_calls = 0;
+  const auto encode = [&](const rl::Experience& e) {
+    ++encode_calls;
+    Matrix step(1, e.state.size());
+    for (std::size_t i = 0; i < e.state.size(); ++i) step(0, i) = e.state[i];
+    return rl::EncodedExperience{{step}, {step}};
+  };
+
+  (void)buf.encoded(0, encode);
+  (void)buf.encoded(0, encode);
+  (void)buf.encoded(1, encode);
+  EXPECT_EQ(encode_calls, 2u);  // one per distinct transition
+  EXPECT_EQ(buf.encode_misses(), 2u);
+
+  // The ring overwrites slot 0 — its cache entry must be recomputed, while
+  // slot 1 stays cached.
+  buf.add(make_experience(rng, 4, 1));
+  const auto& re = buf.encoded(0, encode);
+  EXPECT_EQ(encode_calls, 3u);
+  EXPECT_EQ(re.state[0].row(0)[0], buf.at(0).state[0]);
+  (void)buf.encoded(1, encode);
+  EXPECT_EQ(encode_calls, 3u);
+
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(ReplayEncodedCache, ByteBudgetStopsCachingButKeepsServing) {
+  Rng rng(2);
+  // Budget fits exactly one encoding (2 matrices of 4 doubles = 64 bytes).
+  rl::ReplayBuffer buf(4, /*max_cache_bytes=*/64);
+  for (int i = 0; i < 4; ++i) buf.add(make_experience(rng, 4, 1));
+
+  std::size_t encode_calls = 0;
+  const auto encode = [&](const rl::Experience& e) {
+    ++encode_calls;
+    Matrix step(1, e.state.size());
+    for (std::size_t i = 0; i < e.state.size(); ++i) step(0, i) = e.state[i];
+    return rl::EncodedExperience{{step}, {step}};
+  };
+
+  (void)buf.encoded(0, encode);  // cached (fills the budget)
+  EXPECT_EQ(buf.cache_bytes(), 64u);
+  (void)buf.encoded(0, encode);
+  EXPECT_EQ(encode_calls, 1u);
+
+  // Over budget: slot 1 is served from scratch, re-encoded on every call,
+  // and still returns the right transition's encoding.
+  const auto& e1 = buf.encoded(1, encode);
+  EXPECT_EQ(e1.state[0].row(0)[0], buf.at(1).state[0]);
+  (void)buf.encoded(1, encode);
+  EXPECT_EQ(encode_calls, 3u);
+  EXPECT_EQ(buf.cache_bytes(), 64u);
+
+  // Overwriting the cached slot releases its budget; the next miss caches
+  // again.
+  for (int i = 0; i < 4; ++i) buf.add(make_experience(rng, 4, 1));
+  EXPECT_EQ(buf.cache_bytes(), 0u);
+  (void)buf.encoded(2, encode);
+  EXPECT_EQ(buf.cache_bytes(), 64u);
+}
+
+TEST(ReplayEncodedCache, TrainStepsStopReencodingTransitions) {
+  Rng net_rng(1);
+  rl::DqnOptions options;
+  options.batch_size = 8;
+  options.min_replay = 8;
+  rl::DqnTrainer trainer(
+      std::make_unique<rl::DrqnQNetwork>(6, 2, 8, 0, net_rng), options, 7);
+  Rng fill(3);
+  for (int i = 0; i < 16; ++i) trainer.observe(make_experience(fill, 6, 2));
+
+  for (int step = 0; step < 30; ++step) (void)trainer.train_step();
+  // 30 steps x 8 sampled transitions would be 240 encodes without the
+  // cache; with it, each of the 16 stored transitions encodes at most once.
+  EXPECT_GT(trainer.replay().encode_misses(), 0u);
+  EXPECT_LE(trainer.replay().encode_misses(), trainer.replay().size());
+}
+
+}  // namespace
+}  // namespace drcell

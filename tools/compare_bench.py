@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json report against a committed baseline.
+
+CI runs the micro bench on every push and fails the build when an optimised
+path regressed by more than the allowed fraction. Raw wall times are not
+comparable across machines (the committed baseline and the CI runner differ),
+so the comparison uses `speedup_vs_naive`: both the optimised path and its
+retained naive reference are measured in the same process on the same
+hardware, making the ratio a machine-portable figure of merit. An op present
+in the baseline but missing from the fresh report is an error (a silently
+dropped measurement would otherwise disable its gate).
+
+Exit code 0 = no regression, 1 = regression or malformed report.
+
+Usage:
+  tools/compare_bench.py --baseline BENCH_micro.json --fresh BENCH_micro_ci.json \
+      [--max-regression-pct 20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_speedups(path):
+    with open(path) as f:
+        report = json.load(f)
+    return {
+        e["op"]: e["speedup_vs_naive"]
+        for e in report.get("entries", [])
+        if "speedup_vs_naive" in e
+    }, report.get("quick", False)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument(
+        "--max-regression-pct",
+        type=float,
+        default=20.0,
+        help="fail when a speedup drops more than this percentage below "
+        "the baseline's (default 20)",
+    )
+    parser.add_argument(
+        "--min-baseline",
+        type=float,
+        default=1.5,
+        help="only gate ops whose baseline speedup is at least this; "
+        "ratios near 1.0 (e.g. a pooled path on a single-core baseline "
+        "machine) are noise, not an optimisation to defend (default 1.5)",
+    )
+    parser.add_argument(
+        "--ops",
+        default=None,
+        help="comma-separated allowlist of ops to gate; others are "
+        "reported but never fail the comparison. Use for ratios that are "
+        "not microarchitecture-portable enough for a hard cross-machine "
+        "gate. Missing-op detection still covers every baseline op.",
+    )
+    args = parser.parse_args()
+    gated_ops = set(args.ops.split(",")) if args.ops else None
+
+    baseline, base_quick = load_speedups(args.baseline)
+    fresh, fresh_quick = load_speedups(args.fresh)
+    if not baseline:
+        print(f"error: no speedup_vs_naive entries in {args.baseline}")
+        return 1
+    if base_quick or fresh_quick:
+        # Quick-mode budgets are too short for stable ratios; refuse rather
+        # than gate on noise (bench/README.md documents this).
+        print("error: refusing to compare quick-mode reports")
+        return 1
+    if gated_ops is not None:
+        unknown = gated_ops - set(baseline)
+        if unknown:
+            # A typo or a renamed op would otherwise silently neutralise
+            # the gate for that op.
+            print(f"error: --ops entries not in baseline: "
+                  f"{', '.join(sorted(unknown))}")
+            return 1
+
+    floor = 1.0 - args.max_regression_pct / 100.0
+    failures = []
+    print(f"{'op':<42} {'baseline':>9} {'fresh':>9} {'ratio':>7}")
+    for op, base in sorted(baseline.items()):
+        if gated_ops is not None and op not in gated_ops:
+            if op not in fresh:
+                print(f"{op:<42} {base:>9.2f} {'MISSING':>9}")
+                failures.append(f"{op}: missing from fresh report")
+            else:
+                print(f"{op:<42} {base:>9.2f} {fresh[op]:>9.2f}"
+                      "  (ungated: not in --ops)")
+            continue
+        if base < args.min_baseline:
+            # The ratio is not gated, but the measurement must still exist —
+            # a silently dropped op would otherwise vanish unnoticed.
+            if op not in fresh:
+                print(f"{op:<42} {base:>9.2f} {'MISSING':>9}")
+                failures.append(f"{op}: missing from fresh report")
+            else:
+                print(f"{op:<42} {base:>9.2f} {fresh[op]:>9.2f}"
+                      "  (ungated: baseline ~1x)")
+            continue
+        if op not in fresh:
+            print(f"{op:<42} {base:>9.2f} {'MISSING':>9}")
+            failures.append(f"{op}: missing from fresh report")
+            continue
+        ratio = fresh[op] / base
+        flag = "" if ratio >= floor else "  << REGRESSION"
+        print(f"{op:<42} {base:>9.2f} {fresh[op]:>9.2f} {ratio:>6.2f}x{flag}")
+        if ratio < floor:
+            failures.append(
+                f"{op}: speedup {fresh[op]:.2f}x vs baseline {base:.2f}x "
+                f"({(1 - ratio) * 100:.0f}% regression, "
+                f"allowed {args.max_regression_pct:.0f}%)"
+            )
+    for op in sorted(set(fresh) - set(baseline)):
+        print(f"{op:<42} {'(new)':>9} {fresh[op]:>9.2f}")
+
+    if failures:
+        print("\nPERF REGRESSION vs committed baseline:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nno perf regressions vs committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
