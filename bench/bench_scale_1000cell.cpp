@@ -1,12 +1,14 @@
 // Scale workload beyond the paper's 57 cells: a synthetic 1000-cell city
 // deployment (ROADMAP scale target). Exercises the pieces that must hold up
 // at many-cell scale — the blocked matmul behind the completion
-// reconstruction, the ThreadPool-parallel ALS sweeps, the pooled inference
-// committee, the O(observed) sparse observation paths and the LOO quality
-// gate — and writes the BENCH_scale_1000cell.json report CI uploads as an
-// artifact.
+// reconstruction, the ThreadPool-parallel ALS sweeps and LOO quality-gate
+// solves, the pooled inference committee, the O(observed) sparse
+// observation paths and the O(1) environment selection loop — and writes
+// the BENCH_scale_1000cell.json report that CI gates against the committed
+// baseline via tools/compare_bench.py (policy in bench/README.md).
 //
 //   ./build/bench_scale_1000cell [--quick] [--json [path]]
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -143,17 +145,47 @@ void bench_committee(const mcs::SensingTask& task,
 void bench_gate(const mcs::SensingTask& task, bench::JsonReporter& report,
                 bool quick) {
   const auto window = make_scale_window(task);
-  const cs::MatrixCompletion engine;  // warm: the fit is cached across calls
   const mcs::LooBayesianGate gate(0.5, 0.9);
-  const Matrix inferred = engine.infer(window);
-  const mcs::QualityContext ctx{task,     window, kWindowCycles - 1,
-                                kWindowCycles - 1, &inferred, engine};
-  const auto gate_run = bench::measure_ms(
-      [&] { (void)gate.probability(ctx); }, quick ? 150.0 : 400.0, 500);
-  report.add("scale_quality_gate_decision", gate_run.wall_ms,
-             gate_run.iterations, 1e3 / gate_run.wall_ms);
-  std::cout << "1000-cell LOO gate decision: "
-            << format_double(gate_run.wall_ms, 3) << " ms\n";
+
+  // Pooled vs serial LOO pass. Both engines are warm (the fit caches after
+  // the first call), so the measurement reads the gate's per-decision cost
+  // — the independent held-out solves, which fan out over the pool like the
+  // ALS half-sweeps. On single-core hardware the ratio reads ~1.0; the
+  // decisions are bit-identical either way (checked below and in
+  // tests/sparse_paths_test.cpp).
+  cs::MatrixCompletion pooled_engine;
+  util::ThreadPool pool;  // hardware-sized
+  pooled_engine.set_thread_pool(&pool);
+  cs::MatrixCompletion serial_engine;
+  util::ThreadPool serial_pool(0);
+  serial_engine.set_thread_pool(&serial_pool);
+
+  const Matrix inferred = pooled_engine.infer(window);
+  (void)serial_engine.infer(window);
+  const mcs::QualityContext pooled_ctx{task,     window, kWindowCycles - 1,
+                                       kWindowCycles - 1, &inferred,
+                                       pooled_engine};
+  const mcs::QualityContext serial_ctx{task,     window, kWindowCycles - 1,
+                                       kWindowCycles - 1, &inferred,
+                                       serial_engine};
+  if (gate.probability(pooled_ctx) != gate.probability(serial_ctx)) {
+    std::cerr << "FAIL: pooled LOO gate decision diverged from serial\n";
+    std::exit(1);
+  }
+
+  const double target = quick ? 150.0 : 400.0;
+  const auto pooled_run = bench::measure_ms(
+      [&] { (void)gate.probability(pooled_ctx); }, target, 500);
+  const auto serial_run = bench::measure_ms(
+      [&] { (void)gate.probability(serial_ctx); }, target, 500);
+  report.add_with_reference("scale_quality_gate_decision",
+                            pooled_run.wall_ms, pooled_run.iterations,
+                            1e3 / pooled_run.wall_ms, serial_run.wall_ms,
+                            serial_run.iterations);
+  std::cout << "1000-cell LOO gate decision: pooled("
+            << pool.worker_count() + 1 << " lanes) "
+            << format_double(pooled_run.wall_ms, 3) << " ms, serial "
+            << format_double(serial_run.wall_ms, 3) << " ms\n";
 }
 
 void bench_environment(const mcs::SensingTask& task,
@@ -171,10 +203,7 @@ void bench_environment(const mcs::SensingTask& task,
       std::make_shared<mcs::LooBayesianGate>(0.5, 0.9), options);
   Rng rng(5);
   const auto pick = [&rng](const mcs::SparseMcsEnvironment& e) {
-    const auto mask = e.action_mask();
-    std::vector<std::size_t> allowed;
-    for (std::size_t a = 0; a < mask.size(); ++a)
-      if (mask[a]) allowed.push_back(a);
+    const auto& allowed = e.unsensed_cells();
     return allowed[rng.uniform_index(allowed.size())];
   };
   const auto cycle = bench::measure_ms(
@@ -188,6 +217,68 @@ void bench_environment(const mcs::SensingTask& task,
   std::cout << "1000-cell environment sensing cycle: "
             << format_double(cycle.wall_ms, 2) << " ms ("
             << format_double(1e3 / cycle.wall_ms, 1) << " cycles/s)\n";
+}
+
+void bench_selection(const mcs::SensingTask& task,
+                     bench::JsonReporter& report, bool quick) {
+  // Pure selection micro-op, mid-cycle (100 of 1000 cells already sensed):
+  // drawing one allowed cell from the environment's incremental unsensed
+  // set vs the seed behaviour of rebuilding the 0/1 action mask from the
+  // selection matrix and materialising an allowed-cell list per pick. The
+  // fast path is O(1) per pick, so the ratio grows with the cell count.
+  auto test_task = std::make_shared<const mcs::SensingTask>(
+      task.slice_cycles(kWindowCycles, task.num_cycles()));
+  mcs::EnvOptions options;
+  options.inference_window = kWindowCycles;
+  options.min_observations = 200;  // keep inference/gate out of the setup
+  options.warm_start = task.slice_cycles(0, kWindowCycles).ground_truth();
+  auto env = mcs::SparseMcsEnvironment(
+      test_task, std::make_shared<cs::MatrixCompletion>(),
+      std::make_shared<mcs::LooBayesianGate>(0.5, 0.9), options);
+  Rng setup(11);
+  for (int k = 0; k < 100; ++k) {
+    const auto& allowed = env.unsensed_cells();
+    (void)env.step(allowed[setup.uniform_index(allowed.size())]);
+  }
+
+  constexpr int kPicks = 1024;  // batch: one pick is ns-scale
+  const std::size_t cells = env.num_cells();
+  const std::size_t cycle = env.current_cycle();
+  std::size_t sink = 0;
+  Rng rng(13);
+  const double target = quick ? 100.0 : 250.0;
+  const auto fast_run = bench::measure_ms(
+      [&] {
+        for (int k = 0; k < kPicks; ++k) {
+          const auto& allowed = env.unsensed_cells();
+          sink += allowed[rng.uniform_index(allowed.size())];
+        }
+      },
+      target, 100000);
+  const auto naive_run = bench::measure_ms(
+      [&] {
+        for (int k = 0; k < kPicks; ++k) {
+          std::vector<std::uint8_t> mask(cells, 0);
+          for (std::size_t cell = 0; cell < cells; ++cell)
+            if (!env.selections().selected(cell, cycle)) mask[cell] = 1;
+          std::vector<std::size_t> allowed;
+          for (std::size_t a = 0; a < cells; ++a)
+            if (mask[a]) allowed.push_back(a);
+          sink += allowed[rng.uniform_index(allowed.size())];
+        }
+      },
+      target, 100000);
+  const double fast_ms = fast_run.wall_ms / kPicks;
+  const double naive_ms = naive_run.wall_ms / kPicks;
+  report.add_with_reference("scale_selection_pick", fast_ms,
+                            static_cast<double>(fast_run.iterations) * kPicks,
+                            1e3 / fast_ms, naive_ms,
+                            static_cast<double>(naive_run.iterations) *
+                                kPicks);
+  std::cout << "1000-cell selection pick: incremental "
+            << format_double(fast_ms * 1e6, 0) << " ns, rebuild "
+            << format_double(naive_ms * 1e6, 0) << " ns (sink " << sink % 10
+            << ")\n";
 }
 
 }  // namespace
@@ -210,6 +301,7 @@ int main(int argc, char** argv) {
   bench_completion(task, report, quick);
   bench_committee(task, report, quick);
   bench_gate(task, report, quick);
+  bench_selection(task, report, quick);
   bench_environment(task, report, quick);
 
   std::cout << "total bench time: "

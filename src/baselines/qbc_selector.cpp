@@ -19,7 +19,6 @@ QbcSelector QbcSelector::make_default(const mcs::SensingTask& task,
 }
 
 std::size_t QbcSelector::select(const mcs::SparseMcsEnvironment& env) {
-  const auto mask = env.action_mask();
   const auto& window = env.observation_window();
   const std::size_t col = env.current_window_col();
 
@@ -27,11 +26,15 @@ std::size_t QbcSelector::select(const mcs::SparseMcsEnvironment& env) {
   const Matrix variance = cs::InferenceCommittee::disagreement(predictions);
 
   // Argmax of the committee variance over selectable cells; ties (notably
-  // the all-zero variance at the start of a cycle) break uniformly.
+  // the all-zero variance at the start of a cycle) break uniformly. The
+  // scan stays in ascending cell order — can_select() is the O(1)
+  // membership test of the incremental unsensed set, and the epsilon-band
+  // tie collection below is order-sensitive, so iterating the set's
+  // swap-removal order would change the selection stream for a given seed.
   double best = -1.0;
   std::vector<std::size_t> best_cells;
-  for (std::size_t cell = 0; cell < mask.size(); ++cell) {
-    if (!mask[cell]) continue;
+  for (std::size_t cell = 0; cell < env.num_cells(); ++cell) {
+    if (!env.can_select(cell)) continue;
     const double v = variance(cell, col);
     if (v > best + 1e-15) {
       best = v;

@@ -5,10 +5,12 @@ namespace drcell::baselines {
 RandomSelector::RandomSelector(std::uint64_t seed) : rng_(seed) {}
 
 std::size_t RandomSelector::select(const mcs::SparseMcsEnvironment& env) {
-  const auto mask = env.action_mask();
-  std::vector<std::size_t> allowed;
-  for (std::size_t a = 0; a < mask.size(); ++a)
-    if (mask[a]) allowed.push_back(a);
+  // One uniform draw over the environment's incremental unsensed set — O(1)
+  // per pick instead of rebuilding an allowed-cell list per call. The set's
+  // order is swap-removal, not ascending, so a given seed maps the same
+  // draw stream to different cells than the pre-set implementation did;
+  // the distribution (uniform over the allowed cells) is unchanged.
+  const auto& allowed = env.unsensed_cells();
   DRCELL_CHECK_MSG(!allowed.empty(), "no selectable cell");
   return allowed[rng_.uniform_index(allowed.size())];
 }

@@ -279,55 +279,83 @@ std::vector<double> MatrixCompletion::loo_column_predictions(
   const Fit f = fit(observed);
   const std::size_t rank = f.rank;
   const auto& rows_in_col = observed.observed_rows_in_col(col);
-  std::vector<double> predictions;
-  predictions.reserve(rows_in_col.size());
+  const std::size_t count = rows_in_col.size();
+  std::vector<double> predictions(count, 0.0);
+  if (count == 0) return predictions;
 
-  for (std::size_t cell : rows_in_col) {
-    // Both factors touching the held-out entry are re-solved without it —
-    // leaving either at its full-fit value leaks the withheld observation
-    // (severely so in sparse windows, where one value can dominate its own
-    // cell's row factor) and makes the quality gate overconfident.
-    //
-    // Row factor of the held-out cell from its *other* observations
-    // (column factors fixed):
-    const auto& cols_of_row = observed.observed_cols_in_row(cell);
-    std::vector<double> u(rank, 0.0);
-    if (cols_of_row.size() > 1) {
-      Matrix a(cols_of_row.size() - 1, rank);
-      std::vector<double> b;
-      b.reserve(cols_of_row.size() - 1);
-      std::size_t i = 0;
-      for (std::size_t c : cols_of_row) {
-        if (c == col) continue;
-        for (std::size_t k = 0; k < rank; ++k) a(i, k) = f.col_factors(c, k);
-        b.push_back(observed.value(cell, c) - f.mu);
-        ++i;
-      }
-      u = ridge_solve(
-          a, b,
-          options_.lambda * static_cast<double>(cols_of_row.size() - 1));
-    }
-    // Assessed column's factor without the held-out cell (row factors
-    // fixed):
-    std::vector<double> v(rank, 0.0);
-    if (rows_in_col.size() > 1) {
-      Matrix a(rows_in_col.size() - 1, rank);
-      std::vector<double> b;
-      b.reserve(rows_in_col.size() - 1);
-      std::size_t i = 0;
-      for (std::size_t r : rows_in_col) {
-        if (r == cell) continue;
-        for (std::size_t k = 0; k < rank; ++k) a(i, k) = f.row_factors(r, k);
-        b.push_back(observed.value(r, col) - f.mu);
-        ++i;
-      }
-      v = ridge_solve(
-          a, b, options_.lambda * static_cast<double>(rows_in_col.size() - 1));
-    }
-    double pred = f.mu;
-    for (std::size_t k = 0; k < rank; ++k) pred += u[k] * v[k];
-    predictions.push_back(pred);
+  // Each per-cell solve costs two ridge systems — one over the held-out
+  // cell's other observations, one over the column's remaining observations
+  // — so the chunk-balancing weight is the sum of both system heights.
+  std::vector<std::size_t> weight(count);
+  std::size_t total_weight = 0;
+  std::size_t max_row_obs = 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t row_obs =
+        observed.observed_count_in_row(rows_in_col[i]);
+    max_row_obs = std::max(max_row_obs, row_obs);
+    weight[i] = row_obs + count;
+    total_weight += weight[i];
   }
+  const std::size_t max_obs = std::max(max_row_obs, count);
+
+  util::ThreadPool& pool = pool_ ? *pool_ : util::ThreadPool::global();
+  const std::size_t lanes = pool.worker_count() + 1;
+  const auto bounds = chunk_bounds(count, lanes, total_weight, weight);
+
+  // The held-out solves are mutually independent (the full fit `f` is
+  // read-only and prediction i is the only slot index i writes), so chunks
+  // of them fan out over the pool exactly like the ALS half-sweeps:
+  // results land by index, bit-identical to serial for any worker count.
+  pool.parallel_for(bounds.size() - 1, [&](std::size_t chunk) {
+    Matrix a(max_obs, rank);
+    std::vector<double> b;
+    b.reserve(max_obs);
+    for (std::size_t idx = bounds[chunk]; idx < bounds[chunk + 1]; ++idx) {
+      const std::size_t cell = rows_in_col[idx];
+      // Both factors touching the held-out entry are re-solved without it —
+      // leaving either at its full-fit value leaks the withheld observation
+      // (severely so in sparse windows, where one value can dominate its
+      // own cell's row factor) and makes the quality gate overconfident.
+      //
+      // Row factor of the held-out cell from its *other* observations
+      // (column factors fixed):
+      const auto& cols_of_row = observed.observed_cols_in_row(cell);
+      std::vector<double> u(rank, 0.0);
+      if (cols_of_row.size() > 1) {
+        a.resize(cols_of_row.size() - 1, rank);
+        b.clear();
+        std::size_t i = 0;
+        for (std::size_t c : cols_of_row) {
+          if (c == col) continue;
+          for (std::size_t k = 0; k < rank; ++k) a(i, k) = f.col_factors(c, k);
+          b.push_back(observed.value(cell, c) - f.mu);
+          ++i;
+        }
+        u = ridge_solve(
+            a, b,
+            options_.lambda * static_cast<double>(cols_of_row.size() - 1));
+      }
+      // Assessed column's factor without the held-out cell (row factors
+      // fixed):
+      std::vector<double> v(rank, 0.0);
+      if (count > 1) {
+        a.resize(count - 1, rank);
+        b.clear();
+        std::size_t i = 0;
+        for (std::size_t r : rows_in_col) {
+          if (r == cell) continue;
+          for (std::size_t k = 0; k < rank; ++k) a(i, k) = f.row_factors(r, k);
+          b.push_back(observed.value(r, col) - f.mu);
+          ++i;
+        }
+        v = ridge_solve(a, b,
+                        options_.lambda * static_cast<double>(count - 1));
+      }
+      double pred = f.mu;
+      for (std::size_t k = 0; k < rank; ++k) pred += u[k] * v[k];
+      predictions[idx] = pred;
+    }
+  });
   return predictions;
 }
 

@@ -13,6 +13,24 @@
 // in one or two sweeps (vs. the full budget from a cold start) and lands on
 // the same reconstruction. Set `warm_start = false` for the stateless
 // cold-start behaviour.
+//
+// Threading / determinism contract (every pooled path in this engine — the
+// ALS half-sweeps and the leave-one-out solves — upholds it, and any new
+// fan-out added here must too; see src/util/thread_pool.h for the pool-side
+// half of the contract):
+//  * Work is partitioned into contiguous index chunks whose boundaries only
+//    affect load balance, never arithmetic: each unit (a ridge solve) reads
+//    shared state that is immutable during the phase and writes exclusively
+//    to its own output index.
+//  * Cross-unit reductions (convergence stats, RMSE sums) are written per
+//    index during the parallel phase and reduced serially in ascending index
+//    order afterwards — never accumulated in claim order.
+//  * Any randomness is seeded from options_.seed (or per task index via
+//    ThreadPool::parallel_for_seeded), never from the executing thread.
+// Consequence: infer(), loo_column_predictions() and the resulting quality
+// gate decisions are bit-identical for ANY worker count, including the
+// 0-worker (strictly serial) pool. tests/sparse_paths_test.cpp holds both
+// paths to exact equality.
 #pragma once
 
 #include <cstdint>
@@ -75,6 +93,9 @@ class MatrixCompletion final : public InferenceEngine {
   /// the assessed column's factor (with the other side fixed). Orders of
   /// magnitude cheaper than the generic re-fit-per-cell default and accurate
   /// enough for the quality gate, which only consumes error *statistics*.
+  /// The per-cell solves are independent and fan out over the configured
+  /// ThreadPool like the ALS half-sweeps (predictions written by index);
+  /// the result is bit-identical for any worker count.
   std::vector<double> loo_column_predictions(const PartialMatrix& observed,
                                              std::size_t col) const override;
 
@@ -86,10 +107,10 @@ class MatrixCompletion final : public InferenceEngine {
   /// to an unrelated sensing matrix mid-stream.
   void reset_warm_start() const;
 
-  /// Overrides the pool that runs the per-row/per-column ridge solves of an
-  /// ALS sweep. nullptr restores the global pool; a 0-worker pool gives
-  /// strictly serial execution. Results are bit-identical for any worker
-  /// count (solves are independent, stats reduce in index order).
+  /// Overrides the pool that runs the ridge solves of an ALS half-sweep and
+  /// of the leave-one-out pass. nullptr restores the global pool; a 0-worker
+  /// pool gives strictly serial execution. Results are bit-identical for any
+  /// worker count (solves are independent, stats reduce in index order).
   void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
 
  private:

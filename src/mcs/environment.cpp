@@ -50,7 +50,30 @@ void SparseMcsEnvironment::reset() {
   obs_this_cycle_ = 0;
   done_ = false;
   stats_ = EpisodeStats{};
+  rebuild_unsensed();
   advance_window_to(0);
+}
+
+void SparseMcsEnvironment::rebuild_unsensed() {
+  const std::size_t cells = task_->num_cells();
+  unsensed_.resize(cells);
+  unsensed_pos_.resize(cells);
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    unsensed_[cell] = cell;
+    unsensed_pos_[cell] = cell;
+  }
+  mask_.assign(cells, 1);
+}
+
+void SparseMcsEnvironment::remove_unsensed(std::size_t cell) {
+  const std::size_t pos = unsensed_pos_[cell];
+  DRCELL_CHECK_MSG(pos != kSensed, "cell already removed from unsensed set");
+  const std::size_t last = unsensed_.back();
+  unsensed_[pos] = last;
+  unsensed_pos_[last] = pos;
+  unsensed_.pop_back();
+  unsensed_pos_[cell] = kSensed;
+  mask_[cell] = 0;
 }
 
 void SparseMcsEnvironment::advance_window_to(std::size_t cycle) {
@@ -98,14 +121,6 @@ std::vector<double> SparseMcsEnvironment::state() const {
   return encoder_.encode(selection_, c);
 }
 
-std::vector<std::uint8_t> SparseMcsEnvironment::action_mask() const {
-  std::vector<std::uint8_t> mask(task_->num_cells(), 0);
-  if (done_) return mask;
-  for (std::size_t cell = 0; cell < task_->num_cells(); ++cell)
-    if (!selection_.selected(cell, cycle_)) mask[cell] = 1;
-  return mask;
-}
-
 StepResult SparseMcsEnvironment::step(std::size_t cell) {
   DRCELL_CHECK_MSG(!done_, "step() after episode end");
   DRCELL_CHECK_MSG(cell < task_->num_cells(), "action out of range");
@@ -113,6 +128,7 @@ StepResult SparseMcsEnvironment::step(std::size_t cell) {
                    "cell already sensed this cycle (mask violation)");
 
   selection_.mark(cell, cycle_);
+  remove_unsensed(cell);
   window_.set(cell, current_window_col(), task_->truth(cell, cycle_));
   ++obs_this_cycle_;
   stats_.total_selections += 1;
@@ -174,8 +190,22 @@ StepResult SparseMcsEnvironment::step(std::size_t cell) {
     if (cycle_ + 1 >= task_->num_cycles()) {
       done_ = true;
       result.episode_done = true;
+      // Nothing is selectable after the episode: empty the unsensed set and
+      // zero the mask for the cells still in it (O(remaining)).
+      for (std::size_t c : unsensed_) {
+        unsensed_pos_[c] = kSensed;
+        mask_[c] = 0;
+      }
+      unsensed_.clear();
     } else {
       ++cycle_;
+      // The new cycle starts with no selections: restore exactly the cells
+      // the finished cycle consumed (O(changed), not O(cells)).
+      for (std::size_t c : selection_.selected_cells_in_cycle(cycle_ - 1)) {
+        unsensed_pos_[c] = unsensed_.size();
+        unsensed_.push_back(c);
+        mask_[c] = 1;
+      }
       advance_window_to(cycle_);
     }
   }

@@ -95,8 +95,21 @@ class SparseMcsEnvironment {
 
   /// Flat RL state (k*m, oldest cycle first) at the current position.
   std::vector<double> state() const;
-  /// mask[i] == 1 iff cell i may be selected now.
-  std::vector<std::uint8_t> action_mask() const;
+  /// mask[i] == 1 iff cell i may be selected now. The mask is maintained
+  /// incrementally (O(1) per step, O(changed) per cycle turnover), so this
+  /// call is a plain copy — selectors that only need the allowed cells
+  /// should prefer unsensed_cells(), which does not copy at all.
+  std::vector<std::uint8_t> action_mask() const { return mask_; }
+  /// The cells selectable right now — the complement of the current cycle's
+  /// selections; empty once the episode is done. O(1): returns a const
+  /// reference to the incrementally maintained set (swap-removal order, not
+  /// ascending — deterministic for a given action sequence). Invalidated by
+  /// the next step()/reset().
+  const std::vector<std::size_t>& unsensed_cells() const { return unsensed_; }
+  /// O(1) membership test: may `cell` be selected now?
+  bool can_select(std::size_t cell) const {
+    return cell < unsensed_pos_.size() && unsensed_pos_[cell] != kSensed;
+  }
 
   /// Senses `cell` in the current cycle. Requires an unsensed cell and an
   /// unfinished episode.
@@ -132,9 +145,15 @@ class SparseMcsEnvironment {
   const EpisodeStats& stats() const { return stats_; }
 
  private:
+  static constexpr std::size_t kSensed = static_cast<std::size_t>(-1);
+
   void advance_window_to(std::size_t cycle);
   double cost_of(std::size_t cell) const;
   std::size_t max_selections() const;
+  /// O(cells): every cell becomes selectable (episode start).
+  void rebuild_unsensed();
+  /// O(1) swap-removal of a just-sensed cell from the unsensed set.
+  void remove_unsensed(std::size_t cell);
 
   std::shared_ptr<const SensingTask> task_;
   cs::InferenceEnginePtr engine_;
@@ -143,6 +162,14 @@ class SparseMcsEnvironment {
   StateEncoder encoder_;
 
   SelectionMatrix selection_;
+  // Incrementally maintained complement of the current cycle's selections:
+  // `unsensed_` is the dense list, `unsensed_pos_[cell]` its position in
+  // that list (kSensed when selected), `mask_` the matching 0/1 action
+  // mask. step() updates all three in O(1); a cycle turnover restores the
+  // finished cycle's selections in O(changed).
+  std::vector<std::size_t> unsensed_;
+  std::vector<std::size_t> unsensed_pos_;
+  std::vector<std::uint8_t> mask_;
   cs::PartialMatrix window_;  // cells x window-cycles observations
   long window_anchor_ = 0;    // campaign cycle of window col 0 (< 0 = warm)
   std::size_t cycle_ = 0;

@@ -1,9 +1,12 @@
 #include "mcs/selection_matrix.h"
 
+#include <algorithm>
+
 namespace drcell::mcs {
 
 SelectionMatrix::SelectionMatrix(std::size_t cells, std::size_t cycles)
-    : cells_(cells), cycles_(cycles), bits_(cells * cycles, 0) {
+    : cells_(cells), cycles_(cycles), bits_(cells * cycles, 0),
+      per_cycle_(cycles) {
   DRCELL_CHECK(cells > 0 && cycles > 0);
 }
 
@@ -11,27 +14,15 @@ void SelectionMatrix::mark(std::size_t cell, std::size_t cycle) {
   auto& b = bits_[index(cell, cycle)];
   DRCELL_CHECK_MSG(b == 0, "cell selected twice in the same cycle");
   b = 1;
+  auto& list = per_cycle_[cycle];
+  list.insert(std::lower_bound(list.begin(), list.end(), cell), cell);
   ++total_;
-}
-
-std::size_t SelectionMatrix::selected_count_in_cycle(std::size_t cycle) const {
-  std::size_t n = 0;
-  for (std::size_t cell = 0; cell < cells_; ++cell)
-    if (selected(cell, cycle)) ++n;
-  return n;
-}
-
-std::vector<std::size_t> SelectionMatrix::selected_cells_in_cycle(
-    std::size_t cycle) const {
-  std::vector<std::size_t> out;
-  for (std::size_t cell = 0; cell < cells_; ++cell)
-    if (selected(cell, cycle)) out.push_back(cell);
-  return out;
 }
 
 std::vector<std::size_t> SelectionMatrix::unselected_cells_in_cycle(
     std::size_t cycle) const {
   std::vector<std::size_t> out;
+  out.reserve(cells_ - selected_count_in_cycle(cycle));
   for (std::size_t cell = 0; cell < cells_; ++cell)
     if (!selected(cell, cycle)) out.push_back(cell);
   return out;
@@ -39,13 +30,13 @@ std::vector<std::size_t> SelectionMatrix::unselected_cells_in_cycle(
 
 std::vector<double> SelectionMatrix::cycle_vector(std::size_t cycle) const {
   std::vector<double> v(cells_, 0.0);
-  for (std::size_t cell = 0; cell < cells_; ++cell)
-    if (selected(cell, cycle)) v[cell] = 1.0;
+  for (std::size_t cell : selected_cells_in_cycle(cycle)) v[cell] = 1.0;
   return v;
 }
 
 void SelectionMatrix::reset() {
   std::fill(bits_.begin(), bits_.end(), 0);
+  for (auto& list : per_cycle_) list.clear();
   total_ = 0;
 }
 

@@ -13,13 +13,15 @@ std::vector<double> StateEncoder::encode(const SelectionMatrix& selection,
   DRCELL_CHECK(selection.cells() == cells_);
   DRCELL_CHECK(cycle < selection.cycles());
   std::vector<double> state(state_size(), 0.0);
-  // Slice j of the flat state holds cycle (cycle - k + 1 + j).
+  // Slice j of the flat state holds cycle (cycle - k + 1 + j). Only the
+  // selected cells are touched (the matrix keeps incremental per-cycle
+  // lists), so filling costs O(k·selected) on top of the zero init.
   for (std::size_t j = 0; j < k_; ++j) {
     const std::size_t age = k_ - 1 - j;  // how many cycles back
     if (age > cycle) continue;           // before the campaign: zeros
     const std::size_t src = cycle - age;
-    for (std::size_t cell = 0; cell < cells_; ++cell)
-      if (selection.selected(cell, src)) state[j * cells_ + cell] = 1.0;
+    for (std::size_t cell : selection.selected_cells_in_cycle(src))
+      state[j * cells_ + cell] = 1.0;
   }
   return state;
 }

@@ -1,5 +1,6 @@
 // Small reusable thread pool for the library's fan-out hot paths (committee
-// inference, DQN batch forwards, benches).
+// inference, DQN batch forwards, ALS half-sweeps, the LOO quality gate,
+// benches).
 //
 // Design points:
 //  * The calling thread participates in parallel_for, so a pool constructed
@@ -13,6 +14,30 @@
 //    worker count.
 //  * The first exception thrown by any task is captured and rethrown on the
 //    calling thread after the loop drains (remaining tasks still run).
+//
+// Determinism contract for pooled callers. Every hot path in this library
+// that fans out over the pool guarantees bit-identical results for ANY
+// worker count (0-worker serial included), and new pooled paths must uphold
+// the same three invariants:
+//  1. Index-exclusive writes: task i writes only to output slot(s) derived
+//     from i; shared inputs are immutable for the duration of the
+//     parallel_for. No atomics-as-accumulators, no locks around arithmetic.
+//  2. Index-ordered reduction: anything that combines per-task values
+//     (sums, maxima, convergence stats) is stored per index during the
+//     parallel phase and folded serially in ascending index order after the
+//     loop returns — floating-point addition is not associative, so
+//     claim-order accumulation would make results scheduling-dependent.
+//  3. Seeded per-task RNG: stochastic tasks derive their stream from
+//     (seed, index) via parallel_for_seeded — never from the executing
+//     thread or a shared generator.
+// Chunking for load balance is fine as long as chunk boundaries only group
+// tasks and never change the arithmetic (see the ALS/LOO chunking in
+// cs/matrix_completion.cpp for the reference pattern). The bit-identity is
+// enforced by tests (tests/sparse_paths_test.cpp, tests/thread_pool_test.cpp).
+//
+// Nested parallel_for calls (a pooled task fanning out again, or a second
+// thread submitting while a batch is in flight) run inline/serially instead
+// of deadlocking — correctness never depends on actual parallelism.
 #pragma once
 
 #include <condition_variable>

@@ -285,6 +285,43 @@ TEST(ParallelAls, PooledSweepsBitIdenticalToSerial) {
   }
 }
 
+TEST(ParallelLoo, PooledSolvesBitIdenticalToSerial) {
+  // Mirrors ParallelAls above for the other pooled completion path: the
+  // per-cell leave-one-out solves fan out over the pool, and the held-out
+  // predictions — hence the quality-gate decision — must be bit-identical
+  // to the strictly serial pool for any worker count.
+  const auto window = make_low_rank_window(120, 30, 23, 0.35);
+  const std::size_t col = window.cols() - 1;
+  ASSERT_GT(window.observed_rows_in_col(col).size(), 10u);
+
+  cs::MatrixCompletionOptions opts;
+  opts.warm_start = false;
+  cs::MatrixCompletion serial_engine(opts);
+  util::ThreadPool serial_pool(0);
+  serial_engine.set_thread_pool(&serial_pool);
+  cs::MatrixCompletion pooled_engine(opts);
+  util::ThreadPool pool(3);
+  pooled_engine.set_thread_pool(&pool);
+
+  const auto serial = serial_engine.loo_column_predictions(window, col);
+  const auto pooled = pooled_engine.loo_column_predictions(window, col);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i], pooled[i]) << "held-out index " << i;
+
+  // The gate consuming those predictions must agree exactly too.
+  Matrix truth(window.rows(), window.cols(), 20.0);
+  const mcs::SensingTask task(
+      "parallel-loo", truth, data::grid_coords(10, 12, 1.0, 1.0),
+      mcs::ErrorMetric::mae());
+  const mcs::LooBayesianGate gate(0.5, 0.9);
+  const mcs::QualityContext serial_ctx{task,    window, col, col,
+                                       nullptr, serial_engine};
+  const mcs::QualityContext pooled_ctx{task,    window, col, col,
+                                       nullptr, pooled_engine};
+  EXPECT_EQ(gate.probability(serial_ctx), gate.probability(pooled_ctx));
+}
+
 rl::Experience make_experience(Rng& rng, std::size_t cells, std::size_t k) {
   rl::Experience e;
   e.state.assign(k * cells, 0.0);

@@ -1,20 +1,27 @@
 #!/usr/bin/env python3
 """Compare a fresh BENCH_*.json report against a committed baseline.
 
-CI runs the micro bench on every push and fails the build when an optimised
-path regressed by more than the allowed fraction. Raw wall times are not
-comparable across machines (the committed baseline and the CI runner differ),
-so the comparison uses `speedup_vs_naive`: both the optimised path and its
-retained naive reference are measured in the same process on the same
-hardware, making the ratio a machine-portable figure of merit. An op present
-in the baseline but missing from the fresh report is an error (a silently
-dropped measurement would otherwise disable its gate).
+CI runs the micro bench AND the 1000-cell scale bench on every push and
+fails the build when an optimised path regressed by more than the allowed
+fraction. Raw wall times are not comparable across machines (the committed
+baseline and the CI runner differ), so the comparison uses
+`speedup_vs_naive`: both the optimised path and its retained naive reference
+are measured in the same process on the same hardware, making the ratio a
+machine-portable figure of merit. An op present in the baseline but missing
+from the fresh report is an error (a silently dropped measurement would
+otherwise disable its gate).
 
 Exit code 0 = no regression, 1 = regression or malformed report.
 
 Usage:
   tools/compare_bench.py --baseline BENCH_micro.json --fresh BENCH_micro_ci.json \
-      [--max-regression-pct 20]
+      [--max-regression-pct 20] [--ops op1,op2]
+  tools/compare_bench.py --baseline BENCH_scale_1000cell.json \
+      --fresh BENCH_scale_1000cell_ci.json --max-regression-pct 40 \
+      --ops scale_selection_pick
+
+The gate policy (which ops are in --ops and why) is documented in
+bench/README.md.
 """
 
 import argparse
