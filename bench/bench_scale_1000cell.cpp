@@ -19,6 +19,8 @@
 #include "cs/temporal_inference.h"
 #include "mcs/environment.h"
 #include "mcs/quality.h"
+#include "rl/dqn_trainer.h"
+#include "rl/drqn_qnetwork.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -281,6 +283,58 @@ void bench_selection(const mcs::SensingTask& task,
             << ")\n";
 }
 
+/// The paper's DRQN architecture at the 1000-cell deployment scale (k = 2,
+/// 64 LSTM units, batch 32): one batched minibatch update vs the retained
+/// per-sample reference. At this width the reference materialises a ~2 MB
+/// Wxᵀ per sample per step, so the batched engine's advantage grows with
+/// the cell count.
+void bench_train_step(std::size_t cells, bench::JsonReporter& report,
+                      bool quick) {
+  const auto make_trainer = [&] {
+    Rng net_rng(2);
+    rl::DqnOptions options;
+    options.batch_size = 32;
+    options.min_replay = 32;
+    rl::DqnTrainer trainer(
+        std::make_unique<rl::DrqnQNetwork>(cells, 2, 64, 0, net_rng),
+        options, 7);
+    Rng fill(3);
+    for (int i = 0; i < 256; ++i) {
+      rl::Experience e;
+      e.state.assign(2 * cells, 0.0);
+      e.state[fill.uniform_index(2 * cells)] = 1.0;
+      e.action = fill.uniform_index(cells);
+      e.reward = fill.uniform(-1.0, 56.0);
+      e.next_state.assign(2 * cells, 0.0);
+      e.next_mask.assign(cells, 1);
+      trainer.observe(std::move(e));
+    }
+    return trainer;
+  };
+
+  const double target = quick ? 200.0 : 600.0;
+  rl::DqnTrainer batched = make_trainer();
+  const auto run = bench::measure_ms([&] { (void)batched.train_step(); },
+                                     target, 500);
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  rl::DqnTrainer reference = make_trainer();
+  const auto ref_run = bench::measure_ms(
+      [&] { (void)reference.train_step_reference(); }, target, 500);
+  report.add_with_reference("scale_train_step_1000cell", run.wall_ms,
+                            run.iterations, 1e3 / run.wall_ms,
+                            ref_run.wall_ms, ref_run.iterations);
+  std::cout << "1000-cell DRQN train step: batched "
+            << format_double(run.wall_ms, 2) << " ms, per-sample reference "
+            << format_double(ref_run.wall_ms, 2) << " ms, speedup "
+            << format_double(ref_run.wall_ms / run.wall_ms, 2) << "x\n";
+#else
+  report.add("scale_train_step_1000cell", run.wall_ms, run.iterations,
+             1e3 / run.wall_ms);
+  std::cout << "1000-cell DRQN train step: batched "
+            << format_double(run.wall_ms, 2) << " ms\n";
+#endif
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -303,6 +357,7 @@ int main(int argc, char** argv) {
   bench_gate(task, report, quick);
   bench_selection(task, report, quick);
   bench_environment(task, report, quick);
+  bench_train_step(task.num_cells(), report, quick);
 
   std::cout << "total bench time: "
             << format_double(total.elapsed_seconds(), 1) << " s\n";

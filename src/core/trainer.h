@@ -35,6 +35,13 @@ mcs::SparseMcsEnvironment make_training_environment(
 /// environment. The agent's replay pool and exploration schedule persist
 /// across calls, so this can also fine-tune an already-trained agent
 /// (transfer learning) or continue training online.
+///
+/// Each trainer.train_step() inside the loop is one batched minibatch
+/// update: the replay buffer assembles a timestep-major [batch x cells]
+/// window batch from its encoded-sequence cache and the whole
+/// forward/loss/backward pipeline runs as batch-level GEMMs (see
+/// rl/dqn_trainer.h; config.dqn.reference_path routes it through the
+/// retained per-sample reference instead, bit-identically).
 TrainingResult train_agent(DrCellAgent& agent, mcs::SparseMcsEnvironment& env,
                            std::size_t episodes);
 

@@ -127,23 +127,62 @@ void Matrix::matmul_into(const Matrix& other, Matrix& out) const {
   const double* a = data_.data();
   const double* b = other.data_.data();
   double* c = out.data_.data();
-  // Blocked ikj: within a tile the inner loop is contiguous in both B and C,
-  // and the touched panels of all three matrices stay cache-resident. The
-  // aik == 0 skip is kept because the RL state sequences are near-one-hot.
+  // Blocked kernel with an 8-wide register-blocked inner tile: for each
+  // 8-column C strip the 8 partial sums live in registers across the whole
+  // k-tile (SIMD-friendly: two 4-wide FMA lanes), so C is loaded and stored
+  // once per k-tile instead of once per k. Per output element the additions
+  // still run in ascending k order — tiles in kk order, k ascending within a
+  // tile — so the result is bit-identical to the plain ikj loop and, because
+  // each output row depends only on its own input row, independent of the
+  // batch size stacked into `this` (the batched-training determinism
+  // contract; see docs/ARCHITECTURE.md). The aik == 0 skip is kept because
+  // the RL state sequences are near-one-hot.
   for (std::size_t ii = 0; ii < rows_; ii += kTileI) {
     const std::size_t i_end = std::min(rows_, ii + kTileI);
     for (std::size_t kk = 0; kk < cols_; kk += kTileK) {
       const std::size_t k_end = std::min(cols_, kk + kTileK);
       for (std::size_t jj = 0; jj < n; jj += kTileJ) {
         const std::size_t j_end = std::min(n, jj + kTileJ);
+        const std::size_t j_end8 = jj + (j_end - jj) / 8 * 8;
         for (std::size_t i = ii; i < i_end; ++i) {
           const double* arow = a + i * cols_;
           double* crow = c + i * n;
-          for (std::size_t k = kk; k < k_end; ++k) {
-            const double aik = arow[k];
-            if (aik == 0.0) continue;
-            const double* brow = b + k * n;
-            for (std::size_t j = jj; j < j_end; ++j) crow[j] += aik * brow[j];
+          for (std::size_t j = jj; j < j_end8; j += 8) {
+            double c0 = crow[j], c1 = crow[j + 1];
+            double c2 = crow[j + 2], c3 = crow[j + 3];
+            double c4 = crow[j + 4], c5 = crow[j + 5];
+            double c6 = crow[j + 6], c7 = crow[j + 7];
+            for (std::size_t k = kk; k < k_end; ++k) {
+              const double aik = arow[k];
+              if (aik == 0.0) continue;
+              const double* brow = b + k * n + j;
+              c0 += aik * brow[0];
+              c1 += aik * brow[1];
+              c2 += aik * brow[2];
+              c3 += aik * brow[3];
+              c4 += aik * brow[4];
+              c5 += aik * brow[5];
+              c6 += aik * brow[6];
+              c7 += aik * brow[7];
+            }
+            crow[j] = c0;
+            crow[j + 1] = c1;
+            crow[j + 2] = c2;
+            crow[j + 3] = c3;
+            crow[j + 4] = c4;
+            crow[j + 5] = c5;
+            crow[j + 6] = c6;
+            crow[j + 7] = c7;
+          }
+          // Sub-8 right edge of the tile: the original scalar loop.
+          if (j_end8 < j_end) {
+            for (std::size_t k = kk; k < k_end; ++k) {
+              const double aik = arow[k];
+              if (aik == 0.0) continue;
+              const double* brow = b + k * n;
+              for (std::size_t j = j_end8; j < j_end; ++j)
+                crow[j] += aik * brow[j];
+            }
           }
         }
       }
@@ -181,8 +220,19 @@ Matrix Matrix::matmul_unblocked(const Matrix& other) const {
 #endif
 
 Matrix Matrix::matmul_transposed_self(const Matrix& other) const {
-  DRCELL_CHECK_MSG(rows_ == other.rows(), "matmul_transposed_self mismatch");
   Matrix out(cols_, other.cols());
+  matmul_transposed_self_add(other, out);
+  return out;
+}
+
+void Matrix::matmul_transposed_self_add(const Matrix& other,
+                                        Matrix& out) const {
+  DRCELL_CHECK_MSG(rows_ == other.rows(), "matmul_transposed_self mismatch");
+  DRCELL_CHECK_MSG(out.rows() == cols_ && out.cols() == other.cols(),
+                   "matmul_transposed_self_add output shape mismatch");
+  DRCELL_CHECK_MSG(&out != this && &out != &other,
+                   "matmul_transposed_self_add output must not alias an "
+                   "operand");
   for (std::size_t k = 0; k < rows_; ++k) {
     const double* arow = data_.data() + k * cols_;
     const double* brow = other.data_.data() + k * other.cols();
@@ -193,7 +243,63 @@ Matrix Matrix::matmul_transposed_self(const Matrix& other) const {
       for (std::size_t j = 0; j < other.cols(); ++j) orow[j] += aki * brow[j];
     }
   }
+}
+
+Matrix Matrix::matmul_transposed_other(const Matrix& other) const {
+  Matrix out;
+  matmul_transposed_other_into(other, out);
   return out;
+}
+
+void Matrix::matmul_transposed_other_into(const Matrix& other,
+                                          Matrix& out) const {
+  DRCELL_CHECK_MSG(cols_ == other.cols(),
+                   "matmul_transposed_other shape mismatch");
+  DRCELL_CHECK_MSG(&out != this && &out != &other,
+                   "matmul_transposed_other output must not alias an "
+                   "operand");
+  out.resize_overwrite(rows_, other.rows_);  // every element is assigned
+  const std::size_t n = other.rows_;
+  const std::size_t depth = cols_;
+  // out(i,j) = dot(row_i(this), row_j(other)): both walks are contiguous, so
+  // no Wᵀ is ever materialised. Four dots share one pass over the A row
+  // (independent accumulators -> ILP); per element the additions run in
+  // ascending k order and depend only on that output's own pair of rows, so
+  // the result is batch-size independent like the matmul kernel.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* arow = data_.data() + i * depth;
+    double* crow = out.data_.data() + i * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const double* b0 = other.data_.data() + j * depth;
+      const double* b1 = b0 + depth;
+      const double* b2 = b1 + depth;
+      const double* b3 = b2 + depth;
+      double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
+      for (std::size_t k = 0; k < depth; ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        c0 += aik * b0[k];
+        c1 += aik * b1[k];
+        c2 += aik * b2[k];
+        c3 += aik * b3[k];
+      }
+      crow[j] = c0;
+      crow[j + 1] = c1;
+      crow[j + 2] = c2;
+      crow[j + 3] = c3;
+    }
+    for (; j < n; ++j) {
+      const double* brow = other.data_.data() + j * depth;
+      double s = 0.0;
+      for (std::size_t k = 0; k < depth; ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        s += aik * brow[k];
+      }
+      crow[j] = s;
+    }
+  }
 }
 
 Matrix Matrix::hadamard(const Matrix& other) const {

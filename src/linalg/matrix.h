@@ -96,6 +96,13 @@ class Matrix {
   /// Reshapes to rows x cols, filling with `fill`. Reuses the existing
   /// allocation when capacity allows, so hot loops can recycle workspaces.
   void resize(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// resize() without the fill guarantee: when the shape is already
+  /// rows x cols the contents are left untouched, so workspaces whose every
+  /// element the caller overwrites skip a redundant zero pass per call.
+  void resize_overwrite(std::size_t rows, std::size_t cols) {
+    if (rows == rows_ && cols == cols_) return;
+    resize(rows, cols);
+  }
 
   /// Mutable view of row r.
   std::span<double> row(std::size_t r);
@@ -139,6 +146,19 @@ class Matrix {
 #endif
   /// thisᵀ * other without materialising the transpose.
   Matrix matmul_transposed_self(const Matrix& other) const;
+  /// out += thisᵀ * other, accumulating directly into `out` (must already be
+  /// cols x other.cols). Contributions are added in ascending row order of
+  /// `this`, which is what makes batched parameter-gradient accumulation
+  /// bit-identical to a per-sample loop: stacking per-sample rows and calling
+  /// this replays exactly the additions the per-sample path would perform.
+  void matmul_transposed_self_add(const Matrix& other, Matrix& out) const;
+  /// this * otherᵀ without materialising the transpose. Both operands are
+  /// walked along contiguous rows (out(i,j) = dot(row_i, other row_j), k
+  /// ascending), so backward passes no longer build Wᵀ every step.
+  Matrix matmul_transposed_other(const Matrix& other) const;
+  /// this * otherᵀ written into `out`, reusing its storage when already
+  /// correctly shaped. `out` must not alias either operand.
+  void matmul_transposed_other_into(const Matrix& other, Matrix& out) const;
   /// Element-wise (Hadamard) product.
   Matrix hadamard(const Matrix& other) const;
   /// Applies f to every element in place.

@@ -18,52 +18,56 @@ double dsigmoid_from_output(double y) { return y * (1.0 - y); }
 
 double dtanh_from_output(double y) { return 1.0 - y * y; }
 
-Matrix ReLU::forward(const Matrix& input) {
+const Matrix& ReLU::forward(const Matrix& input) {
   cached_input_ = input;
-  Matrix out = input;
-  out.apply([](double x) { return x > 0.0 ? x : 0.0; });
-  return out;
+  out_ws_.resize_overwrite(input.rows(), input.cols());
+  for (std::size_t i = 0; i < out_ws_.data().size(); ++i) {
+    const double x = cached_input_.data()[i];
+    out_ws_.data()[i] = x > 0.0 ? x : 0.0;
+  }
+  return out_ws_;
 }
 
-Matrix ReLU::backward(const Matrix& grad_output) {
+const Matrix& ReLU::backward(const Matrix& grad_output) {
   DRCELL_CHECK(grad_output.rows() == cached_input_.rows() &&
                grad_output.cols() == cached_input_.cols());
-  Matrix grad = grad_output;
-  for (std::size_t i = 0; i < grad.data().size(); ++i)
-    if (cached_input_.data()[i] <= 0.0) grad.data()[i] = 0.0;
-  return grad;
+  grad_in_ws_.resize_overwrite(grad_output.rows(), grad_output.cols());
+  for (std::size_t i = 0; i < grad_in_ws_.data().size(); ++i)
+    grad_in_ws_.data()[i] =
+        cached_input_.data()[i] > 0.0 ? grad_output.data()[i] : 0.0;
+  return grad_in_ws_;
 }
 
-Matrix Tanh::forward(const Matrix& input) {
-  Matrix out = input;
-  out.apply([](double x) { return std::tanh(x); });
-  cached_output_ = out;
-  return out;
+const Matrix& Tanh::forward(const Matrix& input) {
+  cached_output_ = input;
+  cached_output_.apply([](double x) { return std::tanh(x); });
+  return cached_output_;
 }
 
-Matrix Tanh::backward(const Matrix& grad_output) {
+const Matrix& Tanh::backward(const Matrix& grad_output) {
   DRCELL_CHECK(grad_output.rows() == cached_output_.rows() &&
                grad_output.cols() == cached_output_.cols());
-  Matrix grad = grad_output;
-  for (std::size_t i = 0; i < grad.data().size(); ++i)
-    grad.data()[i] *= dtanh_from_output(cached_output_.data()[i]);
-  return grad;
+  grad_in_ws_.resize_overwrite(grad_output.rows(), grad_output.cols());
+  for (std::size_t i = 0; i < grad_in_ws_.data().size(); ++i)
+    grad_in_ws_.data()[i] =
+        grad_output.data()[i] * dtanh_from_output(cached_output_.data()[i]);
+  return grad_in_ws_;
 }
 
-Matrix Sigmoid::forward(const Matrix& input) {
-  Matrix out = input;
-  out.apply([](double x) { return sigmoid(x); });
-  cached_output_ = out;
-  return out;
+const Matrix& Sigmoid::forward(const Matrix& input) {
+  cached_output_ = input;
+  cached_output_.apply([](double x) { return sigmoid(x); });
+  return cached_output_;
 }
 
-Matrix Sigmoid::backward(const Matrix& grad_output) {
+const Matrix& Sigmoid::backward(const Matrix& grad_output) {
   DRCELL_CHECK(grad_output.rows() == cached_output_.rows() &&
                grad_output.cols() == cached_output_.cols());
-  Matrix grad = grad_output;
-  for (std::size_t i = 0; i < grad.data().size(); ++i)
-    grad.data()[i] *= dsigmoid_from_output(cached_output_.data()[i]);
-  return grad;
+  grad_in_ws_.resize_overwrite(grad_output.rows(), grad_output.cols());
+  for (std::size_t i = 0; i < grad_in_ws_.data().size(); ++i)
+    grad_in_ws_.data()[i] =
+        grad_output.data()[i] * dsigmoid_from_output(cached_output_.data()[i]);
+  return grad_in_ws_;
 }
 
 }  // namespace drcell::nn

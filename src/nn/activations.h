@@ -12,32 +12,36 @@ double dtanh_from_output(double y);     // y = tanh(x)    -> 1-y²
 
 class ReLU : public Layer {
  public:
-  Matrix forward(const Matrix& input) override;
-  Matrix backward(const Matrix& grad_output) override;
+  const Matrix& forward(const Matrix& input) override;
+  const Matrix& backward(const Matrix& grad_output) override;
   std::string name() const override { return "ReLU"; }
 
  private:
   Matrix cached_input_;
+  Matrix out_ws_;
+  Matrix grad_in_ws_;
 };
 
 class Tanh : public Layer {
  public:
-  Matrix forward(const Matrix& input) override;
-  Matrix backward(const Matrix& grad_output) override;
+  const Matrix& forward(const Matrix& input) override;
+  const Matrix& backward(const Matrix& grad_output) override;
   std::string name() const override { return "Tanh"; }
 
  private:
   Matrix cached_output_;
+  Matrix grad_in_ws_;
 };
 
 class Sigmoid : public Layer {
  public:
-  Matrix forward(const Matrix& input) override;
-  Matrix backward(const Matrix& grad_output) override;
+  const Matrix& forward(const Matrix& input) override;
+  const Matrix& backward(const Matrix& grad_output) override;
   std::string name() const override { return "Sigmoid"; }
 
  private:
   Matrix cached_output_;
+  Matrix grad_in_ws_;
 };
 
 }  // namespace drcell::nn

@@ -10,7 +10,36 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
   xavier_uniform(w_.value, in_features, out_features, rng);
 }
 
-Matrix Dense::forward(const Matrix& input) {
+const Matrix& Dense::forward(const Matrix& input) {
+  DRCELL_CHECK_MSG(input.cols() == w_.value.rows(),
+                   "Dense: input feature mismatch");
+  cached_input_ = input;
+  // Multiply from the cached copy: `input` may alias this layer's own
+  // workspace when a caller feeds a previous result straight back in.
+  cached_input_.matmul_into(w_.value, out_ws_);
+  for (std::size_t r = 0; r < out_ws_.rows(); ++r)
+    for (std::size_t c = 0; c < out_ws_.cols(); ++c)
+      out_ws_(r, c) += b_.value(0, c);
+  return out_ws_;
+}
+
+const Matrix& Dense::backward(const Matrix& grad_output) {
+  DRCELL_CHECK_MSG(grad_output.rows() == cached_input_.rows() &&
+                       grad_output.cols() == w_.value.cols(),
+                   "Dense: backward shape mismatch");
+  // dW += xᵀ g, db += colsum(g), dx = g Wᵀ. Parameter gradients accumulate
+  // in ascending batch-row order (the batched-vs-per-sample bit-identity
+  // contract); dx avoids materialising Wᵀ.
+  cached_input_.matmul_transposed_self_add(grad_output, w_.grad);
+  for (std::size_t r = 0; r < grad_output.rows(); ++r)
+    for (std::size_t c = 0; c < grad_output.cols(); ++c)
+      b_.grad(0, c) += grad_output(r, c);
+  grad_output.matmul_transposed_other_into(w_.value, grad_in_ws_);
+  return grad_in_ws_;
+}
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+Matrix Dense::forward_reference(const Matrix& input) {
   DRCELL_CHECK_MSG(input.cols() == w_.value.rows(),
                    "Dense: input feature mismatch");
   cached_input_ = input;
@@ -20,16 +49,16 @@ Matrix Dense::forward(const Matrix& input) {
   return out;
 }
 
-Matrix Dense::backward(const Matrix& grad_output) {
+Matrix Dense::backward_reference(const Matrix& grad_output) {
   DRCELL_CHECK_MSG(grad_output.rows() == cached_input_.rows() &&
                        grad_output.cols() == w_.value.cols(),
                    "Dense: backward shape mismatch");
-  // dW += xᵀ g, db += colsum(g), dx = g Wᵀ.
   w_.grad += cached_input_.matmul_transposed_self(grad_output);
   for (std::size_t r = 0; r < grad_output.rows(); ++r)
     for (std::size_t c = 0; c < grad_output.cols(); ++c)
       b_.grad(0, c) += grad_output(r, c);
   return grad_output.matmul(w_.value.transposed());
 }
+#endif
 
 }  // namespace drcell::nn

@@ -11,8 +11,14 @@ class Dense : public Layer {
   /// Xavier-initialised in_features x out_features layer.
   Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
 
-  Matrix forward(const Matrix& input) override;
-  Matrix backward(const Matrix& grad_output) override;
+  const Matrix& forward(const Matrix& input) override;
+  const Matrix& backward(const Matrix& grad_output) override;
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  /// Pre-refactor implementations: allocate the product per call and build
+  /// Wᵀ for the input gradient. Bit-identical to the workspace path.
+  Matrix forward_reference(const Matrix& input) override;
+  Matrix backward_reference(const Matrix& grad_output) override;
+#endif
   std::vector<Parameter*> parameters() override { return {&w_, &b_}; }
   std::string name() const override { return "Dense"; }
 
@@ -26,6 +32,9 @@ class Dense : public Layer {
   Parameter w_;  // in x out
   Parameter b_;  // 1 x out
   Matrix cached_input_;
+  // Batch-sized product workspaces recycled across calls via matmul_into.
+  Matrix out_ws_;      // forward output
+  Matrix grad_in_ws_;  // backward input-gradient
 };
 
 }  // namespace drcell::nn

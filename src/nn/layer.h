@@ -32,12 +32,40 @@ struct Parameter {
 /// forward() caches whatever backward() needs; backward() consumes the
 /// gradient w.r.t. the layer output, accumulates parameter gradients and
 /// returns the gradient w.r.t. the layer input. One backward per forward.
+///
+/// Both calls return references into layer-owned workspaces (valid until the
+/// next forward()/backward() on the same layer), so a steady-state training
+/// loop allocates nothing per step. Copy the result to keep it.
+///
+/// Batched determinism contract: every layer computes output row b of a
+/// [batch x features] input exactly as it would compute the single row of a
+/// [1 x features] input — same dot products, same addition order — and
+/// backward() accumulates parameter gradients in ascending batch-row order.
+/// Batched training is therefore bit-identical to a per-sample loop (from
+/// zeroed gradients); tests/batched_training_test.cpp enforces this.
 class Layer {
  public:
   virtual ~Layer() = default;
 
-  virtual Matrix forward(const Matrix& input) = 0;
-  virtual Matrix backward(const Matrix& grad_output) = 0;
+  virtual const Matrix& forward(const Matrix& input) = 0;
+  virtual const Matrix& backward(const Matrix& grad_output) = 0;
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  /// Retained pre-workspace reference path (benchmark floor of the batched
+  /// training engine, per the repo's retained-naive-reference convention):
+  /// value-returning calls that allocate fresh outputs and, where the
+  /// optimised path avoids it, materialise transposes. Must be
+  /// bit-identical to forward()/backward() — same dot products, same
+  /// addition order. Defaults delegate to the optimised path (correct, and
+  /// honest for layers whose old implementation had no extra cost beyond
+  /// the per-call copy).
+  virtual Matrix forward_reference(const Matrix& input) {
+    return forward(input);
+  }
+  virtual Matrix backward_reference(const Matrix& grad_output) {
+    return backward(grad_output);
+  }
+#endif
 
   /// Trainable parameters (empty for activations).
   virtual std::vector<Parameter*> parameters() { return {}; }

@@ -25,7 +25,7 @@ LossResult huber_loss(const Matrix& predictions, const Matrix& targets,
 }
 
 LossResult masked_mse_loss(const Matrix& predictions, const Matrix& targets,
-                           const Matrix& mask) {
+                           const Matrix& mask, double normalizer) {
   check_same_shape(predictions, targets);
   check_same_shape(predictions, mask);
   LossResult out;
@@ -34,18 +34,20 @@ LossResult masked_mse_loss(const Matrix& predictions, const Matrix& targets,
   for (std::size_t i = 0; i < predictions.data().size(); ++i)
     if (mask.data()[i] != 0.0) count += 1.0;
   DRCELL_CHECK_MSG(count > 0.0, "loss mask is entirely zero");
+  out.normalizer = normalizer > 0.0 ? normalizer : count;
   for (std::size_t i = 0; i < predictions.data().size(); ++i) {
     if (mask.data()[i] == 0.0) continue;
     const double d = predictions.data()[i] - targets.data()[i];
-    out.value += d * d;
-    out.grad.data()[i] = 2.0 * d / count;
+    out.raw_sum += d * d;
+    out.grad.data()[i] = 2.0 * d / out.normalizer;
   }
-  out.value /= count;
+  out.value = out.raw_sum / out.normalizer;
   return out;
 }
 
 LossResult masked_huber_loss(const Matrix& predictions, const Matrix& targets,
-                             const Matrix& mask, double delta) {
+                             const Matrix& mask, double delta,
+                             double normalizer) {
   check_same_shape(predictions, targets);
   check_same_shape(predictions, mask);
   DRCELL_CHECK(delta > 0.0);
@@ -55,18 +57,19 @@ LossResult masked_huber_loss(const Matrix& predictions, const Matrix& targets,
   for (std::size_t i = 0; i < predictions.data().size(); ++i)
     if (mask.data()[i] != 0.0) count += 1.0;
   DRCELL_CHECK_MSG(count > 0.0, "loss mask is entirely zero");
+  out.normalizer = normalizer > 0.0 ? normalizer : count;
   for (std::size_t i = 0; i < predictions.data().size(); ++i) {
     if (mask.data()[i] == 0.0) continue;
     const double d = predictions.data()[i] - targets.data()[i];
     if (std::fabs(d) <= delta) {
-      out.value += 0.5 * d * d;
-      out.grad.data()[i] = d / count;
+      out.raw_sum += 0.5 * d * d;
+      out.grad.data()[i] = d / out.normalizer;
     } else {
-      out.value += delta * (std::fabs(d) - 0.5 * delta);
-      out.grad.data()[i] = (d > 0.0 ? delta : -delta) / count;
+      out.raw_sum += delta * (std::fabs(d) - 0.5 * delta);
+      out.grad.data()[i] = (d > 0.0 ? delta : -delta) / out.normalizer;
     }
   }
-  out.value /= count;
+  out.value = out.raw_sum / out.normalizer;
   return out;
 }
 

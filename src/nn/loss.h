@@ -8,8 +8,11 @@
 namespace drcell::nn {
 
 struct LossResult {
-  double value = 0.0;  ///< scalar loss averaged over contributing elements
-  Matrix grad;         ///< gradient w.r.t. predictions (same shape)
+  double value = 0.0;    ///< scalar loss: raw_sum / normalizer
+  double raw_sum = 0.0;  ///< unnormalised sum of per-element losses,
+                         ///< accumulated in row-major (batch-row) order
+  double normalizer = 0.0;  ///< divisor applied to raw_sum and the gradients
+  Matrix grad;              ///< gradient w.r.t. predictions (same shape)
 };
 
 /// Mean squared error over all elements: mean((pred - target)²).
@@ -21,12 +24,16 @@ LossResult huber_loss(const Matrix& predictions, const Matrix& targets,
                       double delta = 1.0);
 
 /// Masked MSE: elements where mask == 0 contribute neither loss nor
-/// gradient. The mean is over unmasked elements only.
+/// gradient. The mean is over unmasked elements only, unless `normalizer`
+/// is positive — then both the loss and the gradients divide by that
+/// instead. A per-sample reference path passes the whole batch's unmasked
+/// count so its per-row gradients match the batched call bit for bit.
 LossResult masked_mse_loss(const Matrix& predictions, const Matrix& targets,
-                           const Matrix& mask);
+                           const Matrix& mask, double normalizer = 0.0);
 
 /// Masked Huber (see above).
 LossResult masked_huber_loss(const Matrix& predictions, const Matrix& targets,
-                             const Matrix& mask, double delta = 1.0);
+                             const Matrix& mask, double delta = 1.0,
+                             double normalizer = 0.0);
 
 }  // namespace drcell::nn

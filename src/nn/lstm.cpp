@@ -1,5 +1,6 @@
 #include "nn/lstm.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "nn/activations.h"
@@ -19,7 +20,191 @@ Lstm::Lstm(std::size_t input_size, std::size_t hidden_size, Rng& rng)
     b_.value(0, c) = 1.0;
 }
 
-Matrix Lstm::forward(const std::vector<Matrix>& steps) {
+const Matrix& Lstm::forward(const std::vector<Matrix>& steps) {
+  DRCELL_CHECK_MSG(!steps.empty(), "LSTM forward on empty sequence");
+  const std::size_t hidden = hidden_size();
+  batch_ = steps.front().rows();
+
+  const std::size_t t_max = steps.size();
+  x_.resize(t_max);
+  gates_.resize(t_max);
+  c_.resize(t_max);
+  tanh_c_.resize(t_max);
+  h_.resize(t_max);
+
+  for (std::size_t t = 0; t < t_max; ++t) {
+    const Matrix& xt = steps[t];
+    DRCELL_CHECK_MSG(xt.rows() == batch_ && xt.cols() == input_size(),
+                     "LSTM: inconsistent step shape");
+    x_[t] = xt;
+    // Pre-activations z = x Wx + h_{t-1} Wh + b (workspaces reused across
+    // steps and calls). The very first step has no previous hidden state;
+    // skipping the zero product is bit-identical to adding it.
+    xt.matmul_into(wx_.value, z_ws_);
+    Matrix& z = z_ws_;
+    if (t > 0) {
+      h_[t - 1].matmul_into(wh_.value, recur_ws_);
+      z += recur_ws_;
+    }
+    for (std::size_t r = 0; r < batch_; ++r)
+      for (std::size_t col = 0; col < 4 * hidden; ++col)
+        z(r, col) += b_.value(0, col);
+
+    Matrix& gates = gates_[t];
+    gates.resize_overwrite(batch_, 4 * hidden);
+    Matrix& ct = c_[t];
+    ct.resize_overwrite(batch_, hidden);
+    Matrix& tct = tanh_c_[t];
+    tct.resize_overwrite(batch_, hidden);
+    Matrix& ht = h_[t];
+    ht.resize_overwrite(batch_, hidden);
+    for (std::size_t r = 0; r < batch_; ++r) {
+      for (std::size_t j = 0; j < hidden; ++j) {
+        const double zi = z(r, j);
+        const double zf = z(r, hidden + j);
+        const double zg = z(r, 2 * hidden + j);
+        const double zo = z(r, 3 * hidden + j);
+        const double i = sigmoid(zi);
+        const double f = sigmoid(zf);
+        const double g = std::tanh(zg);
+        const double o = sigmoid(zo);
+        gates(r, j) = i;
+        gates(r, hidden + j) = f;
+        gates(r, 2 * hidden + j) = g;
+        gates(r, 3 * hidden + j) = o;
+        const double c_new = (t > 0 ? f * c_[t - 1](r, j) : 0.0) + i * g;
+        ct(r, j) = c_new;
+        const double tc = std::tanh(c_new);
+        tct(r, j) = tc;
+        ht(r, j) = o * tc;
+      }
+    }
+  }
+  return h_.back();
+}
+
+const std::vector<Matrix>& Lstm::backward(const Matrix& grad_last_hidden,
+                                          bool compute_input_grads) {
+  DRCELL_CHECK_MSG(!h_.empty(), "LSTM backward before forward");
+  last_only_ws_.resize(h_.size());
+  for (std::size_t t = 0; t + 1 < h_.size(); ++t)
+    last_only_ws_[t].resize(batch_, hidden_size());
+  last_only_ws_.back() = grad_last_hidden;
+  return backward_sequence(last_only_ws_, compute_input_grads);
+}
+
+const std::vector<Matrix>& Lstm::backward_sequence(
+    const std::vector<Matrix>& grad_hidden_per_step,
+    bool compute_input_grads) {
+  const std::size_t t_max = h_.size();
+  DRCELL_CHECK_MSG(t_max > 0, "LSTM backward before forward");
+  DRCELL_CHECK(grad_hidden_per_step.size() == t_max);
+  const std::size_t hidden = hidden_size();
+
+  dz_.resize(t_max);
+  if (compute_input_grads) {
+    grad_x_.resize(t_max);
+  } else {
+    grad_x_.clear();
+  }
+  dc_next_ws_.resize(batch_, hidden);
+
+  for (std::size_t t = t_max; t-- > 0;) {
+    // Total gradient into h_t: external + recurrent. The first (t = T-1)
+    // iteration has no recurrent term; adding the zero matrix would be
+    // bit-identical, so it is skipped.
+    const Matrix& ext = grad_hidden_per_step[t];
+    DRCELL_CHECK(ext.rows() == batch_ && ext.cols() == hidden);
+    dh_ws_ = ext;
+    if (t + 1 < t_max) dh_ws_ += dh_next_ws_;
+
+    const Matrix& gates = gates_[t];
+    const Matrix& tct = tanh_c_[t];
+    Matrix& dz = dz_[t];
+    dz.resize_overwrite(batch_, 4 * hidden);
+    dc_prev_ws_.resize_overwrite(batch_, hidden);
+    for (std::size_t r = 0; r < batch_; ++r) {
+      for (std::size_t j = 0; j < hidden; ++j) {
+        const double i = gates(r, j);
+        const double f = gates(r, hidden + j);
+        const double g = gates(r, 2 * hidden + j);
+        const double o = gates(r, 3 * hidden + j);
+        const double tc = tct(r, j);
+        const double c_prev = t > 0 ? c_[t - 1](r, j) : 0.0;
+
+        const double dht = dh_ws_(r, j);
+        const double d_o = dht * tc;
+        const double dct =
+            dc_next_ws_(r, j) + dht * o * dtanh_from_output(tc);
+        const double d_i = dct * g;
+        const double d_f = dct * c_prev;
+        const double d_g = dct * i;
+        dc_prev_ws_(r, j) = dct * f;
+
+        dz(r, j) = d_i * dsigmoid_from_output(i);
+        dz(r, hidden + j) = d_f * dsigmoid_from_output(f);
+        dz(r, 2 * hidden + j) = d_g * dtanh_from_output(g);
+        dz(r, 3 * hidden + j) = d_o * dsigmoid_from_output(o);
+      }
+    }
+
+    // Gradients flowing to inputs and to the previous step (no transposes
+    // materialised).
+    if (compute_input_grads)
+      dz.matmul_transposed_other_into(wx_.value, grad_x_[t]);
+    if (t > 0) dz.matmul_transposed_other_into(wh_.value, dh_next_ws_);
+    std::swap(dc_next_ws_, dc_prev_ws_);
+  }
+
+  // Deferred parameter gradients. The per-(sample, step) contributions are
+  // concatenated sample-major — rows ordered (b ascending; t descending
+  // within b, matching the backward recursion) — and accumulated with one
+  // AᵀB pass per parameter. matmul_transposed_self_add walks rows in
+  // ascending order, so the additions land in grad in exactly the order a
+  // per-sample backward loop would produce: batched gradients are
+  // bit-identical to the per-sample path. Bonus: one [F x B·T]·[B·T x 4H]
+  // GEMM beats T skinny per-step products.
+  const std::size_t in = input_size();
+  xcat_ws_.resize_overwrite(batch_ * t_max, in);
+  dzcat_ws_.resize_overwrite(batch_ * t_max, 4 * hidden);
+  for (std::size_t b = 0; b < batch_; ++b) {
+    for (std::size_t t = t_max; t-- > 0;) {
+      const std::size_t row = b * t_max + (t_max - 1 - t);
+      const auto xrow = x_[t].row(b);
+      std::copy(xrow.begin(), xrow.end(), xcat_ws_.row(row).begin());
+      const auto dzrow = dz_[t].row(b);
+      std::copy(dzrow.begin(), dzrow.end(), dzcat_ws_.row(row).begin());
+    }
+  }
+  xcat_ws_.matmul_transposed_self_add(dzcat_ws_, wx_.grad);
+  for (std::size_t row = 0; row < dzcat_ws_.rows(); ++row) {
+    const auto dzrow = dzcat_ws_.row(row);
+    for (std::size_t col = 0; col < 4 * hidden; ++col)
+      b_.grad(0, col) += dzrow[col];
+  }
+  if (t_max > 1) {
+    // Recurrent weights: the t = 0 step has no previous hidden state, so
+    // its rows are excluded (matching the per-sample loop exactly).
+    hcat_ws_.resize_overwrite(batch_ * (t_max - 1), hidden);
+    dzhcat_ws_.resize_overwrite(batch_ * (t_max - 1), 4 * hidden);
+    for (std::size_t b = 0; b < batch_; ++b) {
+      for (std::size_t t = t_max; t-- > 1;) {
+        const std::size_t row = b * (t_max - 1) + (t_max - 1 - t);
+        const auto hrow = h_[t - 1].row(b);
+        std::copy(hrow.begin(), hrow.end(), hcat_ws_.row(row).begin());
+        const auto dzrow = dz_[t].row(b);
+        std::copy(dzrow.begin(), dzrow.end(), dzhcat_ws_.row(row).begin());
+      }
+    }
+    hcat_ws_.matmul_transposed_self_add(dzhcat_ws_, wh_.grad);
+  }
+  return grad_x_;
+}
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+Matrix Lstm::forward_reference(const std::vector<Matrix>& steps) {
+  // The pre-refactor forward: per-step products and gate blocks allocated
+  // fresh every call, the zero initial hidden state multiplied through.
   DRCELL_CHECK_MSG(!steps.empty(), "LSTM forward on empty sequence");
   const std::size_t hidden = hidden_size();
   batch_ = steps.front().rows();
@@ -37,12 +222,8 @@ Matrix Lstm::forward(const std::vector<Matrix>& steps) {
     const Matrix& xt = steps[t];
     DRCELL_CHECK_MSG(xt.rows() == batch_ && xt.cols() == input_size(),
                      "LSTM: inconsistent step shape");
-    // Pre-activations z = x Wx + h_prev Wh + b (workspaces reused across
-    // steps and calls).
-    xt.matmul_into(wx_.value, z_ws_);
-    Matrix& z = z_ws_;
-    h_prev.matmul_into(wh_.value, recur_ws_);
-    z += recur_ws_;
+    Matrix z = xt.matmul(wx_.value);
+    z += h_prev.matmul(wh_.value);
     for (std::size_t r = 0; r < batch_; ++r)
       for (std::size_t col = 0; col < 4 * hidden; ++col)
         z(r, col) += b_.value(0, col);
@@ -53,14 +234,10 @@ Matrix Lstm::forward(const std::vector<Matrix>& steps) {
     Matrix ht(batch_, hidden);
     for (std::size_t r = 0; r < batch_; ++r) {
       for (std::size_t j = 0; j < hidden; ++j) {
-        const double zi = z(r, j);
-        const double zf = z(r, hidden + j);
-        const double zg = z(r, 2 * hidden + j);
-        const double zo = z(r, 3 * hidden + j);
-        const double i = sigmoid(zi);
-        const double f = sigmoid(zf);
-        const double g = std::tanh(zg);
-        const double o = sigmoid(zo);
+        const double i = sigmoid(z(r, j));
+        const double f = sigmoid(z(r, hidden + j));
+        const double g = std::tanh(z(r, 2 * hidden + j));
+        const double o = sigmoid(z(r, 3 * hidden + j));
         gates(r, j) = i;
         gates(r, hidden + j) = f;
         gates(r, 2 * hidden + j) = g;
@@ -82,28 +259,20 @@ Matrix Lstm::forward(const std::vector<Matrix>& steps) {
   return h_.back();
 }
 
-std::vector<Matrix> Lstm::backward(const Matrix& grad_last_hidden) {
-  DRCELL_CHECK_MSG(!h_.empty(), "LSTM backward before forward");
-  std::vector<Matrix> grads(h_.size(),
-                            Matrix(batch_, hidden_size()));
-  grads.back() = grad_last_hidden;
-  return backward_sequence(grads);
-}
-
-std::vector<Matrix> Lstm::backward_sequence(
-    const std::vector<Matrix>& grad_hidden_per_step) {
+std::vector<Matrix> Lstm::backward_reference(const Matrix& grad_last_hidden) {
+  // The pre-refactor BPTT: Wxᵀ and Whᵀ materialised every step, parameter
+  // gradients accumulated through a freshly allocated product per step.
   const std::size_t t_max = h_.size();
   DRCELL_CHECK_MSG(t_max > 0, "LSTM backward before forward");
-  DRCELL_CHECK(grad_hidden_per_step.size() == t_max);
   const std::size_t hidden = hidden_size();
 
   std::vector<Matrix> grad_x(t_max);
-  Matrix dh_next(batch_, hidden);  // gradient flowing back through h
-  Matrix dc_next(batch_, hidden);  // gradient flowing back through c
+  Matrix dh_next(batch_, hidden);
+  Matrix dc_next(batch_, hidden);
 
   for (std::size_t t = t_max; t-- > 0;) {
-    // Total gradient into h_t: external + recurrent.
-    Matrix dh = grad_hidden_per_step[t];
+    Matrix dh = t + 1 == t_max ? grad_last_hidden
+                               : Matrix(batch_, hidden);
     DRCELL_CHECK(dh.rows() == batch_ && dh.cols() == hidden);
     dh += dh_next;
 
@@ -118,8 +287,7 @@ std::vector<Matrix> Lstm::backward_sequence(
         const double g = gates(r, 2 * hidden + j);
         const double o = gates(r, 3 * hidden + j);
         const double tc = tct(r, j);
-        const double c_prev =
-            t > 0 ? c_[t - 1](r, j) : 0.0;
+        const double c_prev = t > 0 ? c_[t - 1](r, j) : 0.0;
 
         const double dht = dh(r, j);
         const double d_o = dht * tc;
@@ -136,20 +304,18 @@ std::vector<Matrix> Lstm::backward_sequence(
       }
     }
 
-    // Parameter gradients.
     wx_.grad += x_[t].matmul_transposed_self(dz);
     if (t > 0) wh_.grad += h_[t - 1].matmul_transposed_self(dz);
     for (std::size_t r = 0; r < batch_; ++r)
       for (std::size_t col = 0; col < 4 * hidden; ++col)
         b_.grad(0, col) += dz(r, col);
 
-    // Gradients flowing to inputs and to the previous step.
     grad_x[t] = dz.matmul(wx_.value.transposed());
-    dz.matmul_into(wh_.value.transposed(), recur_ws_);
-    std::swap(dh_next, recur_ws_);
+    dh_next = dz.matmul(wh_.value.transposed());
     dc_next = std::move(dc_prev);
   }
   return grad_x;
 }
+#endif
 
 }  // namespace drcell::nn

@@ -4,6 +4,20 @@
 // state S = [s_{-k+1}, …, s_0] is fed as k time steps; the final hidden
 // vector summarises the recent cell-selection history and is consumed by a
 // dense head that scores all m candidate actions.
+//
+// The cell is batch-major end to end: each step is a [batch x input]
+// matrix, the carried hidden/cell states are [batch x hidden], and one
+// forward/backward over a B-sample batch runs the same handful of
+// [B x F]·[F x 4H] GEMMs a single sample would — just with more rows.
+//
+// Batched determinism contract (tests/batched_training_test.cpp): row b of
+// every per-step state is computed exactly as a B=1 forward of sample b
+// would compute it, and backward() accumulates parameter gradients in
+// sample-major order — the per-(sample, step) outer-product contributions
+// are concatenated with rows ordered (b ascending; t descending within b)
+// and accumulated through one AᵀB pass, which replays, addition for
+// addition, what a per-sample backward loop performs. Batched training is
+// therefore bit-identical to the per-sample path from zeroed gradients.
 #pragma once
 
 #include <vector>
@@ -18,21 +32,39 @@ class Lstm {
   Lstm(std::size_t input_size, std::size_t hidden_size, Rng& rng);
 
   /// Runs the cell over `steps` (each batch x input). Returns the hidden
-  /// state after the last step (batch x hidden). Caches everything needed
-  /// for backward().
-  Matrix forward(const std::vector<Matrix>& steps);
+  /// state after the last step (batch x hidden, a reference into the
+  /// per-step cache — valid until the next forward()). Caches everything
+  /// needed for backward().
+  const Matrix& forward(const std::vector<Matrix>& steps);
 
   /// All per-step hidden states from the previous forward() call
   /// (useful for sequence-output heads and for tests).
   const std::vector<Matrix>& hidden_states() const { return h_; }
 
   /// BPTT from the gradient w.r.t. the final hidden state. Accumulates
-  /// parameter gradients and returns the gradients w.r.t. each input step.
-  std::vector<Matrix> backward(const Matrix& grad_last_hidden);
+  /// parameter gradients and returns the gradients w.r.t. each input step
+  /// (a reference into a reused workspace, valid until the next backward).
+  /// `compute_input_grads = false` skips the per-step dz·Wxᵀ products —
+  /// the DRQN discards input gradients, and they are the most expensive
+  /// part of the backward pass after the parameter GEMMs. The returned
+  /// vector is empty in that mode.
+  const std::vector<Matrix>& backward(const Matrix& grad_last_hidden,
+                                      bool compute_input_grads = true);
 
   /// BPTT from gradients w.r.t. every per-step hidden state.
-  std::vector<Matrix> backward_sequence(
-      const std::vector<Matrix>& grad_hidden_per_step);
+  const std::vector<Matrix>& backward_sequence(
+      const std::vector<Matrix>& grad_hidden_per_step,
+      bool compute_input_grads = true);
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  /// Retained pre-refactor cell (the benchmark floor of the batched
+  /// engine): fresh per-step allocations, Wxᵀ/Whᵀ materialised every step
+  /// of the backward recursion, parameter gradients accumulated per step.
+  /// Bit-identical to forward()/backward() for B = 1 (the per-sample
+  /// reference path), enforced by tests and the bench self-check.
+  Matrix forward_reference(const std::vector<Matrix>& steps);
+  std::vector<Matrix> backward_reference(const Matrix& grad_last_hidden);
+#endif
 
   std::vector<Parameter*> parameters() { return {&wx_, &wh_, &b_}; }
 
@@ -46,7 +78,7 @@ class Lstm {
   Parameter wh_;  // hidden x 4*hidden
   Parameter b_;   // 1      x 4*hidden
 
-  // Forward caches (one entry per time step).
+  // Forward caches (one entry per time step; storage reused across calls).
   std::vector<Matrix> x_;       // inputs
   std::vector<Matrix> gates_;   // post-activation [i f g o]
   std::vector<Matrix> c_;       // cell states
@@ -57,7 +89,20 @@ class Lstm {
   // trainer runs forward/backward thousands of times per episode, and these
   // were the per-step allocations on that path.
   Matrix z_ws_;      // x_t Wx, then += h_{t-1} Wh
-  Matrix recur_ws_;  // h_{t-1} Wh (forward) / dz Wh^T (backward)
+  Matrix recur_ws_;  // h_{t-1} Wh (forward)
+  // Backward workspaces.
+  std::vector<Matrix> dz_;      // per-step pre-activation gradients
+  std::vector<Matrix> grad_x_;  // returned input gradients
+  std::vector<Matrix> last_only_ws_;  // backward()'s zero-padded grads
+  Matrix dh_ws_;       // gradient into h_t (external + recurrent)
+  Matrix dh_next_ws_;  // dz_t Whᵀ flowing to step t-1
+  Matrix dc_next_ws_;  // cell-state gradient flowing to step t-1
+  Matrix dc_prev_ws_;
+  // Sample-major concatenations feeding the deferred parameter GEMMs.
+  Matrix xcat_ws_;    // [B·T x input]  rows (b asc; t desc)
+  Matrix dzcat_ws_;   // [B·T x 4H]     rows (b asc; t desc)
+  Matrix hcat_ws_;    // [B·(T-1) x H]  rows (b asc; t desc, t >= 1)
+  Matrix dzhcat_ws_;  // [B·(T-1) x 4H] rows (b asc; t desc, t >= 1)
 };
 
 }  // namespace drcell::nn

@@ -8,20 +8,37 @@ Sequential& Sequential::add(LayerPtr layer) {
   return *this;
 }
 
-Matrix Sequential::forward(const Matrix& input) {
+const Matrix& Sequential::forward(const Matrix& input) {
+  DRCELL_CHECK_MSG(!layers_.empty(), "empty Sequential");
+  const Matrix* x = &input;
+  for (auto& l : layers_) x = &l->forward(*x);
+  return *x;
+}
+
+const Matrix& Sequential::backward(const Matrix& grad_output) {
+  DRCELL_CHECK_MSG(!layers_.empty(), "empty Sequential");
+  const Matrix* g = &grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = &(*it)->backward(*g);
+  return *g;
+}
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+Matrix Sequential::forward_reference(const Matrix& input) {
   DRCELL_CHECK_MSG(!layers_.empty(), "empty Sequential");
   Matrix x = input;
-  for (auto& l : layers_) x = l->forward(x);
+  for (auto& l : layers_) x = l->forward_reference(x);
   return x;
 }
 
-Matrix Sequential::backward(const Matrix& grad_output) {
+Matrix Sequential::backward_reference(const Matrix& grad_output) {
   DRCELL_CHECK_MSG(!layers_.empty(), "empty Sequential");
   Matrix g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    g = (*it)->backward(g);
+    g = (*it)->backward_reference(g);
   return g;
 }
+#endif
 
 std::vector<Parameter*> Sequential::parameters() {
   std::vector<Parameter*> all;

@@ -21,8 +21,18 @@ class Sequential {
     return add(std::make_unique<L>(std::forward<Args>(args)...));
   }
 
-  Matrix forward(const Matrix& input);
-  Matrix backward(const Matrix& grad_output);
+  /// Chains the layers' workspace-returning calls: no per-step allocation,
+  /// the returned reference lives in the last (first) layer's workspace and
+  /// stays valid until that layer runs again.
+  const Matrix& forward(const Matrix& input);
+  const Matrix& backward(const Matrix& grad_output);
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  /// Chains the layers' retained pre-workspace reference calls (fresh
+  /// allocations per call). Bit-identical to forward()/backward().
+  Matrix forward_reference(const Matrix& input);
+  Matrix backward_reference(const Matrix& grad_output);
+#endif
 
   std::vector<Parameter*> parameters();
   std::size_t layer_count() const { return layers_.size(); }

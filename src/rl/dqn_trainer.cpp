@@ -36,6 +36,11 @@ std::vector<Matrix> DqnTrainer::to_sequence(
   return encoder_.to_sequence_batch(states);
 }
 
+EncodedExperience DqnTrainer::encode_experience(const Experience& e) const {
+  return EncodedExperience{encoder_.to_sequence(e.state),
+                           encoder_.to_sequence(e.next_state)};
+}
+
 std::size_t DqnTrainer::masked_argmax(
     const Matrix& q, std::size_t row,
     const std::vector<std::uint8_t>& mask) const {
@@ -57,7 +62,7 @@ std::size_t DqnTrainer::select_action(const std::vector<double>& state,
                                       const std::vector<std::uint8_t>& mask) {
   const double eps = current_epsilon();
   ++env_steps_;
-  const Matrix q = online_->forward(to_sequence({&state}));
+  const Matrix& q = online_->forward_batch(to_sequence({&state}));
   const std::size_t best = masked_argmax(q, 0, mask);
 
   std::vector<std::size_t> others;
@@ -70,12 +75,12 @@ std::size_t DqnTrainer::select_action(const std::vector<double>& state,
 
 std::size_t DqnTrainer::greedy_action(const std::vector<double>& state,
                                       const std::vector<std::uint8_t>& mask) {
-  const Matrix q = online_->forward(to_sequence({&state}));
+  const Matrix& q = online_->forward_batch(to_sequence({&state}));
   return masked_argmax(q, 0, mask);
 }
 
 std::vector<double> DqnTrainer::q_values(const std::vector<double>& state) {
-  const Matrix q = online_->forward(to_sequence({&state}));
+  const Matrix& q = online_->forward_batch(to_sequence({&state}));
   std::vector<double> out(q.cols());
   for (std::size_t a = 0; a < q.cols(); ++a) out[a] = q(0, a);
   return out;
@@ -89,100 +94,155 @@ void DqnTrainer::observe(Experience e) {
   replay_.add(std::move(e));
 }
 
+double DqnTrainer::bootstrap_value(const Experience& e,
+                                   const Matrix& q_next_target,
+                                   const Matrix& q_next_online,
+                                   std::size_t row) const {
+  // Bootstrap from the fixed-target network (Eq. 7); optionally Double-DQN:
+  // argmax from the online network, value from the target network. Terminal
+  // transitions and dead-end masks contribute nothing.
+  if (e.terminal) return 0.0;
+  bool any = false;
+  for (std::uint8_t allowed : e.next_mask)
+    if (allowed) {
+      any = true;
+      break;
+    }
+  if (!any) return 0.0;
+  if (options_.double_dqn) {
+    const std::size_t a_star = masked_argmax(q_next_online, row, e.next_mask);
+    return q_next_target(row, a_star);
+  }
+  return q_next_target(row, masked_argmax(q_next_target, row, e.next_mask));
+}
+
+double DqnTrainer::finish_update(double raw_loss_sum, double normalizer) {
+  if (options_.grad_clip_norm > 0.0)
+    nn::clip_grad_norm(online_->parameters(), options_.grad_clip_norm);
+  optimizer_->step();
+  ++train_steps_;
+  if (train_steps_ % options_.target_sync_interval == 0) sync_target();
+  return raw_loss_sum / normalizer;
+}
+
 double DqnTrainer::train_step() {
   if (replay_.size() < options_.min_replay) return 0.0;
   const auto batch = replay_.sample_indices(options_.batch_size, rng_);
-  const std::size_t b = batch.size();
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  if (options_.reference_path) return train_step_reference_on_indices(batch);
+#else
+  DRCELL_CHECK_MSG(!options_.reference_path,
+                   "reference_path requires DRCELL_REFERENCE_KERNELS");
+#endif
+  return train_step_on_indices(batch);
+}
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+double DqnTrainer::train_step_reference() {
+  if (replay_.size() < options_.min_replay) return 0.0;
+  const auto batch = replay_.sample_indices(options_.batch_size, rng_);
+  return train_step_reference_on_indices(batch);
+}
+#endif
+
+double DqnTrainer::train_step_on_indices(
+    std::span<const std::size_t> indices) {
+  const std::size_t b = indices.size();
+  DRCELL_CHECK(b > 0);
   const std::size_t actions = online_->num_actions();
 
-  // Batch input sequences for the current and next states. The per-
-  // transition encodings are cached inside the replay buffer (a transition
-  // is encoded once, not once per epoch it gets sampled into); assembling a
-  // batch is then k contiguous row copies per transition.
-  const std::size_t k = encoder_.history_cycles();
-  const std::size_t cells = encoder_.cells();
-  std::vector<Matrix> next_seq(k, Matrix(b, cells));
-  std::vector<Matrix> state_seq(k, Matrix(b, cells));
-  for (std::size_t i = 0; i < b; ++i) {
-    const EncodedExperience& enc =
-        replay_.encoded(batch[i], [this](const Experience& e) {
-          return EncodedExperience{encoder_.to_sequence(e.state),
-                                   encoder_.to_sequence(e.next_state)};
-        });
-    for (std::size_t j = 0; j < k; ++j) {
-      const auto state_row = enc.state[j].row(0);
-      std::copy(state_row.begin(), state_row.end(),
-                state_seq[j].row(i).begin());
-      const auto next_row = enc.next_state[j].row(0);
-      std::copy(next_row.begin(), next_row.end(),
-                next_seq[j].row(i).begin());
-    }
-  }
-
-  // Bootstrap values for every next state from the fixed-target network
-  // (Eq. 7); optionally Double-DQN: argmax from the online network, value
-  // from the target network.
+  // One timestep-major minibatch for the current and next states, assembled
+  // by the replay buffer straight from its encoded-sequence cache (a
+  // transition is encoded once, not once per epoch it gets sampled into).
+  replay_.fill_timestep_major(
+      indices, [this](const Experience& e) { return encode_experience(e); },
+      state_seq_ws_, next_seq_ws_);
 
   // The target and online networks are distinct objects, so their batch
   // forwards run as two concurrent pool lanes. The online lane keeps its
   // internal order (next-state forward, then current-state forward) so the
-  // activations cached for backward() always belong to q_pred; results are
-  // bit-identical to the serial path.
-  Matrix q_next_target;
-  Matrix q_next_online;
-  Matrix q_pred;
+  // activations cached for backward() always belong to q_pred; the
+  // Double-DQN snapshot is copied out before the second forward overwrites
+  // the online network's workspace. Results are bit-identical to the
+  // serial path for any worker count.
+  const Matrix* q_next_target = nullptr;
+  const Matrix* q_pred = nullptr;
   util::ThreadPool& pool = pool_ ? *pool_ : util::ThreadPool::global();
   pool.parallel_for(2, [&](std::size_t lane) {
     if (lane == 0) {
-      q_next_target = target_->forward(next_seq);
+      q_next_target = &target_->forward_batch(next_seq_ws_);
     } else {
-      if (options_.double_dqn) q_next_online = online_->forward(next_seq);
-      q_pred = online_->forward(state_seq);
+      if (options_.double_dqn)
+        q_next_online_ws_ = online_->forward_batch(next_seq_ws_);
+      q_pred = &online_->forward_batch(state_seq_ws_);
     }
   });
 
-  std::vector<double> bootstrap(b, 0.0);
-  for (std::size_t i = 0; i < b; ++i) {
-    const Experience& e = replay_.at(batch[i]);
-    if (e.terminal) continue;
-    bool any = false;
-    for (std::uint8_t allowed : e.next_mask)
-      if (allowed) {
-        any = true;
-        break;
-      }
-    if (!any) continue;
-    if (options_.double_dqn) {
-      const std::size_t a_star = masked_argmax(q_next_online, i, e.next_mask);
-      bootstrap[i] = q_next_target(i, a_star);
-    } else {
-      bootstrap[i] =
-          q_next_target(i, masked_argmax(q_next_target, i, e.next_mask));
-    }
-  }
-
   // Regress the taken action's Q-value towards R + γ max Q'(S', A') with a
   // masked Huber loss (Eqs. 5-7).
-  Matrix targets(b, actions);
-  Matrix mask(b, actions);
+  targets_ws_.resize(b, actions);
+  mask_ws_.resize(b, actions);
   for (std::size_t i = 0; i < b; ++i) {
-    const Experience& e = replay_.at(batch[i]);
-    targets(i, e.action) = e.reward + options_.gamma * bootstrap[i];
-    mask(i, e.action) = 1.0;
+    const Experience& e = replay_.at(indices[i]);
+    const double boot =
+        bootstrap_value(e, *q_next_target, q_next_online_ws_, i);
+    targets_ws_(i, e.action) = e.reward + options_.gamma * boot;
+    mask_ws_(i, e.action) = 1.0;
   }
 
-  const auto loss =
-      nn::masked_huber_loss(q_pred, targets, mask, options_.huber_delta);
+  const auto loss = nn::masked_huber_loss(*q_pred, targets_ws_, mask_ws_,
+                                          options_.huber_delta);
   optimizer_->zero_grad();
   online_->backward(loss.grad);
-  if (options_.grad_clip_norm > 0.0)
-    nn::clip_grad_norm(online_->parameters(), options_.grad_clip_norm);
-  optimizer_->step();
-
-  ++train_steps_;
-  if (train_steps_ % options_.target_sync_interval == 0) sync_target();
-  return loss.value;
+  return finish_update(loss.raw_sum, loss.normalizer);
 }
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+double DqnTrainer::train_step_reference_on_indices(
+    std::span<const std::size_t> indices) {
+  // The per-sample trainer the batched engine replaces, retained as the
+  // reference it must match bit for bit: every transition runs as its own
+  // B=1 timestep-major sequence through the networks' pre-refactor
+  // reference implementations — target forward, optional Double-DQN online
+  // forward, online forward, per-sample loss gradient (normalised by the
+  // whole minibatch's element count so it equals the batched gradient row),
+  // backward — with gradients accumulating sample by sample.
+  const std::size_t b = indices.size();
+  DRCELL_CHECK(b > 0);
+  const std::size_t actions = online_->num_actions();
+  const double normalizer = static_cast<double>(b);
+
+  optimizer_->zero_grad();
+  double raw_loss_sum = 0.0;
+  for (std::size_t i = 0; i < b; ++i) {
+    const Experience& e = replay_.at(indices[i]);
+    const EncodedExperience& enc = replay_.encoded(
+        indices[i], [this](const Experience& ex) {
+          return encode_experience(ex);
+        });
+
+    const Matrix q_next_target = target_->forward_reference(enc.next_state);
+    double boot = 0.0;
+    if (options_.double_dqn) {
+      const Matrix q_next_online = online_->forward_reference(enc.next_state);
+      boot = bootstrap_value(e, q_next_target, q_next_online, 0);
+    } else {
+      boot = bootstrap_value(e, q_next_target, q_next_online_ws_, 0);
+    }
+    const Matrix q_pred = online_->forward_reference(enc.state);
+
+    Matrix target_row(1, actions);
+    Matrix mask_row(1, actions);
+    target_row(0, e.action) = e.reward + options_.gamma * boot;
+    mask_row(0, e.action) = 1.0;
+    const auto loss = nn::masked_huber_loss(q_pred, target_row, mask_row,
+                                            options_.huber_delta, normalizer);
+    raw_loss_sum += loss.raw_sum;
+    online_->backward_reference(loss.grad);
+  }
+  return finish_update(raw_loss_sum, normalizer);
+}
+#endif
 
 void DqnTrainer::sync_target() {
   nn::copy_parameters(online_->parameters(), target_->parameters());

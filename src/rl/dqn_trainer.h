@@ -2,9 +2,19 @@
 // behaviour policy, experience replay, fixed Q-targets synchronised every
 // RPLACE_ITER gradient steps, TD loss (Eqs. 5-7) restricted to the action
 // actually taken.
+//
+// train_step() is batch-major end to end: the replay buffer assembles one
+// timestep-major minibatch from its encoded-sequence cache
+// (ReplayBuffer::fill_timestep_major), the target/online forwards, the
+// Double-DQN argmax, the masked TD loss and the backward pass all run over
+// [batch x m] matrices, and the per-sample loop survives only as
+// train_step_reference() — the retained reference path the batched engine
+// is required to match bit for bit (tests/batched_training_test.cpp, and
+// the train_step_batched self-check in bench_micro_components).
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "mcs/state_encoder.h"
 #include "nn/optimizer.h"
@@ -25,6 +35,11 @@ struct DqnOptions {
   double grad_clip_norm = 5.0;        ///< global-norm clipping; 0 disables
   double huber_delta = 1.0;           ///< TD-error robustness threshold
   bool double_dqn = false;            ///< Hasselt-style target (extension)
+  /// Route train_step() through the retained per-sample reference path
+  /// instead of the batched engine. Debug/verification only: the two paths
+  /// are bit-identical by contract, the reference is just slower. Requires
+  /// a build with DRCELL_REFERENCE_KERNELS (the default).
+  bool reference_path = false;
   EpsilonSchedule epsilon{1.0, 0.05, 5000};
 };
 
@@ -56,9 +71,28 @@ class DqnTrainer {
   /// Stores a transition in the replay pool.
   void observe(Experience e);
 
-  /// One minibatch update; returns the TD loss, or 0 while the pool is
-  /// below the warm-up threshold.
+  /// One batched minibatch update; returns the TD loss, or 0 while the
+  /// pool is below the warm-up threshold. (With options().reference_path
+  /// the update runs through train_step_reference() instead.)
   double train_step();
+
+  /// The batched update core on a caller-chosen minibatch (exposed so
+  /// tests and the bench can drive both paths over the identical batch).
+  double train_step_on_indices(std::span<const std::size_t> indices);
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  /// The retained per-sample reference update (benchmark floor, same
+  /// convention as Matrix::matmul_naive): samples the same draw stream,
+  /// then forwards/backpropagates each transition as its own B=1 sequence
+  /// through the networks' pre-refactor reference implementations —
+  /// per-call allocations, transposes materialised per step, gradients
+  /// accumulated sample by sample. Bit-identical to train_step() by the
+  /// batched determinism contract; kept for the bit-identity tests and the
+  /// train_step_batched bench pair.
+  double train_step_reference();
+  double train_step_reference_on_indices(
+      std::span<const std::size_t> indices);
+#endif
 
   /// Copies the online parameters into the fixed-target network.
   void sync_target();
@@ -70,8 +104,14 @@ class DqnTrainer {
  private:
   std::vector<Matrix> to_sequence(
       const std::vector<const std::vector<double>*>& states) const;
+  EncodedExperience encode_experience(const Experience& e) const;
   std::size_t masked_argmax(const Matrix& q, std::size_t row,
                             const std::vector<std::uint8_t>& mask) const;
+  double bootstrap_value(const Experience& e, const Matrix& q_next_target,
+                         const Matrix& q_next_online, std::size_t row) const;
+  /// Shared epilogue of both update paths: clip, optimiser step, target
+  /// sync cadence.
+  double finish_update(double raw_loss_sum, double normalizer);
 
   QNetworkPtr online_;
   QNetworkPtr target_;
@@ -83,6 +123,13 @@ class DqnTrainer {
   util::ThreadPool* pool_ = nullptr;  // nullptr -> ThreadPool::global()
   std::size_t env_steps_ = 0;
   std::size_t train_steps_ = 0;
+  // Minibatch workspaces reused across train steps (timestep-major batch,
+  // Double-DQN online snapshot, TD targets and action mask).
+  std::vector<Matrix> state_seq_ws_;
+  std::vector<Matrix> next_seq_ws_;
+  Matrix q_next_online_ws_;
+  Matrix targets_ws_;
+  Matrix mask_ws_;
 };
 
 }  // namespace drcell::rl

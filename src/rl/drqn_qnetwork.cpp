@@ -22,17 +22,34 @@ DrqnQNetwork::DrqnQNetwork(std::size_t num_cells, std::size_t history_steps,
   }
 }
 
-Matrix DrqnQNetwork::forward(const std::vector<Matrix>& sequence) {
-  DRCELL_CHECK_MSG(sequence.size() == history_steps_,
+const Matrix& DrqnQNetwork::forward_batch(
+    const std::vector<Matrix>& timestep_major_batch) {
+  DRCELL_CHECK_MSG(timestep_major_batch.size() == history_steps_,
                    "sequence length mismatch");
-  const Matrix last_hidden = lstm_.forward(sequence);
-  return head_.forward(last_hidden);
+  return head_.forward(lstm_.forward(timestep_major_batch));
 }
 
 void DrqnQNetwork::backward(const Matrix& grad_q) {
-  const Matrix grad_hidden = head_.backward(grad_q);
-  lstm_.backward(grad_hidden);
+  // The DRQN never consumes gradients w.r.t. its (one-hot state) inputs,
+  // so the LSTM skips the per-step dz·Wxᵀ products entirely.
+  lstm_.backward(head_.backward(grad_q), /*compute_input_grads=*/false);
 }
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+Matrix DrqnQNetwork::forward_reference(const std::vector<Matrix>& sequence) {
+  DRCELL_CHECK_MSG(sequence.size() == history_steps_,
+                   "sequence length mismatch");
+  const Matrix last_hidden = lstm_.forward_reference(sequence);
+  return head_.forward_reference(last_hidden);
+}
+
+void DrqnQNetwork::backward_reference(const Matrix& grad_q) {
+  // Pre-refactor behaviour: input gradients computed (and discarded), with
+  // Wxᵀ/Whᵀ materialised every step.
+  const Matrix grad_hidden = head_.backward_reference(grad_q);
+  (void)lstm_.backward_reference(grad_hidden);
+}
+#endif
 
 std::vector<nn::Parameter*> DrqnQNetwork::parameters() {
   auto ps = lstm_.parameters();

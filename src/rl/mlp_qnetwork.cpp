@@ -21,26 +21,40 @@ MlpQNetwork::MlpQNetwork(std::size_t num_cells, std::size_t history_steps,
   net_.emplace<nn::Dense>(in, num_cells_, rng);
 }
 
-Matrix MlpQNetwork::flatten(const std::vector<Matrix>& sequence) const {
+const Matrix& MlpQNetwork::flatten(const std::vector<Matrix>& sequence) {
   DRCELL_CHECK_MSG(sequence.size() == history_steps_,
                    "sequence length mismatch");
   const std::size_t batch = sequence.front().rows();
-  Matrix flat(batch, num_cells_ * history_steps_);
+  flat_ws_.resize_overwrite(batch, num_cells_ * history_steps_);
   for (std::size_t t = 0; t < history_steps_; ++t) {
     const Matrix& step = sequence[t];
     DRCELL_CHECK(step.rows() == batch && step.cols() == num_cells_);
     for (std::size_t b = 0; b < batch; ++b)
       for (std::size_t c = 0; c < num_cells_; ++c)
-        flat(b, t * num_cells_ + c) = step(b, c);
+        flat_ws_(b, t * num_cells_ + c) = step(b, c);
   }
-  return flat;
+  return flat_ws_;
 }
 
-Matrix MlpQNetwork::forward(const std::vector<Matrix>& sequence) {
-  return net_.forward(flatten(sequence));
+const Matrix& MlpQNetwork::forward_batch(
+    const std::vector<Matrix>& timestep_major_batch) {
+  return net_.forward(flatten(timestep_major_batch));
 }
 
 void MlpQNetwork::backward(const Matrix& grad_q) { net_.backward(grad_q); }
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+Matrix MlpQNetwork::forward_reference(const std::vector<Matrix>& sequence) {
+  // Pre-refactor behaviour: the flattened window is a fresh allocation per
+  // call, and every layer allocates its output.
+  Matrix flat = flatten(sequence);
+  return net_.forward_reference(flat);
+}
+
+void MlpQNetwork::backward_reference(const Matrix& grad_q) {
+  (void)net_.backward_reference(grad_q);
+}
+#endif
 
 std::vector<nn::Parameter*> MlpQNetwork::parameters() {
   return net_.parameters();

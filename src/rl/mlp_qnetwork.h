@@ -14,8 +14,13 @@ class MlpQNetwork final : public QNetwork {
   MlpQNetwork(std::size_t num_cells, std::size_t history_steps,
               std::vector<std::size_t> hidden_sizes, Rng& rng);
 
-  Matrix forward(const std::vector<Matrix>& sequence) override;
+  const Matrix& forward_batch(
+      const std::vector<Matrix>& timestep_major_batch) override;
   void backward(const Matrix& grad_q) override;
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  Matrix forward_reference(const std::vector<Matrix>& sequence) override;
+  void backward_reference(const Matrix& grad_q) override;
+#endif
   std::vector<nn::Parameter*> parameters() override;
   std::unique_ptr<QNetwork> clone_architecture(Rng& rng) const override;
   std::size_t num_actions() const override { return num_cells_; }
@@ -23,12 +28,13 @@ class MlpQNetwork final : public QNetwork {
   std::string name() const override { return "dqn-mlp"; }
 
  private:
-  Matrix flatten(const std::vector<Matrix>& sequence) const;
+  const Matrix& flatten(const std::vector<Matrix>& sequence);
 
   std::size_t num_cells_;
   std::size_t history_steps_;
   std::vector<std::size_t> hidden_sizes_;
   nn::Sequential net_;
+  Matrix flat_ws_;  // [batch x k·m] flattened window, reused across calls
 };
 
 }  // namespace drcell::rl

@@ -1,6 +1,15 @@
 // Q-function approximators. Both the paper's DRQN (LSTM) and the plain
 // dense DQN (the ablation baseline of Sec. 4.3: "one common way is using
 // dense layers") implement this interface, so one trainer serves both.
+//
+// The interface is batch-major: the primitive is forward_batch over a
+// timestep-major batch (k matrices, each [batch x m] — all samples' step-t
+// selection vectors stacked), and the per-sample forward() is simply the
+// B = 1 case. Implementations must uphold the batched determinism contract
+// (see nn/layer.h): row b of the batched Q output is bit-identical to a
+// B = 1 forward of sample b, and backward() accumulates parameter
+// gradients in ascending batch-row order so batched training replays a
+// per-sample loop addition for addition.
 #pragma once
 
 #include <memory>
@@ -17,12 +26,35 @@ class QNetwork {
  public:
   virtual ~QNetwork() = default;
 
-  /// `sequence` holds the k recent selection vectors, oldest first, each a
-  /// batch x m matrix. Returns Q-values, batch x m (one score per cell).
-  virtual Matrix forward(const std::vector<Matrix>& sequence) = 0;
+  /// `timestep_major_batch` holds the k recent selection vectors, oldest
+  /// first, each a [batch x m] matrix (row b = sample b's step-t vector).
+  /// Returns Q-values, [batch x m] (one score per cell), as a reference
+  /// into a network-owned workspace — valid until the next forward_batch
+  /// on this network; copy it to keep it across calls.
+  virtual const Matrix& forward_batch(
+      const std::vector<Matrix>& timestep_major_batch) = 0;
 
-  /// Backpropagates the gradient w.r.t. the Q output of the last forward.
+  /// Per-sample convenience wrapper (action selection, diagnostics): the
+  /// B = 1 case of forward_batch, returned by value.
+  Matrix forward(const std::vector<Matrix>& sequence) {
+    return forward_batch(sequence);
+  }
+
+  /// Backpropagates the gradient w.r.t. the Q output of the last
+  /// forward_batch (same [batch x m] shape).
   virtual void backward(const Matrix& grad_q) = 0;
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  /// Retained pre-batching reference path (the benchmark floor the batched
+  /// engine is gated against, per the repo's retained-naive-reference
+  /// convention): value-returning forward through the pre-workspace layer
+  /// implementations, backward with transposes materialised per step and
+  /// input gradients always computed. Bit-identical to
+  /// forward_batch()/backward() — the per-sample trainer reference drives
+  /// it with B = 1 sequences.
+  virtual Matrix forward_reference(const std::vector<Matrix>& sequence) = 0;
+  virtual void backward_reference(const Matrix& grad_q) = 0;
+#endif
 
   virtual std::vector<nn::Parameter*> parameters() = 0;
 

@@ -12,7 +12,9 @@
 // instead of caching.
 #pragma once
 
+#include <algorithm>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -74,6 +76,51 @@ class ReplayBuffer {
     scratch_ = std::move(enc);
     return scratch_;
   }
+  /// Assembles the trainer's timestep-major minibatch straight from the
+  /// encoded-sequence cache: `state_seq`/`next_seq` are shaped to k matrices
+  /// of [indices.size() x cells] (their storage is reused across calls) and
+  /// row i of every step is filled from transition indices[i]'s cached
+  /// encoding — one row copy per (transition, step), no per-transition
+  /// temporaries or re-packing in between. Rows land in ascending i order,
+  /// so the batch layout is deterministic. Cache semantics match encoded():
+  /// lazy fill on first access, invalidated when the ring overwrites a
+  /// slot, scratch fallback past the byte budget.
+  template <typename EncodeFn>
+  void fill_timestep_major(std::span<const std::size_t> indices,
+                           EncodeFn&& encode, std::vector<Matrix>& state_seq,
+                           std::vector<Matrix>& next_seq) const {
+    DRCELL_CHECK_MSG(!indices.empty(), "empty minibatch");
+    const std::size_t b = indices.size();
+    for (std::size_t i = 0; i < b; ++i) {
+      // The reference is only guaranteed until the next encoded() call
+      // (scratch fallback), so each transition's rows are copied out before
+      // the next lookup.
+      const EncodedExperience& enc = encoded(indices[i], encode);
+      if (i == 0) {
+        const std::size_t k = enc.state.size();
+        DRCELL_CHECK_MSG(k > 0 && enc.next_state.size() == k,
+                         "malformed encoded experience");
+        const std::size_t cells = enc.state.front().cols();
+        if (state_seq.size() != k) state_seq.resize(k);
+        if (next_seq.size() != k) next_seq.resize(k);
+        for (std::size_t j = 0; j < k; ++j) {
+          state_seq[j].resize_overwrite(b, cells);
+          next_seq[j].resize_overwrite(b, cells);
+        }
+      }
+      DRCELL_CHECK_MSG(enc.state.size() == state_seq.size(),
+                       "inconsistent encoded sequence length");
+      for (std::size_t j = 0; j < state_seq.size(); ++j) {
+        const auto srow = enc.state[j].row(0);
+        DRCELL_CHECK_MSG(srow.size() == state_seq[j].cols(),
+                         "inconsistent encoded step width");
+        std::copy(srow.begin(), srow.end(), state_seq[j].row(i).begin());
+        const auto nrow = enc.next_state[j].row(0);
+        std::copy(nrow.begin(), nrow.end(), next_seq[j].row(i).begin());
+      }
+    }
+  }
+
   /// How many encoded() calls had to encode (cache misses) — instrumentation
   /// for the no-re-encoding regression tests.
   std::size_t encode_misses() const { return encode_misses_; }

@@ -1,0 +1,394 @@
+// The batched-training determinism contract (nn/layer.h, rl/qnetwork.h):
+// batch-major forwards/backwards through nn/ and rl/ must be bit-identical
+// to the retained per-sample paths — row b of a batched output equals a
+// B=1 forward of sample b, batched input gradients equal per-sample input
+// gradients, and parameter gradients accumulate in sample-major order so a
+// whole batched train step replays the per-sample reference step addition
+// for addition, for every batch size and thread-pool worker count.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/gradient_check.h"
+#include "nn/loss.h"
+#include "nn/lstm.h"
+#include "nn/sequential.h"
+#include "rl/dqn_trainer.h"
+#include "rl/drqn_qnetwork.h"
+#include "rl/mlp_qnetwork.h"
+#include "util/thread_pool.h"
+
+namespace drcell {
+namespace {
+
+/// Timestep-major batch: `steps` matrices of [batch x cells], ~30% one-hot
+/// like the selection-vector states plus dense noise rows to exercise the
+/// non-sparse kernels too.
+std::vector<Matrix> random_batch(std::size_t steps, std::size_t batch,
+                                 std::size_t cells, Rng& rng) {
+  std::vector<Matrix> seq(steps, Matrix(batch, cells));
+  for (auto& m : seq)
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t c = 0; c < cells; ++c)
+        m(b, c) = rng.bernoulli(0.3) ? 1.0 : 0.2 * rng.normal();
+  return seq;
+}
+
+/// Extracts sample b of a timestep-major batch as its own B=1 batch.
+std::vector<Matrix> slice_sample(const std::vector<Matrix>& batch_seq,
+                                 std::size_t b) {
+  std::vector<Matrix> one;
+  for (const Matrix& step : batch_seq) {
+    Matrix m(1, step.cols());
+    for (std::size_t c = 0; c < step.cols(); ++c) m(0, c) = step(b, c);
+    one.push_back(std::move(m));
+  }
+  return one;
+}
+
+Matrix slice_row(const Matrix& m, std::size_t r) {
+  Matrix out(1, m.cols());
+  for (std::size_t c = 0; c < m.cols(); ++c) out(0, c) = m(r, c);
+  return out;
+}
+
+template <typename NetFn>
+void expect_forward_batch_matches_per_sample(NetFn&& make_net,
+                                             std::size_t cells,
+                                             std::size_t steps) {
+  for (std::size_t batch : {std::size_t{1}, std::size_t{7}, std::size_t{32}}) {
+    auto net = make_net();
+    Rng data_rng(100 + batch);
+    const auto seq = random_batch(steps, batch, cells, data_rng);
+    const Matrix q_batched = net->forward_batch(seq);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const Matrix q_single = net->forward(slice_sample(seq, b));
+      EXPECT_EQ(slice_row(q_batched, b), q_single)
+          << "batch=" << batch << " sample=" << b;
+    }
+  }
+}
+
+TEST(BatchedForward, MlpRowsMatchPerSampleBitIdentically) {
+  expect_forward_batch_matches_per_sample(
+      [] {
+        Rng rng(1);
+        return std::make_unique<rl::MlpQNetwork>(
+            9, 3, std::vector<std::size_t>{16, 8}, rng);
+      },
+      9, 3);
+}
+
+TEST(BatchedForward, DrqnRowsMatchPerSampleBitIdentically) {
+  expect_forward_batch_matches_per_sample(
+      [] {
+        Rng rng(2);
+        return std::make_unique<rl::DrqnQNetwork>(9, 3, 12, 6, rng);
+      },
+      9, 3);
+}
+
+TEST(BatchedBackward, SequentialGradsMatchPerSampleLoopBitIdentically) {
+  // One batched forward/backward vs a per-sample loop through an identical
+  // twin network: input gradients row for row, parameter gradients addition
+  // for addition.
+  for (std::size_t batch : {std::size_t{1}, std::size_t{7}, std::size_t{32}}) {
+    const auto build = [] {
+      Rng rng(3);
+      nn::Sequential net;
+      net.emplace<nn::Dense>(6, 10, rng);
+      net.emplace<nn::ReLU>();
+      net.emplace<nn::Dense>(10, 4, rng);
+      return net;
+    };
+    nn::Sequential batched = build();
+    nn::Sequential per_sample = build();
+
+    Rng data_rng(200 + batch);
+    Matrix x(batch, 6);
+    Matrix grad(batch, 4);
+    for (double& v : x.data()) v = data_rng.normal();
+    for (double& v : grad.data()) v = data_rng.normal();
+
+    for (auto* p : batched.parameters()) p->zero_grad();
+    batched.forward(x);
+    const Matrix dx_batched = batched.backward(grad);
+
+    for (auto* p : per_sample.parameters()) p->zero_grad();
+    for (std::size_t b = 0; b < batch; ++b) {
+      per_sample.forward(slice_row(x, b));
+      const Matrix dx_single = per_sample.backward(slice_row(grad, b));
+      EXPECT_EQ(slice_row(dx_batched, b), dx_single)
+          << "batch=" << batch << " sample=" << b;
+    }
+    const auto pa = batched.parameters();
+    const auto pb = per_sample.parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i)
+      EXPECT_EQ(pa[i]->grad, pb[i]->grad) << "param " << i
+                                          << " batch=" << batch;
+  }
+}
+
+TEST(BatchedBackward, LstmGradsMatchPerSampleLoopBitIdentically) {
+  for (std::size_t batch : {std::size_t{1}, std::size_t{7}, std::size_t{32}}) {
+    const auto build = [] {
+      Rng rng(4);
+      return nn::Lstm(5, 7, rng);
+    };
+    nn::Lstm batched = build();
+    nn::Lstm per_sample = build();
+
+    Rng data_rng(300 + batch);
+    const auto seq = random_batch(4, batch, 5, data_rng);
+    Matrix grad_h(batch, 7);
+    for (double& v : grad_h.data()) v = data_rng.normal();
+
+    for (auto* p : batched.parameters()) p->zero_grad();
+    batched.forward(seq);
+    const auto grad_x_batched = batched.backward(grad_h);
+    ASSERT_EQ(grad_x_batched.size(), 4u);
+
+    for (auto* p : per_sample.parameters()) p->zero_grad();
+    for (std::size_t b = 0; b < batch; ++b) {
+      per_sample.forward(slice_sample(seq, b));
+      const auto grad_x_single = per_sample.backward(slice_row(grad_h, b));
+      ASSERT_EQ(grad_x_single.size(), 4u);
+      for (std::size_t t = 0; t < 4; ++t)
+        EXPECT_EQ(slice_row(grad_x_batched[t], b), grad_x_single[t])
+            << "batch=" << batch << " sample=" << b << " t=" << t;
+    }
+    const auto pa = batched.parameters();
+    const auto pb = per_sample.parameters();
+    for (std::size_t i = 0; i < pa.size(); ++i)
+      EXPECT_EQ(pa[i]->grad, pb[i]->grad) << "param " << i
+                                          << " batch=" << batch;
+  }
+}
+
+TEST(BatchedBackward, BatchedLstmGradientCheckAgainstFiniteDifferences) {
+  // The batched (B=7) LSTM backward against central differences — the
+  // analytic gradients must be right, not merely consistent with the
+  // per-sample path.
+  Rng rng(5);
+  nn::Lstm lstm(3, 5, rng);
+  Rng data_rng(6);
+  const auto seq = random_batch(4, 7, 3, data_rng);
+  Matrix target(7, 5);
+  for (double& v : target.data()) v = data_rng.normal();
+
+  auto loss_fn = [&] {
+    return nn::mse_loss(lstm.forward(seq), target).value;
+  };
+  for (auto* p : lstm.parameters()) p->zero_grad();
+  const auto l = nn::mse_loss(lstm.forward(seq), target);
+  lstm.backward(l.grad);
+  for (auto* p : lstm.parameters()) {
+    const auto r = nn::check_gradient(*p, loss_fn, 1e-6);
+    EXPECT_TRUE(r.passed(1e-4)) << "max_rel=" << r.max_rel_diff;
+  }
+}
+
+rl::Experience random_experience(std::size_t cells, std::size_t k, Rng& rng) {
+  rl::Experience e;
+  e.state.assign(k * cells, 0.0);
+  e.next_state.assign(k * cells, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    e.state[i * cells + rng.uniform_index(cells)] = 1.0;
+    e.next_state[i * cells + rng.uniform_index(cells)] = 1.0;
+  }
+  e.action = rng.uniform_index(cells);
+  e.reward = rng.uniform(-1.0, 2.0);
+  e.next_mask.assign(cells, 0);
+  std::size_t allowed = 0;
+  for (auto& m : e.next_mask)
+    if (rng.bernoulli(0.7)) {
+      m = 1;
+      ++allowed;
+    }
+  if (allowed == 0) e.next_mask[0] = 1;
+  e.terminal = rng.bernoulli(0.15);
+  return e;
+}
+
+rl::QNetworkPtr make_qnet(bool drqn, std::size_t cells, std::size_t k,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  if (drqn) return std::make_unique<rl::DrqnQNetwork>(cells, k, 12, 0, rng);
+  return std::make_unique<rl::MlpQNetwork>(cells, k,
+                                           std::vector<std::size_t>{16}, rng);
+}
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+/// Two identically seeded trainers, one driven batched and one through the
+/// retained per-sample reference path (B=1 sequences through the networks'
+/// pre-refactor reference implementations) over the same minibatches, must
+/// stay bit-identical: same losses, same parameters — for MLP and DRQN,
+/// plain and Double-DQN, and any worker count serving the batched forwards.
+void expect_train_step_matches_reference(bool drqn, bool double_dqn,
+                                         std::size_t workers) {
+  const std::size_t cells = 6, k = 2;
+  rl::DqnOptions opt;
+  opt.batch_size = 8;
+  opt.min_replay = 8;
+  opt.replay_capacity = 64;
+  opt.target_sync_interval = 3;  // exercise the sync cadence too
+  opt.double_dqn = double_dqn;
+
+  rl::DqnTrainer batched(make_qnet(drqn, cells, k, 11), opt, 5);
+  rl::DqnTrainer reference(make_qnet(drqn, cells, k, 11), opt, 5);
+  util::ThreadPool pool(workers);
+  batched.set_thread_pool(&pool);
+
+  Rng fill(7);
+  for (int i = 0; i < 40; ++i) {
+    rl::Experience e = random_experience(cells, k, fill);
+    rl::Experience copy = e;
+    batched.observe(std::move(e));
+    reference.observe(std::move(copy));
+  }
+
+  Rng draw(9);
+  for (int step = 0; step < 12; ++step) {
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < opt.batch_size; ++i)
+      indices.push_back(draw.uniform_index(40));
+    const double loss_batched = batched.train_step_on_indices(indices);
+    const double loss_reference =
+        reference.train_step_reference_on_indices(indices);
+    ASSERT_EQ(loss_batched, loss_reference) << "step " << step;
+  }
+  const auto pa = batched.online().parameters();
+  const auto pb = reference.online().parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_EQ(pa[i]->value, pb[i]->value) << "param " << i;
+}
+
+TEST(BatchedTrainStep, MlpMatchesReferenceBitIdentically) {
+  expect_train_step_matches_reference(false, false, 0);
+  expect_train_step_matches_reference(false, false, 3);
+}
+
+TEST(BatchedTrainStep, DrqnMatchesReferenceBitIdentically) {
+  expect_train_step_matches_reference(true, false, 0);
+  expect_train_step_matches_reference(true, false, 3);
+}
+
+TEST(BatchedTrainStep, DoubleDqnMatchesReferenceBitIdentically) {
+  expect_train_step_matches_reference(false, true, 0);
+  expect_train_step_matches_reference(true, true, 3);
+}
+
+TEST(BatchedTrainStep, ReferencePathOptionRoutesTrainStep) {
+  // options.reference_path must drive train_step() through the per-sample
+  // core while consuming the same sample draw — end state bit-identical.
+  const std::size_t cells = 5, k = 2;
+  rl::DqnOptions opt;
+  opt.batch_size = 4;
+  opt.min_replay = 4;
+  opt.replay_capacity = 32;
+  rl::DqnOptions ref_opt = opt;
+  ref_opt.reference_path = true;
+
+  rl::DqnTrainer batched(make_qnet(true, cells, k, 21), opt, 31);
+  rl::DqnTrainer reference(make_qnet(true, cells, k, 21), ref_opt, 31);
+  Rng fill(3);
+  for (int i = 0; i < 16; ++i) {
+    rl::Experience e = random_experience(cells, k, fill);
+    rl::Experience copy = e;
+    batched.observe(std::move(e));
+    reference.observe(std::move(copy));
+  }
+  for (int step = 0; step < 6; ++step)
+    ASSERT_EQ(batched.train_step(), reference.train_step()) << step;
+  const auto pa = batched.online().parameters();
+  const auto pb = reference.online().parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_EQ(pa[i]->value, pb[i]->value) << "param " << i;
+}
+#endif  // DRCELL_ENABLE_REFERENCE_KERNELS
+
+TEST(FillTimestepMajor, MatchesManualAssemblyAndReusesCache) {
+  const std::size_t cells = 4, k = 3;
+  mcs::StateEncoder encoder(cells, k);
+  rl::ReplayBuffer buffer(8);
+  Rng fill(13);
+  for (int i = 0; i < 8; ++i) {
+    rl::Experience e;
+    e.state.assign(k * cells, 0.0);
+    e.next_state.assign(k * cells, 0.0);
+    for (std::size_t j = 0; j < k * cells; ++j) {
+      e.state[j] = fill.uniform(0.0, 1.0);
+      e.next_state[j] = fill.uniform(0.0, 1.0);
+    }
+    e.next_mask.assign(cells, 1);
+    buffer.add(std::move(e));
+  }
+  const auto encode = [&](const rl::Experience& e) {
+    return rl::EncodedExperience{encoder.to_sequence(e.state),
+                                 encoder.to_sequence(e.next_state)};
+  };
+
+  const std::vector<std::size_t> indices{3, 0, 3, 6};
+  std::vector<Matrix> state_seq, next_seq;
+  buffer.fill_timestep_major(indices, encode, state_seq, next_seq);
+  ASSERT_EQ(state_seq.size(), k);
+  ASSERT_EQ(next_seq.size(), k);
+  for (std::size_t j = 0; j < k; ++j) {
+    ASSERT_EQ(state_seq[j].rows(), indices.size());
+    ASSERT_EQ(state_seq[j].cols(), cells);
+  }
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto state_steps = encoder.to_sequence(buffer.at(indices[i]).state);
+    const auto next_steps =
+        encoder.to_sequence(buffer.at(indices[i]).next_state);
+    for (std::size_t j = 0; j < k; ++j) {
+      EXPECT_EQ(slice_row(state_seq[j], i), state_steps[j]) << i << "," << j;
+      EXPECT_EQ(slice_row(next_seq[j], i), next_steps[j]) << i << "," << j;
+    }
+  }
+  // Distinct transitions encode once each; repeats hit the cache.
+  EXPECT_EQ(buffer.encode_misses(), 3u);
+  buffer.fill_timestep_major(indices, encode, state_seq, next_seq);
+  EXPECT_EQ(buffer.encode_misses(), 3u);
+}
+
+TEST(FillTimestepMajor, RingOverwriteInvalidatesCachedRows) {
+  const std::size_t cells = 3, k = 2;
+  mcs::StateEncoder encoder(cells, k);
+  rl::ReplayBuffer buffer(4);
+  const auto encode = [&](const rl::Experience& e) {
+    return rl::EncodedExperience{encoder.to_sequence(e.state),
+                                 encoder.to_sequence(e.next_state)};
+  };
+  const auto make = [&](double v) {
+    rl::Experience e;
+    e.state.assign(k * cells, v);
+    e.next_state.assign(k * cells, v + 0.5);
+    e.next_mask.assign(cells, 1);
+    return e;
+  };
+  for (int i = 0; i < 4; ++i) buffer.add(make(static_cast<double>(i)));
+
+  const std::vector<std::size_t> indices{0, 1};
+  std::vector<Matrix> state_seq, next_seq;
+  buffer.fill_timestep_major(indices, encode, state_seq, next_seq);
+  EXPECT_EQ(state_seq[0](0, 0), 0.0);
+  EXPECT_EQ(buffer.encode_misses(), 2u);
+
+  // The ring wraps: slot 0 now holds a different transition, and the batch
+  // assembly must re-encode it rather than serve the stale cached rows.
+  buffer.add(make(9.0));
+  buffer.fill_timestep_major(indices, encode, state_seq, next_seq);
+  EXPECT_EQ(state_seq[0](0, 0), 9.0);
+  EXPECT_EQ(next_seq[0](0, 0), 9.5);
+  EXPECT_EQ(state_seq[0](1, 0), 1.0);  // slot 1 untouched, served from cache
+  EXPECT_EQ(buffer.encode_misses(), 3u);
+}
+
+}  // namespace
+}  // namespace drcell

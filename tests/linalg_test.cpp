@@ -101,6 +101,65 @@ TEST(Matrix, MatmulTransposedSelfEqualsExplicit) {
   EXPECT_NEAR((expected - actual).max_abs(), 0.0, 1e-12);
 }
 
+TEST(Matrix, MatmulTransposedSelfAddAccumulatesRowMajor) {
+  Rng rng(12);
+  const Matrix a = random_normal_matrix(5, 3, rng);
+  const Matrix b = random_normal_matrix(5, 4, rng);
+  // Accumulating the whole product into a zeroed target replays exactly the
+  // per-row accumulation — the sample-major gradient contract.
+  Matrix whole(3, 4);
+  a.matmul_transposed_self_add(b, whole);
+  Matrix row_by_row(3, 4);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    Matrix ar(1, a.cols()), br(1, b.cols());
+    for (std::size_t c = 0; c < a.cols(); ++c) ar(0, c) = a(r, c);
+    for (std::size_t c = 0; c < b.cols(); ++c) br(0, c) = b(r, c);
+    ar.matmul_transposed_self_add(br, row_by_row);
+  }
+  EXPECT_EQ(whole, row_by_row);
+  EXPECT_EQ(whole, a.matmul_transposed_self(b));
+}
+
+TEST(Matrix, MatmulTransposedOtherEqualsExplicit) {
+  Rng rng(13);
+  // 7 columns exercise the 4-wide unrolled dots plus the remainder path.
+  const Matrix a = random_normal_matrix(5, 6, rng);
+  const Matrix b = random_normal_matrix(7, 6, rng);
+  const Matrix expected = a.matmul(b.transposed());
+  const Matrix actual = a.matmul_transposed_other(b);
+  ASSERT_EQ(actual.rows(), 5u);
+  ASSERT_EQ(actual.cols(), 7u);
+  EXPECT_NEAR((expected - actual).max_abs(), 0.0, 1e-12);
+
+  Matrix into;
+  a.matmul_transposed_other_into(b, into);
+  EXPECT_EQ(into, actual);
+  EXPECT_THROW(a.matmul_transposed_other(Matrix(7, 5)), CheckError);
+}
+
+TEST(Matrix, MatmulRowsAreBatchIndependent) {
+  // The batched-training determinism contract at the kernel level: each
+  // output row of the blocked kernel (and of A·Bᵀ) is bit-identical whether
+  // the row is multiplied alone or stacked into a larger batch — for shapes
+  // spanning multiple i/k/j tiles and the sub-8-column remainder path.
+  Rng rng(14);
+  for (const std::size_t n : {3u, 37u, 150u}) {
+    const Matrix a = random_normal_matrix(40, n, rng);
+    const Matrix bt = random_normal_matrix(n, n + 5, rng);
+    const Matrix whole = a.matmul(bt);
+    const Matrix whole_t = a.matmul_transposed_other(bt.transposed());
+    for (std::size_t r = 0; r < a.rows(); r += 7) {
+      Matrix row(1, n);
+      for (std::size_t c = 0; c < n; ++c) row(0, c) = a(r, c);
+      const Matrix single = row.matmul(bt);
+      for (std::size_t c = 0; c < whole.cols(); ++c) {
+        ASSERT_EQ(whole(r, c), single(0, c)) << n << " " << r << " " << c;
+        ASSERT_EQ(whole_t(r, c), single(0, c)) << n << " " << r << " " << c;
+      }
+    }
+  }
+}
+
 TEST(Matrix, HadamardProduct) {
   Matrix a{{1, 2}, {3, 4}};
   Matrix b{{2, 2}, {0.5, 1}};
