@@ -19,6 +19,7 @@
 #include "cs/mean_inference.h"
 #include "cs/temporal_inference.h"
 #include "mcs/environment.h"
+#include "nn/lstm.h"
 #include "rl/dqn_trainer.h"
 #include "rl/drqn_qnetwork.h"
 #include "util/rng.h"
@@ -397,13 +398,96 @@ void bench_environment(bench::JsonReporter& report, bool quick) {
              1e3 / step.wall_ms);
 }
 
+/// The fused fastmath LSTM gate pass at the paper-scale step shape (batch
+/// 32, 64 hidden units → one [32 x 256] pre-activation block) against the
+/// retained std::-based scalar gate pass. The forward pair carries the hard
+/// >=3x self-gate (the four transcendental gate activations are exactly
+/// what fastmath vectorises); the mirrored backward — pure elementwise
+/// arithmetic on both sides — is reported as ungated context.
+void bench_lstm_gate(bench::JsonReporter& report, bool quick) {
+  const std::size_t batch = 32, hidden = 64;
+  Rng rng(21);
+  Matrix z = random_normal_matrix(batch, 4 * hidden, rng);
+  for (double& v : z.data()) v *= 2.0;  // spread across the nonlinear range
+  const Matrix c_prev = random_normal_matrix(batch, hidden, rng);
+  Matrix gates(batch, 4 * hidden), c(batch, hidden), tanh_c(batch, hidden),
+      h(batch, hidden);
+
+  const double target = quick ? 100.0 : 300.0;
+  const auto fwd = bench::measure_ms(
+      [&] { nn::lstm_gate_forward(z, &c_prev, gates, c, tanh_c, h); }, target,
+      200000);
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  // Numeric-divergence self-check before timing: the fused pass must track
+  // the std:: reference within the fastmath tolerance on every tensor.
+  {
+    Matrix rg(batch, 4 * hidden), rc(batch, hidden), rt(batch, hidden),
+        rh(batch, hidden);
+    nn::lstm_gate_forward(z, &c_prev, gates, c, tanh_c, h);
+    nn::lstm_gate_forward_reference(z, &c_prev, rg, rc, rt, rh);
+    if ((gates - rg).max_abs() > 1e-11 || (c - rc).max_abs() > 1e-11 ||
+        (tanh_c - rt).max_abs() > 1e-11 || (h - rh).max_abs() > 1e-11) {
+      std::cerr << "FAIL: fused LSTM gate pass diverged from the std:: "
+                   "reference beyond the fastmath tolerance\n";
+      std::exit(1);
+    }
+  }
+  const auto fwd_ref = bench::measure_ms(
+      [&] {
+        nn::lstm_gate_forward_reference(z, &c_prev, gates, c, tanh_c, h);
+      },
+      target, 200000);
+  report.add_with_reference("lstm_gate_pass", fwd.wall_ms, fwd.iterations,
+                            1e3 / fwd.wall_ms, fwd_ref.wall_ms,
+                            fwd_ref.iterations);
+  std::cout << "lstm gate pass (32x256): fused "
+            << format_double(fwd.wall_ms * 1e3, 1) << " us, std "
+            << format_double(fwd_ref.wall_ms * 1e3, 1) << " us, speedup "
+            << format_double(fwd_ref.wall_ms / fwd.wall_ms, 2) << "x\n";
+
+  // Mirrored backward pass over the cached forward tensors.
+  nn::lstm_gate_forward(z, &c_prev, gates, c, tanh_c, h);
+  Rng grad_rng(22);
+  const Matrix dh = random_normal_matrix(batch, hidden, grad_rng);
+  const Matrix dc_next = random_normal_matrix(batch, hidden, grad_rng);
+  Matrix dz(batch, 4 * hidden), dc_prev(batch, hidden);
+  const auto bwd = bench::measure_ms(
+      [&] {
+        nn::lstm_gate_backward(gates, tanh_c, &c_prev, dh, dc_next, dz,
+                               dc_prev);
+      },
+      target, 200000);
+  const auto bwd_ref = bench::measure_ms(
+      [&] {
+        nn::lstm_gate_backward_reference(gates, tanh_c, &c_prev, dh, dc_next,
+                                         dz, dc_prev);
+      },
+      target, 200000);
+  report.add_with_reference("lstm_gate_backward_pass", bwd.wall_ms,
+                            bwd.iterations, 1e3 / bwd.wall_ms,
+                            bwd_ref.wall_ms, bwd_ref.iterations);
+#else
+  report.add("lstm_gate_pass", fwd.wall_ms, fwd.iterations,
+             1e3 / fwd.wall_ms);
+#endif
+}
+
 /// Paper-scale DRQN trainer (57 cells, k = 2, 64 LSTM units, batch 32 —
 /// the Sensor-Scope configuration of Sec. 5.3) over a 512-transition pool.
-rl::DqnTrainer make_paper_scale_trainer(std::uint64_t net_seed) {
+/// `reference_gates` routes the batched engine's gate nonlinearities
+/// through the retained std:: kernels (the train_step_fastmath floor).
+rl::DqnTrainer make_paper_scale_trainer(std::uint64_t net_seed,
+                                        bool reference_gates = false) {
   Rng net_rng(net_seed);
   rl::DqnOptions options;
   options.batch_size = 32;
   options.min_replay = 32;
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  options.reference_gate_kernel = reference_gates;
+#else
+  (void)reference_gates;
+#endif
   rl::DqnTrainer trainer(
       std::make_unique<rl::DrqnQNetwork>(57, 2, 64, 0, net_rng), options, 7);
   Rng fill(3);
@@ -444,30 +528,43 @@ void bench_rl(bench::JsonReporter& report, bool quick) {
              1e3 / fwd_batch.wall_ms);
 
 #ifdef DRCELL_ENABLE_REFERENCE_KERNELS
-  // Batched-vs-per-sample bit-identity self-check before timing anything:
-  // identical trainers driven over identical minibatches through the two
-  // paths must end with exactly equal parameters (the contract the tests
-  // enforce — re-checked here so a perf run can never report a speedup for
-  // a path that silently diverged).
+  // Parameter self-checks before timing anything, so a perf run can never
+  // report a speedup for a path that silently diverged. Two contracts:
+  //  - batched engine with the std:: gate kernel vs the per-sample
+  //    reference path: bit-identical (the PR-4 engine contract);
+  //  - production batched engine (fused fastmath gates) vs the per-sample
+  //    reference: equal within the documented fastmath end-to-end
+  //    tolerance (1e-8 max-abs after 5 shared minibatch updates —
+  //    docs/ARCHITECTURE.md, tests/batched_training_test.cpp).
   {
-    rl::DqnTrainer batched = make_paper_scale_trainer(2);
+    rl::DqnTrainer fastmath_batched = make_paper_scale_trainer(2);
+    rl::DqnTrainer std_batched = make_paper_scale_trainer(2, true);
     rl::DqnTrainer reference = make_paper_scale_trainer(2);
     Rng draw(11);
     for (int step = 0; step < 5; ++step) {
       std::vector<std::size_t> indices;
       for (int i = 0; i < 32; ++i) indices.push_back(draw.uniform_index(512));
-      (void)batched.train_step_on_indices(indices);
+      (void)fastmath_batched.train_step_on_indices(indices);
+      (void)std_batched.train_step_on_indices(indices);
       (void)reference.train_step_reference_on_indices(indices);
     }
-    const auto pa = batched.online().parameters();
-    const auto pb = reference.online().parameters();
-    for (std::size_t i = 0; i < pa.size(); ++i)
-      if (!(pa[i]->value == pb[i]->value)) {
-        std::cerr << "FAIL: batched train step diverged from the per-sample "
-                     "reference path (parameter "
+    const auto pf = fastmath_batched.online().parameters();
+    const auto ps = std_batched.online().parameters();
+    const auto pr = reference.online().parameters();
+    for (std::size_t i = 0; i < pf.size(); ++i) {
+      if (!(ps[i]->value == pr[i]->value)) {
+        std::cerr << "FAIL: batched train step (std:: gate kernel) diverged "
+                     "from the per-sample reference path (parameter "
                   << i << ")\n";
         std::exit(1);
       }
+      if ((pf[i]->value - pr[i]->value).max_abs() > 1e-8) {
+        std::cerr << "FAIL: fastmath batched train step drifted beyond the "
+                     "documented tolerance vs the reference path (parameter "
+                  << i << ")\n";
+        std::exit(1);
+      }
+    }
   }
 
 #endif
@@ -497,6 +594,23 @@ void bench_rl(bench::JsonReporter& report, bool quick) {
             << format_double(train.wall_ms, 3) << " ms, per-sample reference "
             << format_double(train_ref.wall_ms, 3) << " ms, speedup "
             << format_double(train_ref.wall_ms / train.wall_ms, 2) << "x\n";
+
+  // train_step_fastmath isolates the fastmath contribution: the identical
+  // batched engine with the std:: gate kernel is the floor, so the ratio
+  // reads what the fused gate pass buys end to end (the GEMMs and batch
+  // assembly are shared). The self-check above already verified the
+  // fastmath path's parameters against the reference within tolerance.
+  rl::DqnTrainer std_gate_trainer = make_paper_scale_trainer(2, true);
+  const auto train_std = bench::measure_ms(
+      [&] { (void)std_gate_trainer.train_step(); }, quick ? 150.0 : 400.0,
+      5000);
+  report.add_with_reference("train_step_fastmath", train.wall_ms,
+                            train.iterations, 1e3 / train.wall_ms,
+                            train_std.wall_ms, train_std.iterations);
+  std::cout << "dqn train step (paper-scale DRQN): fastmath gates "
+            << format_double(train.wall_ms, 3) << " ms, std:: gates "
+            << format_double(train_std.wall_ms, 3) << " ms, speedup "
+            << format_double(train_std.wall_ms / train.wall_ms, 2) << "x\n";
 #endif
 }
 
@@ -525,6 +639,7 @@ int main(int argc, char** argv) {
   Stopwatch total;
 
   bench_matmul(report, quick);
+  bench_lstm_gate(report, quick);
   bench_sparse_observation_paths(report, quick);
   bench_als(report, quick);
   bench_committee(report, quick);
@@ -540,11 +655,10 @@ int main(int argc, char** argv) {
   const int exit_code = bench::finish_report(report, json, total);
 
 #ifdef DRCELL_ENABLE_REFERENCE_KERNELS
-  // The perf gates: the optimised matmul and the warm-started ALS must stay
-  // >= 3x ahead of the naive references, the sparse observation paths must
-  // stay >= 5x ahead of the dense-scan seed path on the 1000 x 48 scale
-  // window, and the batched train step must stay >= 3x ahead of the
-  // retained per-sample reference at the paper-scale DRQN config.
+  // The perf gates: the optimised matmul, the warm-started ALS, the batched
+  // train step and the fused LSTM gate pass must stay >= 3x ahead of their
+  // retained references, and the sparse observation paths >= 5x ahead of
+  // the dense-scan seed path on the 1000 x 48 scale window.
   // --no-perf-gate skips them for runs on contended machines (the CTest
   // registration uses it; the dedicated CI bench step keeps them hard).
   const double matmul_speedup = report.speedup("matmul_320");
@@ -552,12 +666,15 @@ int main(int argc, char** argv) {
   const double sparse_speedup =
       report.speedup("sparse_observation_paths_1000x48");
   const double train_speedup = report.speedup("train_step_batched");
+  const double gate_speedup = report.speedup("lstm_gate_pass");
   if (!no_gate && (matmul_speedup < 3.0 || als_speedup < 3.0 ||
-                   sparse_speedup < 5.0 || train_speedup < 3.0)) {
+                   sparse_speedup < 5.0 || train_speedup < 3.0 ||
+                   gate_speedup < 3.0)) {
     std::cerr << "PERF REGRESSION: matmul speedup "
               << format_double(matmul_speedup, 2) << "x, ALS speedup "
               << format_double(als_speedup, 2) << "x, batched train step "
-              << format_double(train_speedup, 2)
+              << format_double(train_speedup, 2) << "x, LSTM gate pass "
+              << format_double(gate_speedup, 2)
               << "x (all must be >= 3x); sparse observation paths "
               << format_double(sparse_speedup, 2) << "x (must be >= 5x)\n";
     return 1;

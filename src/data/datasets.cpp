@@ -135,6 +135,37 @@ mcs::SensingTask make_city_scale_task(std::size_t grid_rows,
                           std::move(coords), mcs::ErrorMetric::mae(), 0.5);
 }
 
+FieldParams metro_scale_field_params() {
+  FieldParams temperature;
+  temperature.mean = 12.0;
+  temperature.stddev = 4.0;
+  // Metro-area smoothness: kilometre-scale modes across the ~10 km extent,
+  // so the 256 Nyström landmarks cover several cells per length scale and
+  // the low-rank covariance error stays far below the nugget
+  // (tests/nystrom_field_test.cpp bounds it).
+  temperature.spatial_length = 1500.0;
+  temperature.nugget = 0.02;
+  temperature.temporal_ar1 = 0.97;
+  temperature.diurnal_amplitude = 1.0;
+  temperature.cycles_per_day = 48.0;
+  temperature.noise_sd = 0.06;
+  temperature.noise_heterogeneity = 1.6;
+  temperature.num_modes = 8;
+  return temperature;
+}
+
+mcs::SensingTask make_metro_scale_task(std::size_t grid_rows,
+                                       std::size_t grid_cols,
+                                       std::size_t cycles,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  auto coords = grid_coords(grid_rows, grid_cols, 100.0, 100.0);
+  SyntheticFieldGenerator gen(coords);
+  Matrix field = gen.generate(metro_scale_field_params(), cycles, rng);
+  return mcs::SensingTask("metro-scale-temperature", std::move(field),
+                          std::move(coords), mcs::ErrorMetric::mae(), 0.5);
+}
+
 DatasetStats compute_stats(const mcs::SensingTask& task) {
   DatasetStats s;
   s.name = task.name();

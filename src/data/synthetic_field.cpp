@@ -1,11 +1,53 @@
 #include "data/synthetic_field.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 
 #include "linalg/decompositions.h"
+#include "util/fastmath.h"
 #include "util/statistics.h"
 
 namespace drcell::data {
+
+namespace {
+
+/// Diagonal jitter added to the landmark Gram matrix W before its Cholesky:
+/// smooth RBF Gram matrices over hundreds of landmarks are numerically
+/// rank-deficient (eigenvalues decay below machine precision), so without a
+/// ridge the factorisation fails on rounding noise (~eps·k ≈ 6e-14 at
+/// k = 256). 1e-8 dominates that noise while perturbing the approximated
+/// covariance by O(1e-8) — far below the covariance-error bound the test
+/// asserts and the nugget any field carries.
+constexpr double kNystromJitter = 1e-8;
+
+/// The RBF kernel exponent −d²/(2ℓ²) between two cells — the single
+/// definition of the kernel form shared by the exact Cholesky and both
+/// Nyström blocks, so a future kernel change cannot desynchronise the
+/// exact and low-rank covariances.
+double rbf_exponent(const cs::CellCoord& a, const cs::CellCoord& b,
+                    double ell2) {
+  const double d = cs::euclidean_distance(a, b);
+  return -d * d / (2.0 * ell2);
+}
+
+}  // namespace
+
+std::size_t SyntheticFieldGenerator::SpatialKeyHash::operator()(
+    const SpatialKey& k) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  };
+  mix(std::bit_cast<std::uint64_t>(k.spatial_length));
+  mix(std::bit_cast<std::uint64_t>(k.nugget));
+  mix(k.low_rank ? 1 : 0);
+  mix(k.landmarks);
+  return static_cast<std::size_t>(h);
+}
 
 SyntheticFieldGenerator::SyntheticFieldGenerator(
     std::vector<cs::CellCoord> coords)
@@ -15,35 +57,165 @@ SyntheticFieldGenerator::SyntheticFieldGenerator(
 
 Matrix SyntheticFieldGenerator::spatial_cholesky(
     const FieldParams& params) const {
-  DRCELL_CHECK(params.spatial_length > 0.0);
-  DRCELL_CHECK(params.nugget > 0.0 && params.nugget <= 1.0);
   const std::size_t m = coords_.size();
   Matrix k(m, m);
   const double ell2 = params.spatial_length * params.spatial_length;
   for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < m; ++j) {
-      const double d = cs::euclidean_distance(coords_[i], coords_[j]);
-      k(i, j) = (1.0 - params.nugget) * std::exp(-d * d / (2.0 * ell2));
-    }
+    for (std::size_t j = 0; j < m; ++j)
+      k(i, j) = (1.0 - params.nugget) *
+                std::exp(rbf_exponent(coords_[i], coords_[j], ell2));
     k(i, i) += params.nugget;
   }
   return Cholesky(k).l;
+}
+
+std::vector<std::size_t> SyntheticFieldGenerator::landmark_indices(
+    std::size_t k) const {
+  // Deterministic farthest-point sampling: start from cell 0, then
+  // repeatedly add the cell farthest from the chosen set (lowest index on
+  // ties). Covers irregular layouts evenly in O(m·k).
+  const std::size_t m = coords_.size();
+  std::vector<std::size_t> landmarks;
+  landmarks.reserve(k);
+  std::vector<double> dist2(m, std::numeric_limits<double>::infinity());
+  std::size_t next = 0;
+  for (std::size_t t = 0; t < k; ++t) {
+    landmarks.push_back(next);
+    const cs::CellCoord& c = coords_[next];
+    std::size_t best = 0;
+    double best_d2 = -1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double dx = coords_[i].x - c.x;
+      const double dy = coords_[i].y - c.y;
+      const double d2 = dx * dx + dy * dy;
+      if (d2 < dist2[i]) dist2[i] = d2;
+      if (dist2[i] > best_d2) {
+        best_d2 = dist2[i];
+        best = i;
+      }
+    }
+    next = best;
+  }
+  return landmarks;
+}
+
+Matrix SyntheticFieldGenerator::build_nystrom_factor(
+    const FieldParams& params) const {
+  const std::size_t m = coords_.size();
+  const std::size_t k = std::min(params.nystrom_landmarks, m);
+  DRCELL_CHECK_MSG(k > 0, "Nyström factor needs at least one landmark");
+  const std::vector<std::size_t> landmarks = landmark_indices(k);
+  const double ell2 = params.spatial_length * params.spatial_length;
+  const double amp = 1.0 - params.nugget;
+
+  // Cross-kernel C = K(cells, landmarks): fill the RBF exponents, then one
+  // fastmath exp pass over the block (new code path — the exact branch keeps
+  // std::exp so its bit-stream is unchanged).
+  Matrix c(m, k);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < k; ++j)
+      c(i, j) = rbf_exponent(coords_[i], coords_[landmarks[j]], ell2);
+  fastmath::exp_inplace(c.data());
+  c *= amp;
+
+  // Landmark Gram W (+ jitter ridge) and its Cholesky.
+  Matrix w(k, k);
+  for (std::size_t a = 0; a < k; ++a)
+    for (std::size_t b = 0; b < k; ++b)
+      w(a, b) =
+          rbf_exponent(coords_[landmarks[a]], coords_[landmarks[b]], ell2);
+  fastmath::exp_inplace(w.data());
+  w *= amp;
+  for (std::size_t a = 0; a < k; ++a) w(a, a) += kNystromJitter * amp;
+  const Cholesky chol(w);
+  const Matrix& lw = chol.l;
+
+  // F = C·Lw⁻ᵀ by forward substitution per row: F·Fᵀ = C·W⁻¹·Cᵀ, the
+  // Nyström approximation of the smooth kernel. O(m·k²/2).
+  Matrix f(m, k);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto crow = c.row(i);
+    const auto frow = f.row(i);
+    for (std::size_t t = 0; t < k; ++t) {
+      double s = crow[t];
+      for (std::size_t u = 0; u < t; ++u) s -= lw(t, u) * frow[u];
+      frow[t] = s / lw(t, t);
+    }
+  }
+  return f;
+}
+
+const SyntheticFieldGenerator::SpatialFactor&
+SyntheticFieldGenerator::spatial_factor(const FieldParams& params) const {
+  DRCELL_CHECK(params.spatial_length > 0.0);
+  DRCELL_CHECK(params.nugget > 0.0 && params.nugget <= 1.0);
+  const bool low_rank = coords_.size() > params.nystrom_threshold;
+  const SpatialKey key{params.spatial_length, params.nugget, low_rank,
+                       low_rank ? params.nystrom_landmarks : 0};
+  // The lock covers the build too: a concurrent same-config generate()
+  // waits for one factorisation instead of duplicating it, and map element
+  // references stay valid for callers after release.
+  const std::lock_guard<std::mutex> lock(factor_mutex_);
+  if (const auto it = factor_cache_.find(key); it != factor_cache_.end()) {
+    ++factor_cache_hits_;
+    return it->second;
+  }
+  SpatialFactor factor;
+  factor.low_rank = low_rank;
+  if (low_rank)
+    factor.f = build_nystrom_factor(params);
+  else
+    factor.dense_l = spatial_cholesky(params);
+  return factor_cache_.emplace(key, std::move(factor)).first->second;
+}
+
+const Matrix& SyntheticFieldGenerator::nystrom_factor(
+    const FieldParams& params) const {
+  // Reject exact-path params before spatial_factor() would pay the O(m³)
+  // dense factorisation (and cache it) only to throw.
+  DRCELL_CHECK_MSG(coords_.size() > params.nystrom_threshold,
+                   "params select the exact path (cells <= nystrom_threshold)");
+  return spatial_factor(params).f;
 }
 
 Matrix SyntheticFieldGenerator::draw_modes(const FieldParams& params,
                                            Rng& rng) const {
   DRCELL_CHECK(params.num_modes > 0);
   const std::size_t m = coords_.size();
-  const Matrix l = spatial_cholesky(params);
+  const SpatialFactor& factor = spatial_factor(params);
   Matrix modes(m, params.num_modes);
-  std::vector<double> eta(m);
+  if (!factor.low_rank) {
+    // Exact path: bit-identical to the pre-Nyström generator (same draw
+    // order, same triangular multiply).
+    const Matrix& l = factor.dense_l;
+    std::vector<double> eta(m);
+    for (std::size_t r = 0; r < params.num_modes; ++r) {
+      for (double& e : eta) e = rng.normal();
+      for (std::size_t i = 0; i < m; ++i) {
+        double s = 0.0;
+        for (std::size_t j = 0; j <= i; ++j) s += l(i, j) * eta[j];
+        modes(i, r) = s;
+      }
+    }
+    return modes;
+  }
+  // Nyström path: smooth part F·u with u ~ N(0, I_k) — covariance
+  // F·Fᵀ ≈ (1 − nugget)·K_rbf — plus the iid nugget component per cell.
+  // Different (shorter) draw stream than the exact path by construction.
+  const Matrix& f = factor.f;
+  const std::size_t k = f.cols();
+  const double nugget_sd = std::sqrt(params.nugget);
+  std::vector<double> u(k);
   for (std::size_t r = 0; r < params.num_modes; ++r) {
-    for (double& e : eta) e = rng.normal();
+    for (double& v : u) v = rng.normal();
     for (std::size_t i = 0; i < m; ++i) {
+      const auto frow = f.row(i);
       double s = 0.0;
-      for (std::size_t j = 0; j <= i; ++j) s += l(i, j) * eta[j];
+      for (std::size_t j = 0; j < k; ++j) s += frow[j] * u[j];
       modes(i, r) = s;
     }
+    for (std::size_t i = 0; i < m; ++i)
+      modes(i, r) += nugget_sd * rng.normal();
   }
   return modes;
 }

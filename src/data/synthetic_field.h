@@ -16,9 +16,20 @@
 // scale varies across cells. The standardised latent field is finally
 // mapped to the target mean/std, optionally through a log-normal warp for
 // heavy-tailed signals such as PM2.5.
+// Spatial-mode sampling backends: below `FieldParams::nystrom_threshold`
+// cells the GP draws go through the exact dense Cholesky of the m x m
+// kernel (O(m³), bit-identical to the pre-Nyström generator); above it a
+// low-rank Nyström factor over ~256 farthest-point landmark cells replaces
+// it (O(m·k²) build, O(m·k) per mode draw), which is what unlocks the
+// 10,000-cell metro-scale workload. Either factor is cached inside the
+// generator keyed by the spatial fingerprint of FieldParams, so repeated
+// generate() calls (per-episode regeneration, correlated pairs) pay the
+// factorisation once — `factor_cache_hits()` counts the reuses.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "cs/knn_inference.h"  // CellCoord
@@ -51,6 +62,16 @@ struct FieldParams {
   std::size_t num_modes = 4;
   /// Geometric amplitude decay across modes (w_r = mode_decay^r).
   double mode_decay = 0.65;
+  /// Above this many cells the exact O(cells³) spatial Cholesky is replaced
+  /// by the low-rank Nyström factor. The default keeps every existing
+  /// dataset (57, 36 and 1000 cells) on the bit-identical exact path; set
+  /// to 0 to force Nyström at any size (tests/benches).
+  std::size_t nystrom_threshold = 2048;
+  /// Landmark count k of the Nyström factor (clamped to the cell count).
+  /// Covariance error decays with landmark coverage of the spatial length
+  /// scale; 256 bounds the error well below the nugget for the smooth
+  /// fields this generator draws (tests/nystrom_field_test.cpp).
+  std::size_t nystrom_landmarks = 256;
 };
 
 class SyntheticFieldGenerator {
@@ -74,8 +95,49 @@ class SyntheticFieldGenerator {
       const FieldParams& first, const FieldParams& second, double rho,
       std::size_t cycles, Rng& rng) const;
 
+  /// How many generate()/pair calls reused a cached spatial factor instead
+  /// of re-factorising. The factor depends only on the coordinates (fixed
+  /// per generator) and the spatial fields of FieldParams, so episodic
+  /// regeneration hits the cache from the second call on.
+  std::size_t factor_cache_hits() const {
+    const std::lock_guard<std::mutex> lock(factor_mutex_);
+    return factor_cache_hits_;
+  }
+
+  /// The m x k Nyström factor F with F·Fᵀ ≈ (1 − nugget)·K_rbf (the smooth
+  /// kernel part; the nugget is sampled as iid noise on top). Exposed for
+  /// the covariance-error test and the scale bench; requires `params` to
+  /// select the low-rank path (cells > nystrom_threshold). Reference into
+  /// the factor cache — valid while the generator lives.
+  const Matrix& nystrom_factor(const FieldParams& params) const;
+
  private:
+  /// Cache key: exactly the FieldParams fields the spatial factor depends
+  /// on (the coordinates are fixed per generator). Full equality — the
+  /// fingerprint is only the hash, so a 64-bit collision can never serve
+  /// the wrong factor.
+  struct SpatialKey {
+    double spatial_length = 0.0;
+    double nugget = 0.0;
+    bool low_rank = false;
+    std::size_t landmarks = 0;
+    bool operator==(const SpatialKey&) const = default;
+  };
+  struct SpatialKeyHash {
+    std::size_t operator()(const SpatialKey& k) const;
+  };
+  /// Cached spatial factorisation: exact lower-triangular Cholesky of the
+  /// full kernel (dense_l) or the low-rank Nyström factor (f).
+  struct SpatialFactor {
+    bool low_rank = false;
+    Matrix dense_l;  ///< m x m, exact path
+    Matrix f;        ///< m x k, Nyström path
+  };
+  const SpatialFactor& spatial_factor(const FieldParams& params) const;
   Matrix spatial_cholesky(const FieldParams& params) const;
+  Matrix build_nystrom_factor(const FieldParams& params) const;
+  /// Deterministic farthest-point landmark selection over the coordinates.
+  std::vector<std::size_t> landmark_indices(std::size_t k) const;
   /// m x R smooth spatial mode matrix (GP draws).
   Matrix draw_modes(const FieldParams& params, Rng& rng) const;
   /// R x T temporal coefficients: unit-variance AR(1) rows scaled by
@@ -88,6 +150,16 @@ class SyntheticFieldGenerator {
   static Matrix finalize(const FieldParams& params, Matrix latent);
 
   std::vector<cs::CellCoord> coords_;
+  // Spatial-factor cache, keyed by the spatial FieldParams fields. Mutable
+  // so the const generate() API caches; the mutex keeps concurrent
+  // generate() calls on one shared generator race-free (each with its own
+  // Rng — a pattern the pre-cache API permitted), and unordered_map
+  // element references are stable across inserts, so returned factor
+  // references outlive the lock.
+  mutable std::mutex factor_mutex_;
+  mutable std::unordered_map<SpatialKey, SpatialFactor, SpatialKeyHash>
+      factor_cache_;
+  mutable std::size_t factor_cache_hits_ = 0;
 };
 
 /// Convenience: centres of a rows x cols grid of cell_w x cell_h cells.

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/fastmath.h"
+
 namespace drcell::nn {
 
 double sigmoid(double x) {
@@ -40,7 +42,7 @@ const Matrix& ReLU::backward(const Matrix& grad_output) {
 
 const Matrix& Tanh::forward(const Matrix& input) {
   cached_output_ = input;
-  cached_output_.apply([](double x) { return std::tanh(x); });
+  fastmath::tanh_inplace(cached_output_.data());
   return cached_output_;
 }
 
@@ -48,15 +50,16 @@ const Matrix& Tanh::backward(const Matrix& grad_output) {
   DRCELL_CHECK(grad_output.rows() == cached_output_.rows() &&
                grad_output.cols() == cached_output_.cols());
   grad_in_ws_.resize_overwrite(grad_output.rows(), grad_output.cols());
-  for (std::size_t i = 0; i < grad_in_ws_.data().size(); ++i)
-    grad_in_ws_.data()[i] =
-        grad_output.data()[i] * dtanh_from_output(cached_output_.data()[i]);
+  fastmath::dtanh_from_output_array(cached_output_.data().data(),
+                                    grad_output.data().data(),
+                                    grad_in_ws_.data().data(),
+                                    grad_in_ws_.data().size());
   return grad_in_ws_;
 }
 
 const Matrix& Sigmoid::forward(const Matrix& input) {
   cached_output_ = input;
-  cached_output_.apply([](double x) { return sigmoid(x); });
+  fastmath::sigmoid_inplace(cached_output_.data());
   return cached_output_;
 }
 
@@ -64,10 +67,45 @@ const Matrix& Sigmoid::backward(const Matrix& grad_output) {
   DRCELL_CHECK(grad_output.rows() == cached_output_.rows() &&
                grad_output.cols() == cached_output_.cols());
   grad_in_ws_.resize_overwrite(grad_output.rows(), grad_output.cols());
-  for (std::size_t i = 0; i < grad_in_ws_.data().size(); ++i)
-    grad_in_ws_.data()[i] =
-        grad_output.data()[i] * dsigmoid_from_output(cached_output_.data()[i]);
+  fastmath::dsigmoid_from_output_array(cached_output_.data().data(),
+                                       grad_output.data().data(),
+                                       grad_in_ws_.data().data(),
+                                       grad_in_ws_.data().size());
   return grad_in_ws_;
 }
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+Matrix Tanh::forward_reference(const Matrix& input) {
+  cached_output_ = input;
+  cached_output_.apply([](double x) { return std::tanh(x); });
+  return cached_output_;
+}
+
+Matrix Tanh::backward_reference(const Matrix& grad_output) {
+  DRCELL_CHECK(grad_output.rows() == cached_output_.rows() &&
+               grad_output.cols() == cached_output_.cols());
+  Matrix grad_in(grad_output.rows(), grad_output.cols());
+  for (std::size_t i = 0; i < grad_in.data().size(); ++i)
+    grad_in.data()[i] =
+        grad_output.data()[i] * dtanh_from_output(cached_output_.data()[i]);
+  return grad_in;
+}
+
+Matrix Sigmoid::forward_reference(const Matrix& input) {
+  cached_output_ = input;
+  cached_output_.apply([](double x) { return sigmoid(x); });
+  return cached_output_;
+}
+
+Matrix Sigmoid::backward_reference(const Matrix& grad_output) {
+  DRCELL_CHECK(grad_output.rows() == cached_output_.rows() &&
+               grad_output.cols() == cached_output_.cols());
+  Matrix grad_in(grad_output.rows(), grad_output.cols());
+  for (std::size_t i = 0; i < grad_in.data().size(); ++i)
+    grad_in.data()[i] =
+        grad_output.data()[i] * dsigmoid_from_output(cached_output_.data()[i]);
+  return grad_in;
+}
+#endif
 
 }  // namespace drcell::nn

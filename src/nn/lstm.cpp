@@ -5,8 +5,167 @@
 
 #include "nn/activations.h"
 #include "nn/init.h"
+#include "util/fastmath.h"
 
 namespace drcell::nn {
+
+namespace {
+
+void check_gate_shapes(const Matrix& z, const Matrix* c_prev,
+                       const Matrix& gates, const Matrix& c,
+                       const Matrix& tanh_c, const Matrix& h) {
+  const std::size_t batch = z.rows();
+  const std::size_t hidden = c.cols();
+  DRCELL_DCHECK(z.cols() == 4 * hidden);
+  DRCELL_DCHECK(gates.rows() == batch && gates.cols() == 4 * hidden);
+  DRCELL_DCHECK(c.rows() == batch);
+  DRCELL_DCHECK(tanh_c.rows() == batch && tanh_c.cols() == hidden);
+  DRCELL_DCHECK(h.rows() == batch && h.cols() == hidden);
+  DRCELL_DCHECK(c_prev == nullptr ||
+                (c_prev->rows() == batch && c_prev->cols() == hidden));
+}
+
+}  // namespace
+
+void lstm_gate_forward(const Matrix& z, const Matrix* c_prev, Matrix& gates,
+                       Matrix& c, Matrix& tanh_c, Matrix& h) {
+  check_gate_shapes(z, c_prev, gates, c, tanh_c, h);
+  const std::size_t batch = z.rows();
+  const std::size_t hidden = c.cols();
+  for (std::size_t r = 0; r < batch; ++r) {
+    const double* zr = z.row(r).data();
+    double* gr = gates.row(r).data();
+    // Column layout [i | f | g | o]: i and f are adjacent, so one sigmoid
+    // pass covers both blocks; g is tanh; o is sigmoid.
+    fastmath::sigmoid_array(zr, gr, 2 * hidden);
+    fastmath::tanh_array(zr + 2 * hidden, gr + 2 * hidden, hidden);
+    fastmath::sigmoid_array(zr + 3 * hidden, gr + 3 * hidden, hidden);
+
+    const double* i = gr;
+    const double* f = gr + hidden;
+    const double* g = gr + 2 * hidden;
+    const double* o = gr + 3 * hidden;
+    double* cr = c.row(r).data();
+    double* tr = tanh_c.row(r).data();
+    double* hr = h.row(r).data();
+    if (c_prev != nullptr) {
+      const double* cp = c_prev->row(r).data();
+      for (std::size_t j = 0; j < hidden; ++j) cr[j] = f[j] * cp[j] + i[j] * g[j];
+    } else {
+      for (std::size_t j = 0; j < hidden; ++j) cr[j] = i[j] * g[j];
+    }
+    fastmath::tanh_array(cr, tr, hidden);
+    for (std::size_t j = 0; j < hidden; ++j) hr[j] = o[j] * tr[j];
+  }
+}
+
+void lstm_gate_backward(const Matrix& gates, const Matrix& tanh_c,
+                        const Matrix* c_prev, const Matrix& dh,
+                        const Matrix& dc_next, Matrix& dz, Matrix& dc_prev) {
+  const std::size_t batch = gates.rows();
+  const std::size_t hidden = tanh_c.cols();
+  DRCELL_DCHECK(gates.cols() == 4 * hidden);
+  DRCELL_DCHECK(dh.rows() == batch && dh.cols() == hidden);
+  DRCELL_DCHECK(dc_next.rows() == batch && dc_next.cols() == hidden);
+  DRCELL_DCHECK(dz.rows() == batch && dz.cols() == 4 * hidden);
+  DRCELL_DCHECK(dc_prev.rows() == batch && dc_prev.cols() == hidden);
+  for (std::size_t r = 0; r < batch; ++r) {
+    const double* gr = gates.row(r).data();
+    const double* i = gr;
+    const double* f = gr + hidden;
+    const double* g = gr + 2 * hidden;
+    const double* o = gr + 3 * hidden;
+    const double* tc = tanh_c.row(r).data();
+    const double* cp = c_prev != nullptr ? c_prev->row(r).data() : nullptr;
+    const double* dhr = dh.row(r).data();
+    const double* dcn = dc_next.row(r).data();
+    double* dzr = dz.row(r).data();
+    double* dzi = dzr;
+    double* dzf = dzr + hidden;
+    double* dzg = dzr + 2 * hidden;
+    double* dzo = dzr + 3 * hidden;
+    double* dcp = dc_prev.row(r).data();
+    // Same expressions, in the same evaluation order, as the std::
+    // reference pass — the backward is exact elementwise arithmetic, so
+    // the fused and reference passes are bit-identical given equal inputs.
+    for (std::size_t j = 0; j < hidden; ++j) {
+      const double c_prev_j = cp != nullptr ? cp[j] : 0.0;
+      const double dht = dhr[j];
+      const double d_o = dht * tc[j];
+      const double dct = dcn[j] + dht * o[j] * (1.0 - tc[j] * tc[j]);
+      dcp[j] = dct * f[j];
+      dzi[j] = (dct * g[j]) * (i[j] * (1.0 - i[j]));
+      dzf[j] = (dct * c_prev_j) * (f[j] * (1.0 - f[j]));
+      dzg[j] = (dct * i[j]) * (1.0 - g[j] * g[j]);
+      dzo[j] = d_o * (o[j] * (1.0 - o[j]));
+    }
+  }
+}
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+void lstm_gate_forward_reference(const Matrix& z, const Matrix* c_prev,
+                                 Matrix& gates, Matrix& c, Matrix& tanh_c,
+                                 Matrix& h) {
+  // The pre-fastmath gate pass: scalar std::tanh / nn::sigmoid per element
+  // through checked-ish operator() indexing, exactly as the cell shipped it.
+  check_gate_shapes(z, c_prev, gates, c, tanh_c, h);
+  const std::size_t batch = z.rows();
+  const std::size_t hidden = c.cols();
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t j = 0; j < hidden; ++j) {
+      const double zi = z(r, j);
+      const double zf = z(r, hidden + j);
+      const double zg = z(r, 2 * hidden + j);
+      const double zo = z(r, 3 * hidden + j);
+      const double i = sigmoid(zi);
+      const double f = sigmoid(zf);
+      const double g = std::tanh(zg);
+      const double o = sigmoid(zo);
+      gates(r, j) = i;
+      gates(r, hidden + j) = f;
+      gates(r, 2 * hidden + j) = g;
+      gates(r, 3 * hidden + j) = o;
+      const double c_new =
+          (c_prev != nullptr ? f * (*c_prev)(r, j) : 0.0) + i * g;
+      c(r, j) = c_new;
+      const double tc = std::tanh(c_new);
+      tanh_c(r, j) = tc;
+      h(r, j) = o * tc;
+    }
+  }
+}
+
+void lstm_gate_backward_reference(const Matrix& gates, const Matrix& tanh_c,
+                                  const Matrix* c_prev, const Matrix& dh,
+                                  const Matrix& dc_next, Matrix& dz,
+                                  Matrix& dc_prev) {
+  const std::size_t batch = gates.rows();
+  const std::size_t hidden = tanh_c.cols();
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t j = 0; j < hidden; ++j) {
+      const double i = gates(r, j);
+      const double f = gates(r, hidden + j);
+      const double g = gates(r, 2 * hidden + j);
+      const double o = gates(r, 3 * hidden + j);
+      const double tc = tanh_c(r, j);
+      const double c_prev_j = c_prev != nullptr ? (*c_prev)(r, j) : 0.0;
+
+      const double dht = dh(r, j);
+      const double d_o = dht * tc;
+      const double dct = dc_next(r, j) + dht * o * dtanh_from_output(tc);
+      const double d_i = dct * g;
+      const double d_f = dct * c_prev_j;
+      const double d_g = dct * i;
+      dc_prev(r, j) = dct * f;
+
+      dz(r, j) = d_i * dsigmoid_from_output(i);
+      dz(r, hidden + j) = d_f * dsigmoid_from_output(f);
+      dz(r, 2 * hidden + j) = d_g * dtanh_from_output(g);
+      dz(r, 3 * hidden + j) = d_o * dsigmoid_from_output(o);
+    }
+  }
+}
+#endif
 
 Lstm::Lstm(std::size_t input_size, std::size_t hidden_size, Rng& rng)
     : wx_(input_size, 4 * hidden_size),
@@ -58,27 +217,14 @@ const Matrix& Lstm::forward(const std::vector<Matrix>& steps) {
     tct.resize_overwrite(batch_, hidden);
     Matrix& ht = h_[t];
     ht.resize_overwrite(batch_, hidden);
-    for (std::size_t r = 0; r < batch_; ++r) {
-      for (std::size_t j = 0; j < hidden; ++j) {
-        const double zi = z(r, j);
-        const double zf = z(r, hidden + j);
-        const double zg = z(r, 2 * hidden + j);
-        const double zo = z(r, 3 * hidden + j);
-        const double i = sigmoid(zi);
-        const double f = sigmoid(zf);
-        const double g = std::tanh(zg);
-        const double o = sigmoid(zo);
-        gates(r, j) = i;
-        gates(r, hidden + j) = f;
-        gates(r, 2 * hidden + j) = g;
-        gates(r, 3 * hidden + j) = o;
-        const double c_new = (t > 0 ? f * c_[t - 1](r, j) : 0.0) + i * g;
-        ct(r, j) = c_new;
-        const double tc = std::tanh(c_new);
-        tct(r, j) = tc;
-        ht(r, j) = o * tc;
-      }
+    const Matrix* c_prev = t > 0 ? &c_[t - 1] : nullptr;
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+    if (reference_gate_kernel_) {
+      lstm_gate_forward_reference(z, c_prev, gates, ct, tct, ht);
+      continue;
     }
+#endif
+    lstm_gate_forward(z, c_prev, gates, ct, tct, ht);
   }
   return h_.back();
 }
@@ -123,30 +269,15 @@ const std::vector<Matrix>& Lstm::backward_sequence(
     Matrix& dz = dz_[t];
     dz.resize_overwrite(batch_, 4 * hidden);
     dc_prev_ws_.resize_overwrite(batch_, hidden);
-    for (std::size_t r = 0; r < batch_; ++r) {
-      for (std::size_t j = 0; j < hidden; ++j) {
-        const double i = gates(r, j);
-        const double f = gates(r, hidden + j);
-        const double g = gates(r, 2 * hidden + j);
-        const double o = gates(r, 3 * hidden + j);
-        const double tc = tct(r, j);
-        const double c_prev = t > 0 ? c_[t - 1](r, j) : 0.0;
-
-        const double dht = dh_ws_(r, j);
-        const double d_o = dht * tc;
-        const double dct =
-            dc_next_ws_(r, j) + dht * o * dtanh_from_output(tc);
-        const double d_i = dct * g;
-        const double d_f = dct * c_prev;
-        const double d_g = dct * i;
-        dc_prev_ws_(r, j) = dct * f;
-
-        dz(r, j) = d_i * dsigmoid_from_output(i);
-        dz(r, hidden + j) = d_f * dsigmoid_from_output(f);
-        dz(r, 2 * hidden + j) = d_g * dtanh_from_output(g);
-        dz(r, 3 * hidden + j) = d_o * dsigmoid_from_output(o);
-      }
-    }
+    const Matrix* c_prev = t > 0 ? &c_[t - 1] : nullptr;
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+    if (reference_gate_kernel_)
+      lstm_gate_backward_reference(gates, tct, c_prev, dh_ws_, dc_next_ws_,
+                                   dz, dc_prev_ws_);
+    else
+#endif
+      lstm_gate_backward(gates, tct, c_prev, dh_ws_, dc_next_ws_, dz,
+                         dc_prev_ws_);
 
     // Gradients flowing to inputs and to the previous step (no transposes
     // materialised).

@@ -18,6 +18,15 @@
 // and accumulated through one AᵀB pass, which replays, addition for
 // addition, what a per-sample backward loop performs. Batched training is
 // therefore bit-identical to the per-sample path from zeroed gradients.
+//
+// Gate nonlinearities run through the fused fastmath gate kernel (below).
+// Numeric-divergence contract: the fused pass differs from the retained
+// std::-based gate pass by the fastmath bound (≤1e-12 relative per
+// activation on the training range, measured ≲1e-15 —
+// tests/fastmath_test.cpp), so forward()/backward() diverge from the
+// pre-fastmath reference path at the last bits while the batched-vs-
+// per-sample bit-identity above continues to hold *within* each kernel
+// choice. docs/ARCHITECTURE.md states the full contract.
 #pragma once
 
 #include <vector>
@@ -26,6 +35,42 @@
 #include "util/rng.h"
 
 namespace drcell::nn {
+
+/// Fused LSTM gate pass: all four gate nonlinearities (σ over the
+/// [i | f] and [o] column blocks, tanh over [g]), the cell update
+/// c = f∘c_prev + i∘g and h = o∘tanh(c), computed in one contiguous pass
+/// per batch row over the gate workspace through the fastmath array
+/// kernels. `z` is the [B x 4H] pre-activation block (column layout
+/// [i | f | g | o]); `c_prev` is nullptr on the first step; `gates`
+/// ([B x 4H]), `c`, `tanh_c` and `h` ([B x H]) must be pre-sized by the
+/// caller. Free functions so the bench pair (`lstm_gate_pass`) and the
+/// kernel tests can drive them directly.
+void lstm_gate_forward(const Matrix& z, const Matrix* c_prev, Matrix& gates,
+                       Matrix& c, Matrix& tanh_c, Matrix& h);
+
+/// The mirrored fused backward gate pass: consumes the cached forward
+/// tensors plus `dh` (gradient into h_t) and `dc_next` (cell-state gradient
+/// from step t+1), writes the pre-activation gradients `dz` ([B x 4H]) and
+/// `dc_prev` ([B x H], both pre-sized). Pure elementwise arithmetic — the
+/// same expressions, in the same order, as the std:: reference pass, so
+/// given identical inputs the two backward passes are bit-identical; only
+/// the forward transcendentals diverge.
+void lstm_gate_backward(const Matrix& gates, const Matrix& tanh_c,
+                        const Matrix* c_prev, const Matrix& dh,
+                        const Matrix& dc_next, Matrix& dz, Matrix& dc_prev);
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+/// The retained pre-fastmath gate passes (std::tanh / nn::sigmoid, scalar
+/// per-element loop) — the benchmark floor of `lstm_gate_pass` and the gate
+/// kernel driven by Lstm::set_reference_gate_kernel(true).
+void lstm_gate_forward_reference(const Matrix& z, const Matrix* c_prev,
+                                 Matrix& gates, Matrix& c, Matrix& tanh_c,
+                                 Matrix& h);
+void lstm_gate_backward_reference(const Matrix& gates, const Matrix& tanh_c,
+                                  const Matrix* c_prev, const Matrix& dh,
+                                  const Matrix& dc_next, Matrix& dz,
+                                  Matrix& dc_prev);
+#endif
 
 class Lstm {
  public:
@@ -59,11 +104,23 @@ class Lstm {
 #ifdef DRCELL_ENABLE_REFERENCE_KERNELS
   /// Retained pre-refactor cell (the benchmark floor of the batched
   /// engine): fresh per-step allocations, Wxᵀ/Whᵀ materialised every step
-  /// of the backward recursion, parameter gradients accumulated per step.
-  /// Bit-identical to forward()/backward() for B = 1 (the per-sample
-  /// reference path), enforced by tests and the bench self-check.
+  /// of the backward recursion, parameter gradients accumulated per step,
+  /// std::-based gate nonlinearities. With the reference gate kernel
+  /// selected (below) this is bit-identical to forward()/backward() for
+  /// B = 1; against the default fused fastmath kernel it diverges by the
+  /// documented fastmath bound.
   Matrix forward_reference(const std::vector<Matrix>& steps);
   std::vector<Matrix> backward_reference(const Matrix& grad_last_hidden);
+
+  /// Routes the *batched* engine's gate passes through the retained
+  /// std::-based kernels instead of the fused fastmath ones — the batched
+  /// structure (workspaces, deferred AᵀB parameter gradients) is unchanged,
+  /// only the per-element nonlinearities differ. Used by the
+  /// `train_step_fastmath` bench pair (isolating the fastmath win) and by
+  /// the engine bit-identity tests (batched-vs-per-sample, which needs both
+  /// sides on std:: arithmetic).
+  void set_reference_gate_kernel(bool on) { reference_gate_kernel_ = on; }
+  bool reference_gate_kernel() const { return reference_gate_kernel_; }
 #endif
 
   std::vector<Parameter*> parameters() { return {&wx_, &wh_, &b_}; }
@@ -78,6 +135,9 @@ class Lstm {
   Parameter wh_;  // hidden x 4*hidden
   Parameter b_;   // 1      x 4*hidden
 
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  bool reference_gate_kernel_ = false;
+#endif
   // Forward caches (one entry per time step; storage reused across calls).
   std::vector<Matrix> x_;       // inputs
   std::vector<Matrix> gates_;   // post-activation [i f g o]

@@ -22,6 +22,12 @@ DqnTrainer::DqnTrainer(QNetworkPtr online, DqnOptions options,
   DRCELL_CHECK(options_.target_sync_interval > 0);
   DRCELL_CHECK(options_.min_replay >= options_.batch_size);
   target_ = online_->clone_architecture(rng_);
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  if (options_.reference_gate_kernel) {
+    online_->set_reference_gate_kernel(true);
+    target_->set_reference_gate_kernel(true);
+  }
+#endif
   sync_target();
   optimizer_ = std::make_unique<nn::Adam>(online_->parameters(),
                                           options_.learning_rate);

@@ -9,8 +9,11 @@
 // Double-DQN argmax, the masked TD loss and the backward pass all run over
 // [batch x m] matrices, and the per-sample loop survives only as
 // train_step_reference() — the retained reference path the batched engine
-// is required to match bit for bit (tests/batched_training_test.cpp, and
-// the train_step_batched self-check in bench_micro_components).
+// matches bit for bit under the std:: gate kernel
+// (DqnOptions::reference_gate_kernel) and within the documented fastmath
+// tolerance on the production fused-gate path
+// (tests/batched_training_test.cpp, docs/ARCHITECTURE.md, and the
+// self-checks in bench_micro_components).
 #pragma once
 
 #include <memory>
@@ -37,9 +40,26 @@ struct DqnOptions {
   bool double_dqn = false;            ///< Hasselt-style target (extension)
   /// Route train_step() through the retained per-sample reference path
   /// instead of the batched engine. Debug/verification only: the two paths
-  /// are bit-identical by contract, the reference is just slower. Requires
+  /// are bit-identical by contract (given the same gate kernel, see
+  /// reference_gate_kernel below), the reference is just slower. Requires
   /// a build with DRCELL_REFERENCE_KERNELS (the default).
   bool reference_path = false;
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  /// Run the batched engine's *recurrent* (LSTM) gate nonlinearities
+  /// (online and target networks) through the retained std::-based kernels
+  /// instead of the fused fastmath pass. Verification/benchmark only: with
+  /// this set, the batched engine is bit-identical to the per-sample
+  /// reference path for the shipped networks (DRQN = LSTM + Dense/ReLU
+  /// head, MLP = Dense/ReLU — the PR-4 contract); with the default
+  /// fastmath kernel the two paths agree within the documented fastmath
+  /// tolerance instead (docs/ARCHITECTURE.md,
+  /// tests/batched_training_test.cpp). NB the toggle does not reach
+  /// standalone nn::Tanh/nn::Sigmoid *layers* (always fastmath in
+  /// production) — a custom QNetwork using those in its head would diverge
+  /// from its std:: reference path by the same fastmath bound even with
+  /// this flag set.
+  bool reference_gate_kernel = false;
+#endif
   EpsilonSchedule epsilon{1.0, 0.05, 5000};
 };
 

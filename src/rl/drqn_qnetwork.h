@@ -23,6 +23,9 @@ class DrqnQNetwork final : public QNetwork {
 #ifdef DRCELL_ENABLE_REFERENCE_KERNELS
   Matrix forward_reference(const std::vector<Matrix>& sequence) override;
   void backward_reference(const Matrix& grad_q) override;
+  void set_reference_gate_kernel(bool on) override {
+    lstm_.set_reference_gate_kernel(on);
+  }
 #endif
   std::vector<nn::Parameter*> parameters() override;
   std::unique_ptr<QNetwork> clone_architecture(Rng& rng) const override;

@@ -54,6 +54,11 @@ class QNetwork {
   /// it with B = 1 sequences.
   virtual Matrix forward_reference(const std::vector<Matrix>& sequence) = 0;
   virtual void backward_reference(const Matrix& grad_q) = 0;
+
+  /// Routes any recurrent gate nonlinearities of the *batched* path through
+  /// the retained std::-based kernels instead of the fused fastmath ones
+  /// (see nn/lstm.h). No-op for networks without such kernels (MLP).
+  virtual void set_reference_gate_kernel(bool /*on*/) {}
 #endif
 
   virtual std::vector<nn::Parameter*> parameters() = 0;

@@ -7,6 +7,8 @@
 // for addition, for every batch size and thread-pool worker count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -228,6 +230,11 @@ rl::QNetworkPtr make_qnet(bool drqn, std::size_t cells, std::size_t k,
 /// pre-refactor reference implementations) over the same minibatches, must
 /// stay bit-identical: same losses, same parameters — for MLP and DRQN,
 /// plain and Double-DQN, and any worker count serving the batched forwards.
+/// The batched trainer pins the std::-based gate kernel
+/// (reference_gate_kernel): the engine-structure contract (workspace reuse,
+/// sample-major AᵀB gradient accumulation) is bit-exact; the fused fastmath
+/// gate kernel's divergence from std:: is covered separately by the
+/// tolerance test below.
 void expect_train_step_matches_reference(bool drqn, bool double_dqn,
                                          std::size_t workers) {
   const std::size_t cells = 6, k = 2;
@@ -237,6 +244,7 @@ void expect_train_step_matches_reference(bool drqn, bool double_dqn,
   opt.replay_capacity = 64;
   opt.target_sync_interval = 3;  // exercise the sync cadence too
   opt.double_dqn = double_dqn;
+  opt.reference_gate_kernel = true;
 
   rl::DqnTrainer batched(make_qnet(drqn, cells, k, 11), opt, 5);
   rl::DqnTrainer reference(make_qnet(drqn, cells, k, 11), opt, 5);
@@ -291,6 +299,7 @@ TEST(BatchedTrainStep, ReferencePathOptionRoutesTrainStep) {
   opt.batch_size = 4;
   opt.min_replay = 4;
   opt.replay_capacity = 32;
+  opt.reference_gate_kernel = true;  // both sides on std:: gate arithmetic
   rl::DqnOptions ref_opt = opt;
   ref_opt.reference_path = true;
 
@@ -309,6 +318,49 @@ TEST(BatchedTrainStep, ReferencePathOptionRoutesTrainStep) {
   const auto pb = reference.online().parameters();
   for (std::size_t i = 0; i < pa.size(); ++i)
     EXPECT_EQ(pa[i]->value, pb[i]->value) << "param " << i;
+}
+TEST(BatchedTrainStep, FastmathGateKernelTracksReferenceWithinTolerance) {
+  // The production DRQN path (fused fastmath gate kernel) vs the per-sample
+  // std:: reference: no longer bit-identical — every gate activation may
+  // differ by the fastmath bound (≤1e-12 relative, measured ≲1e-15) — but
+  // after a dozen Adam steps over shared minibatches the losses and
+  // parameters must still agree within the documented end-to-end tolerance
+  // (docs/ARCHITECTURE.md numeric-divergence contract; the bench
+  // self-checks use the same bound).
+  const std::size_t cells = 6, k = 2;
+  rl::DqnOptions opt;  // default options: fused fastmath gates
+  opt.batch_size = 8;
+  opt.min_replay = 8;
+  opt.replay_capacity = 64;
+
+  rl::DqnTrainer fast(make_qnet(true, cells, k, 11), opt, 5);
+  rl::DqnTrainer reference(make_qnet(true, cells, k, 11), opt, 5);
+  Rng fill(7);
+  for (int i = 0; i < 40; ++i) {
+    rl::Experience e = random_experience(cells, k, fill);
+    rl::Experience copy = e;
+    fast.observe(std::move(e));
+    reference.observe(std::move(copy));
+  }
+  Rng draw(9);
+  for (int step = 0; step < 12; ++step) {
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < opt.batch_size; ++i)
+      indices.push_back(draw.uniform_index(40));
+    const double loss_fast = fast.train_step_on_indices(indices);
+    const double loss_ref = reference.train_step_reference_on_indices(indices);
+    ASSERT_NEAR(loss_fast, loss_ref, 1e-9) << "step " << step;
+  }
+  const auto pa = fast.online().parameters();
+  const auto pb = reference.online().parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    double max_abs = 0.0;
+    for (std::size_t j = 0; j < pa[i]->value.data().size(); ++j)
+      max_abs = std::max(max_abs, std::fabs(pa[i]->value.data()[j] -
+                                            pb[i]->value.data()[j]));
+    EXPECT_LT(max_abs, 1e-8) << "param " << i;
+  }
 }
 #endif  // DRCELL_ENABLE_REFERENCE_KERNELS
 

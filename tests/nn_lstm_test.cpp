@@ -85,6 +85,69 @@ TEST(Lstm, RespondsToInputHistory) {
   EXPECT_GT((h1 - h2).max_abs(), 1e-6);
 }
 
+TEST(LstmGateKernel, FusedGradientCheckAtBatch1And32) {
+  // The fused fastmath gate kernel's analytic gradients against central
+  // differences at the per-sample (B=1) and minibatch (B=32) widths the
+  // trainer runs.
+  for (std::size_t batch : {std::size_t{1}, std::size_t{32}}) {
+    Rng rng(41);
+    Lstm lstm(3, 5, rng);
+    Rng data_rng(42 + batch);
+    const auto seq = random_sequence(3, batch, 3, data_rng);
+    Matrix target(batch, 5);
+    for (double& v : target.data()) v = data_rng.normal();
+
+    auto loss_fn = [&] { return mse_loss(lstm.forward(seq), target).value; };
+    for (auto* p : lstm.parameters()) p->zero_grad();
+    const auto l = mse_loss(lstm.forward(seq), target);
+    lstm.backward(l.grad);
+    for (auto* p : lstm.parameters()) {
+      const auto r = check_gradient(*p, loss_fn, 1e-6);
+      EXPECT_TRUE(r.passed(1e-4)) << "batch=" << batch
+                                  << " max_rel=" << r.max_rel_diff;
+    }
+  }
+}
+
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+TEST(LstmGateKernel, FusedMatchesStdReferenceWithinFastmathTolerance) {
+  // Fused fastmath vs the retained std:: gate kernel, B ∈ {1, 32}: hidden
+  // states and accumulated parameter gradients agree within the fastmath
+  // divergence bound (per-activation ≤1e-12 relative; a few steps of BPTT
+  // compound it only modestly). This is the numeric-divergence contract —
+  // the two kernels are deliberately NOT bit-identical.
+  for (std::size_t batch : {std::size_t{1}, std::size_t{32}}) {
+    Rng rng_a(51), rng_b(51);
+    Lstm fused(4, 6, rng_a);
+    Lstm reference(4, 6, rng_b);
+    reference.set_reference_gate_kernel(true);
+
+    Rng data_rng(52 + batch);
+    auto seq = random_sequence(4, batch, 4, data_rng);
+    for (auto& m : seq) m *= 3.0;  // push some gates toward saturation
+    Matrix grad_h(batch, 6);
+    for (double& v : grad_h.data()) v = data_rng.normal();
+
+    for (auto* p : fused.parameters()) p->zero_grad();
+    for (auto* p : reference.parameters()) p->zero_grad();
+    const Matrix h_fused = fused.forward(seq);
+    const Matrix h_ref = reference.forward(seq);
+    for (std::size_t i = 0; i < h_fused.data().size(); ++i)
+      EXPECT_NEAR(h_fused.data()[i], h_ref.data()[i], 1e-12)
+          << "batch=" << batch << " i=" << i;
+
+    fused.backward(grad_h);
+    reference.backward(grad_h);
+    const auto pa = fused.parameters();
+    const auto pb = reference.parameters();
+    for (std::size_t p = 0; p < pa.size(); ++p)
+      for (std::size_t i = 0; i < pa[p]->grad.data().size(); ++i)
+        EXPECT_NEAR(pa[p]->grad.data()[i], pb[p]->grad.data()[i], 1e-10)
+            << "batch=" << batch << " param=" << p;
+  }
+}
+#endif
+
 TEST(Lstm, GradientWrtParametersMatchesFiniteDifferences) {
   Rng rng(9);
   Lstm lstm(3, 4, rng);

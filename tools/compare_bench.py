@@ -9,7 +9,12 @@ baseline and the CI runner differ), so the comparison uses
 are measured in the same process on the same hardware, making the ratio a
 machine-portable figure of merit. An op present in the baseline but missing
 from the fresh report is an error (a silently dropped measurement would
-otherwise disable its gate).
+otherwise disable its gate). The reverse is tolerated: ops present in the
+run but absent from the baseline — including entries named in --ops — are
+reported as NEW instead of failing, so adding a bench op does not require a
+lock-step baseline edit; the gate arms itself once the regenerated baseline
+lands. An --ops entry found in neither report is still an error (typo
+protection).
 
 Exit code 0 = no regression, 1 = regression or malformed report.
 
@@ -80,11 +85,15 @@ def main():
         print("error: refusing to compare quick-mode reports")
         return 1
     if gated_ops is not None:
-        unknown = gated_ops - set(baseline)
+        # A gated op the baseline does not know yet is fine *if* the run
+        # produces it (a freshly added bench op whose baseline regeneration
+        # lands with or after the CI change); it is reported as NEW below
+        # and the gate arms once the baseline is regenerated. An op in
+        # neither report is a typo or a rename and would silently
+        # neutralise its gate forever — still an error.
+        unknown = gated_ops - set(baseline) - set(fresh)
         if unknown:
-            # A typo or a renamed op would otherwise silently neutralise
-            # the gate for that op.
-            print(f"error: --ops entries not in baseline: "
+            print(f"error: --ops entries in neither report: "
                   f"{', '.join(sorted(unknown))}")
             return 1
 
@@ -124,7 +133,12 @@ def main():
                 f"allowed {args.max_regression_pct:.0f}%)"
             )
     for op in sorted(set(fresh) - set(baseline)):
-        print(f"{op:<42} {'(new)':>9} {fresh[op]:>9.2f}")
+        gated_note = (
+            "  (NEW: gated once baselined)"
+            if gated_ops is not None and op in gated_ops
+            else "  (NEW)"
+        )
+        print(f"{op:<42} {'--':>9} {fresh[op]:>9.2f}{gated_note}")
 
     if failures:
         print("\nPERF REGRESSION vs committed baseline:")
