@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
     env.reset();
     while (!env.episode_done()) {
       const auto state = env.state();
-      const auto mask = env.action_mask();
+      const auto& mask = env.action_mask();
       const auto action = qtable.select_action(
           state, mask, delta.value(step_count++), explore_rng);
       const auto result = env.step(action);

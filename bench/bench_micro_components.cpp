@@ -8,12 +8,14 @@
 // implementations (compiled under DRCELL_ENABLE_REFERENCE_KERNELS), and
 // `--json [path]` writes the BENCH_micro.json perf baseline that later PRs
 // are compared against.
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <memory>
 #include <vector>
 
 #include "bench_common.h"
+#include "linalg/sparse_matrix.h"
 #include "cs/committee.h"
 #include "cs/knn_inference.h"
 #include "cs/mean_inference.h"
@@ -267,6 +269,56 @@ void bench_matmul(bench::JsonReporter& report, bool quick) {
              1e3 / nn.wall_ms);
 }
 
+void bench_sparse_gather(bench::JsonReporter& report, bool quick) {
+  // The metro-tier LSTM input GEMM shape: a [32 x 10000] selection-union
+  // step matrix (~300 ones per row, the per-cycle selection cap) times the
+  // [10000 x 256] input weight block. The gather touches the stored entries
+  // only; the dense kernel walks all 320k per-row elements. The two are
+  // bit-identical by contract (linalg/sparse_matrix.h) — asserted here on
+  // the real shape before timing — and the pair carries a hard >=5x
+  // self-gate plus the CI committed-baseline gate.
+  const std::size_t batch = 32, cells = 10000, width = 256, ones = 300;
+  Rng rng(13);
+  Matrix dense(batch, cells);
+  SparseRowMatrix sparse(batch, cells);
+  std::vector<std::uint32_t> row_ones;
+  for (std::size_t b = 0; b < batch; ++b) {
+    row_ones.clear();
+    for (std::size_t i = 0; i < ones; ++i)
+      row_ones.push_back(static_cast<std::uint32_t>(rng.uniform_index(cells)));
+    std::sort(row_ones.begin(), row_ones.end());
+    row_ones.erase(std::unique(row_ones.begin(), row_ones.end()),
+                   row_ones.end());
+    for (const std::uint32_t c : row_ones) {
+      dense(b, c) = 1.0;
+      sparse.append(b, c, 1.0);
+    }
+  }
+  const Matrix w = random_normal_matrix(cells, width, rng);
+
+  Matrix out_sparse, out_dense;
+  sparse.matmul_into(w, out_sparse);
+  dense.matmul_into(w, out_dense);
+  if (!(out_sparse == out_dense)) {
+    std::cerr << "FAIL: sparse gather GEMM diverged from the dense kernel "
+                 "(bit-identity contract broken)\n";
+    std::exit(1);
+  }
+
+  const double target = quick ? 120.0 : 400.0;
+  const auto gather = bench::measure_ms(
+      [&] { sparse.matmul_into(w, out_sparse); }, target, 20000);
+  const auto full = bench::measure_ms(
+      [&] { dense.matmul_into(w, out_dense); }, target, 2000);
+  report.add_with_reference("sparse_gather_gemm_32x10000", gather.wall_ms,
+                            gather.iterations, 1e3 / gather.wall_ms,
+                            full.wall_ms, full.iterations);
+  std::cout << "sparse gather GEMM [32x10000]x[10000x256]: gather "
+            << format_double(gather.wall_ms, 3) << " ms, dense "
+            << format_double(full.wall_ms, 3) << " ms, speedup "
+            << format_double(full.wall_ms / gather.wall_ms, 2) << "x\n";
+}
+
 void bench_als(bench::JsonReporter& report, bool quick) {
   // ~14 reveals = one sensing cycle's worth of new observations at the
   // paper's 25% density on 57 cells.
@@ -387,7 +439,7 @@ void bench_environment(bench::JsonReporter& report, bool quick) {
   const auto step = bench::measure_ms(
       [&] {
         if (env.episode_done()) return;  // episode-length cap safety net
-        const auto mask = env.action_mask();
+        const auto& mask = env.action_mask();
         std::vector<std::size_t> allowed;
         for (std::size_t a = 0; a < mask.size(); ++a)
           if (mask[a]) allowed.push_back(a);
@@ -639,6 +691,7 @@ int main(int argc, char** argv) {
   Stopwatch total;
 
   bench_matmul(report, quick);
+  bench_sparse_gather(report, quick);
   bench_lstm_gate(report, quick);
   bench_sparse_observation_paths(report, quick);
   bench_als(report, quick);
@@ -667,16 +720,19 @@ int main(int argc, char** argv) {
       report.speedup("sparse_observation_paths_1000x48");
   const double train_speedup = report.speedup("train_step_batched");
   const double gate_speedup = report.speedup("lstm_gate_pass");
+  const double gather_speedup = report.speedup("sparse_gather_gemm_32x10000");
   if (!no_gate && (matmul_speedup < 3.0 || als_speedup < 3.0 ||
                    sparse_speedup < 5.0 || train_speedup < 3.0 ||
-                   gate_speedup < 3.0)) {
+                   gate_speedup < 3.0 || gather_speedup < 5.0)) {
     std::cerr << "PERF REGRESSION: matmul speedup "
               << format_double(matmul_speedup, 2) << "x, ALS speedup "
               << format_double(als_speedup, 2) << "x, batched train step "
               << format_double(train_speedup, 2) << "x, LSTM gate pass "
               << format_double(gate_speedup, 2)
               << "x (all must be >= 3x); sparse observation paths "
-              << format_double(sparse_speedup, 2) << "x (must be >= 5x)\n";
+              << format_double(sparse_speedup, 2) << "x and sparse gather "
+                 "GEMM "
+              << format_double(gather_speedup, 2) << "x (must be >= 5x)\n";
     return 1;
   }
 #endif

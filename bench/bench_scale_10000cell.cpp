@@ -13,7 +13,9 @@
 // bench/README.md).
 //
 //   ./build/bench_scale_10000cell [--quick] [--json [path]]
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -21,6 +23,8 @@
 #include "data/synthetic_field.h"
 #include "mcs/environment.h"
 #include "mcs/quality.h"
+#include "rl/dqn_trainer.h"
+#include "rl/drqn_qnetwork.h"
 #include "util/rng.h"
 
 using namespace drcell;
@@ -157,6 +161,84 @@ void bench_environment(const mcs::SensingTask& task,
             << format_double(1e3 / cycle.wall_ms, 2) << " cycles/s)\n";
 }
 
+/// ~`count` distinct ascending indices in [lo, hi) — a step row's
+/// selection-union ones.
+std::vector<std::uint32_t> random_ones(std::size_t lo, std::size_t hi,
+                                       std::size_t count, Rng& rng) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(static_cast<std::uint32_t>(lo + rng.uniform_index(hi - lo)));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// The metro training tier headline: one full batched DRQN train step at
+/// 10,000 cells through the sparse gather + candidate-subset engine,
+/// against the dense full-action engine (force_dense_batch, 10k-wide mask
+/// bootstrap and TD loss) on equivalent transitions. The pair carries a
+/// hard >=3x self-gate in main() (skipped with --quick / --no-perf-gate;
+/// tests/sparse_gather_test.cpp pins the covering-candidate bit-identity
+/// separately).
+void bench_train_step(bench::JsonReporter& report, bool quick) {
+  const std::size_t cells = 10000, k = 2, pool = 256;
+  const std::size_t ones_per_step = 300;  // the per-cycle selection cap
+  const std::size_t n_candidates = 64;
+
+  const auto make_trainer = [&](bool candidate) {
+    rl::DqnOptions opt;
+    opt.batch_size = 32;
+    opt.min_replay = 32;
+    opt.replay_capacity = pool;
+    opt.candidate_training = candidate;
+    opt.force_dense_batch = !candidate;
+    Rng rng(17);
+    return rl::DqnTrainer(
+        std::make_unique<rl::DrqnQNetwork>(cells, k, 64, 0, rng), opt, 23);
+  };
+  rl::DqnTrainer fast = make_trainer(true);
+  rl::DqnTrainer dense = make_trainer(false);
+
+  Rng fill(29);
+  for (std::size_t i = 0; i < pool; ++i) {
+    rl::Experience e;
+    e.sparse_states = true;
+    for (std::size_t j = 0; j < k; ++j) {
+      const auto ones =
+          random_ones(j * cells, (j + 1) * cells, ones_per_step, fill);
+      e.state_ones.insert(e.state_ones.end(), ones.begin(), ones.end());
+      const auto next =
+          random_ones(j * cells, (j + 1) * cells, ones_per_step, fill);
+      e.next_state_ones.insert(e.next_state_ones.end(), next.begin(),
+                               next.end());
+    }
+    e.action = fill.uniform_index(cells);
+    e.reward = fill.uniform(-1.0, 2.0);
+    e.terminal = fill.bernoulli(0.1);
+
+    rl::Experience full = e;
+    e.next_candidates = random_ones(0, cells, n_candidates, fill);
+    full.next_mask.assign(cells, 1);
+    fast.observe(std::move(e));
+    dense.observe(std::move(full));
+  }
+
+  const auto fast_run = bench::measure_ms(
+      [&] { (void)fast.train_step(); }, quick ? 300.0 : 900.0, 2000);
+  // The dense step moves four [32 x 10000] state matrices plus the
+  // full-width loss per iteration; cap its budget tightly.
+  const auto dense_run = bench::measure_ms(
+      [&] { (void)dense.train_step(); }, quick ? 300.0 : 900.0, 20);
+  report.add_with_reference("scale_train_step_10000cell", fast_run.wall_ms,
+                            fast_run.iterations, 1e3 / fast_run.wall_ms,
+                            dense_run.wall_ms, dense_run.iterations);
+  std::cout << "10000-cell DRQN train step: sparse+candidates "
+            << format_double(fast_run.wall_ms, 2) << " ms, dense full-action "
+            << format_double(dense_run.wall_ms, 2) << " ms, speedup "
+            << format_double(dense_run.wall_ms / fast_run.wall_ms, 2)
+            << "x\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,8 +260,28 @@ int main(int argc, char** argv) {
   bench_field_samplers(report, quick);
   bench_completion(task, report, quick);
   bench_environment(task, report, quick);
+  bench_train_step(report, quick);
 
   std::cout << "total bench time: "
             << format_double(total.elapsed_seconds(), 1) << " s\n";
-  return bench::finish_report(report, json, total);
+  // Write the report before gating so the artifact exists for debugging.
+  const int exit_code = bench::finish_report(report, json, total);
+
+  // Hard self-gate for the metro training tier: the sparse gather +
+  // candidate-subset train step must stay >= 3x ahead of the dense
+  // full-action engine. --no-perf-gate (and quick mode, whose budgets are
+  // too short for stable ratios) skips it; unoptimised builds always do.
+  bool no_gate = quick;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--no-perf-gate") == 0) no_gate = true;
+#ifndef NDEBUG
+  no_gate = true;
+#endif
+  const double train_speedup = report.speedup("scale_train_step_10000cell");
+  if (!no_gate && train_speedup < 3.0) {
+    std::cerr << "PERF REGRESSION: 10000-cell train step speedup "
+              << format_double(train_speedup, 2) << "x (must be >= 3x)\n";
+    return 1;
+  }
+  return exit_code;
 }

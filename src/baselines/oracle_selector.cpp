@@ -10,7 +10,7 @@ GreedyOracleSelector::GreedyOracleSelector(cs::InferenceEnginePtr engine)
 }
 
 std::size_t GreedyOracleSelector::select(const mcs::SparseMcsEnvironment& env) {
-  const auto mask = env.action_mask();
+  const auto& mask = env.action_mask();
   const auto& task = env.task();
   const std::size_t cycle = env.current_cycle();
   const std::size_t col = env.current_window_col();

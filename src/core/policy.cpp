@@ -16,7 +16,7 @@ OnlineAdaptivePolicy::OnlineAdaptivePolicy(DrCellAgent& agent, double epsilon,
 
 std::size_t OnlineAdaptivePolicy::select(
     const mcs::SparseMcsEnvironment& env) {
-  const auto mask = env.action_mask();
+  const auto& mask = env.action_mask();
   const std::vector<double> state = env.state();
   std::size_t action = agent_.greedy_action(state, mask);
   if (rng_.bernoulli(epsilon_)) {

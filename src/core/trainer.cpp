@@ -37,7 +37,7 @@ TrainingResult train_agent(DrCellAgent& agent, mcs::SparseMcsEnvironment& env,
     std::size_t loss_count = 0;
     while (!env.episode_done()) {
       const std::vector<double> state = env.state();
-      const auto mask = env.action_mask();
+      const auto& mask = env.action_mask();
       const std::size_t action = trainer.select_action(state, mask);
       const mcs::StepResult step = env.step(action);
 

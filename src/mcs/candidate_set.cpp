@@ -1,0 +1,105 @@
+#include "mcs/candidate_set.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drcell::mcs {
+
+CandidateSetGenerator::CandidateSetGenerator(std::vector<cs::CellCoord> coords,
+                                             CandidateSetOptions options)
+    : options_(options), coords_(std::move(coords)), rng_(options.seed) {
+  DRCELL_CHECK_MSG(!coords_.empty(), "candidate generator needs cell coords");
+  DRCELL_CHECK_MSG(options_.subset_size > 0, "subset_size must be positive");
+  DRCELL_CHECK_MSG(
+      options_.random_fraction >= 0.0 && options_.random_fraction <= 1.0,
+      "random_fraction must lie in [0, 1]");
+  picked_.assign(coords_.size(), 0);
+}
+
+const std::vector<std::uint32_t>& CandidateSetGenerator::generate(
+    std::span<const std::size_t> unsensed,
+    std::span<const std::size_t> recent) {
+  DRCELL_CHECK_MSG(!unsensed.empty(), "no selectable cells");
+  out_.clear();
+
+  const std::size_t k = options_.subset_size;
+  if (unsensed.size() <= k) {
+    // Covering case: the whole action space fits — candidate argmax equals
+    // the full masked argmax exactly.
+    for (const std::size_t cell : unsensed)
+      out_.push_back(static_cast<std::uint32_t>(cell));
+    std::sort(out_.begin(), out_.end());
+    return out_;
+  }
+
+  std::size_t random_count = static_cast<std::size_t>(
+      std::lround(options_.random_fraction * static_cast<double>(k)));
+  random_count = std::min(random_count, k);
+  std::size_t knn_count = k - random_count;
+  if (recent.empty()) {
+    // Nothing to anchor proximity on (cycle start): fully random subset.
+    random_count = k;
+    knn_count = 0;
+  }
+
+  if (knn_count > 0) {
+    // Anchor: centroid of the recent selections. Nearest-first by squared
+    // grid distance, ties broken by ascending cell id so the slice is
+    // deterministic.
+    double cx = 0.0;
+    double cy = 0.0;
+    for (const std::size_t cell : recent) {
+      DRCELL_DCHECK(cell < coords_.size());
+      cx += coords_[cell].x;
+      cy += coords_[cell].y;
+    }
+    cx /= static_cast<double>(recent.size());
+    cy /= static_cast<double>(recent.size());
+
+    scored_.clear();
+    for (const std::size_t cell : unsensed) {
+      DRCELL_DCHECK(cell < coords_.size());
+      const double dx = coords_[cell].x - cx;
+      const double dy = coords_[cell].y - cy;
+      scored_.emplace_back(dx * dx + dy * dy, cell);
+    }
+    const auto nearer = [](const std::pair<double, std::size_t>& a,
+                           const std::pair<double, std::size_t>& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second < b.second;
+    };
+    std::nth_element(scored_.begin(), scored_.begin() + (knn_count - 1),
+                     scored_.end(), nearer);
+    for (std::size_t i = 0; i < knn_count; ++i) {
+      const std::size_t cell = scored_[i].second;
+      picked_[cell] = 1;
+      out_.push_back(static_cast<std::uint32_t>(cell));
+    }
+  }
+
+  // Exploration slice: uniform over the unsensed remainder. Rejection
+  // sampling is cheap while the subset is small relative to the unsensed
+  // set; if the draw stalls (tiny remainder) a deterministic sweep tops up.
+  std::size_t attempts = 16 * random_count + 32;
+  while (random_count > 0 && attempts-- > 0) {
+    const std::size_t cell = unsensed[rng_.uniform_index(unsensed.size())];
+    if (picked_[cell]) continue;
+    picked_[cell] = 1;
+    out_.push_back(static_cast<std::uint32_t>(cell));
+    --random_count;
+  }
+  if (random_count > 0) {
+    for (const std::size_t cell : unsensed) {
+      if (picked_[cell]) continue;
+      picked_[cell] = 1;
+      out_.push_back(static_cast<std::uint32_t>(cell));
+      if (--random_count == 0) break;
+    }
+  }
+
+  for (const std::uint32_t cell : out_) picked_[cell] = 0;
+  std::sort(out_.begin(), out_.end());
+  return out_;
+}
+
+}  // namespace drcell::mcs

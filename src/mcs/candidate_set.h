@@ -1,0 +1,69 @@
+// Candidate-subset action spaces for metro-scale cell selection.
+//
+// At 10,000 cells evaluating (and argmaxing) the full Q head every step is
+// the dominant cost of action selection, and the replay targets would need
+// a 10k-wide bootstrap per sample. Following the reference DRQN deployments
+// at CELL_SIZE = 10000, each decision instead scores a small candidate
+// subset: the K_knn cells nearest (by grid proximity) to the centroid of
+// the recently selected cells — exploitation around the spatial frontier
+// the policy is building — plus a seeded uniform slice of the remaining
+// unsensed cells for exploration. When the unsensed set fits inside the
+// subset the generator returns it whole, so small tail-of-cycle decisions
+// degenerate to the exact full action space (the covering case the
+// argmax-equality test pins).
+//
+// Training on candidate subsets changes the *trajectory distribution*, not
+// the train-step arithmetic — see docs/ARCHITECTURE.md for the divergence
+// contract.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cs/knn_inference.h"
+#include "util/rng.h"
+
+namespace drcell::mcs {
+
+struct CandidateSetOptions {
+  /// K — candidates per decision. Q-head evaluation cost scales linearly
+  /// with it; 64 keeps a 10,000-cell decision ~150x cheaper than full.
+  std::size_t subset_size = 64;
+  /// Fraction of K drawn uniformly from the unsensed remainder (the
+  /// exploration slice); the rest is the KNN slice.
+  double random_fraction = 0.5;
+  /// Seed of the generator's private random stream (the exploration slice
+  /// is deterministic given the seed and the call sequence).
+  std::uint64_t seed = 0x5eedu;
+};
+
+class CandidateSetGenerator {
+ public:
+  /// `coords` are the per-cell grid centres (SensingTask::coords()).
+  CandidateSetGenerator(std::vector<cs::CellCoord> coords,
+                        CandidateSetOptions options = {});
+
+  const CandidateSetOptions& options() const { return options_; }
+  std::size_t num_cells() const { return coords_.size(); }
+
+  /// Builds the candidate set for one decision. `unsensed` is the currently
+  /// selectable set (any order, distinct ids); `recent` the recently
+  /// selected cells anchoring the KNN slice (empty → fully random subset).
+  /// Returns strictly ascending cell ids — the order the candidate Q-head
+  /// ops and the bootstrap argmax rely on; a reference into a reused
+  /// workspace, valid until the next generate() call.
+  const std::vector<std::uint32_t>& generate(
+      std::span<const std::size_t> unsensed,
+      std::span<const std::size_t> recent);
+
+ private:
+  CandidateSetOptions options_;
+  std::vector<cs::CellCoord> coords_;
+  Rng rng_;
+  std::vector<std::uint32_t> out_;
+  std::vector<std::uint8_t> picked_;              // per-cell scratch
+  std::vector<std::pair<double, std::size_t>> scored_;  // KNN scratch
+};
+
+}  // namespace drcell::mcs

@@ -28,6 +28,7 @@ SparseMcsEnvironment::SparseMcsEnvironment(
   DRCELL_CHECK(gate_ != nullptr);
   DRCELL_CHECK(options_.inference_window > 0);
   DRCELL_CHECK(options_.cost >= 0.0);
+  DRCELL_CHECK(options_.error_shaping >= 0.0);
   DRCELL_CHECK_MSG(options_.min_observations >= 1,
                    "at least one observation per cycle is required");
   if (!options_.cell_costs.empty()) {
@@ -48,6 +49,7 @@ void SparseMcsEnvironment::reset() {
   selection_.reset();
   cycle_ = 0;
   obs_this_cycle_ = 0;
+  shaping_have_prev_ = false;
   done_ = false;
   stats_ = EpisodeStats{};
   rebuild_unsensed();
@@ -121,6 +123,11 @@ std::vector<double> SparseMcsEnvironment::state() const {
   return encoder_.encode(selection_, c);
 }
 
+std::vector<std::uint32_t> SparseMcsEnvironment::state_ones() const {
+  const std::size_t c = std::min(cycle_, task_->num_cycles() - 1);
+  return encoder_.encode_ones(selection_, c);
+}
+
 StepResult SparseMcsEnvironment::step(std::size_t cell) {
   DRCELL_CHECK_MSG(!done_, "step() after episode end");
   DRCELL_CHECK_MSG(cell < task_->num_cells(), "action out of range");
@@ -165,10 +172,23 @@ StepResult SparseMcsEnvironment::step(std::size_t cell) {
                                *engine_};
       satisfied = gate_->satisfied(ctx);
     }
-    if (satisfied || cap_reached) {
+    if (satisfied || cap_reached || options_.error_shaping > 0.0) {
       ensure_inferred();
       cycle_error =
           true_cycle_error(*task_, window_, col, inferred, cycle_);
+    }
+    if (options_.error_shaping > 0.0) {
+      // Dense training-stage shaping (see EnvOptions::error_shaping): the
+      // step earns its own marginal reduction of the true cycle error. The
+      // shaped rewards of a cycle telescope to
+      // error_shaping * (first measured error - final error), so the return
+      // a policy maximises is exactly the total error reduction its
+      // placements achieve.
+      if (shaping_have_prev_)
+        result.reward +=
+            options_.error_shaping * (shaping_prev_error_ - cycle_error);
+      shaping_prev_error_ = cycle_error;
+      shaping_have_prev_ = true;
     }
   }
 
@@ -187,6 +207,7 @@ StepResult SparseMcsEnvironment::step(std::size_t cell) {
     stats_.cycle_selected.push_back(obs_this_cycle_);
 
     obs_this_cycle_ = 0;
+    shaping_have_prev_ = false;  // the next cycle differences from scratch
     if (cycle_ + 1 >= task_->num_cycles()) {
       done_ = true;
       result.episode_done = true;

@@ -45,6 +45,17 @@ struct EnvOptions {
   /// cells"). cells x h; the inference window reaches back into it.
   /// Empty disables warm starting.
   Matrix warm_start;
+  /// Training-stage dense reward shaping: when > 0, every step whose
+  /// observation count has reached `min_observations` additionally earns
+  /// `error_shaping * (previous true cycle error - current true cycle
+  /// error)` — the step's own marginal reduction of the true inference
+  /// error. Like GroundTruthGate this consults the ground truth, which the
+  /// organiser only has for the fully-observed historical data the DRQN is
+  /// trained on offline (Sec. 5.3) — never enable it in a deployment
+  /// environment. Forces a full inference per step (warm-started ALS, so
+  /// typically one or two polish sweeps). 0 (the default) disables shaping
+  /// and skips the per-step inference entirely.
+  double error_shaping = 0.0;
 };
 
 struct StepResult {
@@ -95,11 +106,16 @@ class SparseMcsEnvironment {
 
   /// Flat RL state (k*m, oldest cycle first) at the current position.
   std::vector<double> state() const;
+  /// Sparse state: the ascending flat indices of the 1.0 entries of
+  /// state() (see StateEncoder::encode_ones) — O(k·selected) instead of
+  /// O(k·cells), the metro-tier representation.
+  std::vector<std::uint32_t> state_ones() const;
   /// mask[i] == 1 iff cell i may be selected now. The mask is maintained
-  /// incrementally (O(1) per step, O(changed) per cycle turnover), so this
-  /// call is a plain copy — selectors that only need the allowed cells
-  /// should prefer unsensed_cells(), which does not copy at all.
-  std::vector<std::uint8_t> action_mask() const { return mask_; }
+  /// incrementally (O(1) per step, O(changed) per cycle turnover) and
+  /// returned by const reference — no O(cells) copy per call. The
+  /// reference is invalidated by the next step()/reset(); copy it to keep
+  /// it across steps (e.g. a transition's next_mask).
+  const std::vector<std::uint8_t>& action_mask() const { return mask_; }
   /// The cells selectable right now — the complement of the current cycle's
   /// selections; empty once the episode is done. O(1): returns a const
   /// reference to the incrementally maintained set (swap-removal order, not
@@ -172,6 +188,11 @@ class SparseMcsEnvironment {
   std::vector<std::uint8_t> mask_;
   cs::PartialMatrix window_;  // cells x window-cycles observations
   long window_anchor_ = 0;    // campaign cycle of window col 0 (< 0 = warm)
+  // Reward-shaping state: the true cycle error after the previous step of
+  // the current cycle (invalid before the first measurable error of a cycle
+  // — the first shaped step has no predecessor to difference against).
+  double shaping_prev_error_ = 0.0;
+  bool shaping_have_prev_ = false;
   std::size_t cycle_ = 0;
   std::size_t obs_this_cycle_ = 0;
   bool done_ = false;

@@ -4,9 +4,12 @@
 // of the campaign are zero-padded.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "linalg/sparse_matrix.h"
 #include "mcs/selection_matrix.h"
 
 namespace drcell::mcs {
@@ -30,6 +33,29 @@ class StateEncoder {
   std::vector<Matrix> to_sequence(const std::vector<double>& flat_state) const;
   std::vector<Matrix> to_sequence_batch(
       const std::vector<const std::vector<double>*>& flat_states) const;
+
+  /// Sparse counterpart of encode(): the ascending flat indices of the 1.0
+  /// entries. Per-cycle selection lists are ascending and steps are ordered
+  /// oldest first, so the indices come out globally ascending — the order
+  /// the sparse kernels require.
+  std::vector<std::uint32_t> encode_ones(const SelectionMatrix& selection,
+                                         std::size_t cycle) const;
+
+  /// Sparse counterparts of to_sequence(): one [k x cells] SparseRowMatrix
+  /// whose row j holds step j's nonzeros (the replay cache's
+  /// per-transition layout) — from a flat state, or from an encode_ones()
+  /// index list (all values 1.0).
+  void to_sparse_steps(const std::vector<double>& flat_state,
+                       SparseRowMatrix& out) const;
+  void ones_to_sparse_steps(std::span<const std::uint32_t> ones,
+                            SparseRowMatrix& out) const;
+
+  /// Appends one state as row `row` of the k timestep-major step matrices
+  /// (each pre-reset to [batch x cells]) — the sparse counterpart of one
+  /// to_sequence_batch row, used for B = 1 candidate action selection.
+  void ones_to_sequence_row(std::span<const std::uint32_t> ones,
+                            std::size_t row,
+                            std::vector<SparseRowMatrix>& steps) const;
 
  private:
   std::size_t cells_;

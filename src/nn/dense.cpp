@@ -1,5 +1,7 @@
 #include "nn/dense.h"
 
+#include <algorithm>
+
 #include "nn/init.h"
 
 namespace drcell::nn {
@@ -35,6 +37,87 @@ const Matrix& Dense::backward(const Matrix& grad_output) {
     for (std::size_t c = 0; c < grad_output.cols(); ++c)
       b_.grad(0, c) += grad_output(r, c);
   grad_output.matmul_transposed_other_into(w_.value, grad_in_ws_);
+  return grad_in_ws_;
+}
+
+const Matrix& Dense::forward_columns(const Matrix& input,
+                                     const ColumnSubsets& columns) {
+  DRCELL_CHECK_MSG(input.cols() == w_.value.rows(),
+                   "Dense: input feature mismatch");
+  DRCELL_CHECK_MSG(columns.size() == input.rows(),
+                   "Dense: one column subset per batch row required");
+  cached_input_ = input;
+  std::size_t max_width = 0;
+  for (const auto& cols : columns)
+    max_width = std::max(max_width, cols.size());
+  DRCELL_CHECK_MSG(max_width > 0, "Dense: empty column subsets");
+  out_cols_ws_.resize(input.rows(), max_width);
+  const std::size_t in = w_.value.rows();
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    const double* xr = cached_input_.row(r).data();
+    double* orow = out_cols_ws_.row(r).data();
+    const auto& cols = columns[r];
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      const std::size_t c = cols[j];
+      DRCELL_DCHECK_MSG(c < w_.value.cols(), "Dense: column out of range");
+      // Same per-element recurrence as the dense GEMM: k ascending,
+      // zero inputs skipped.
+      double acc = 0.0;
+      for (std::size_t k = 0; k < in; ++k) {
+        const double v = xr[k];
+        if (v == 0.0) continue;
+        acc += v * w_.value(k, c);
+      }
+      orow[j] = acc + b_.value(0, c);
+    }
+  }
+  return out_cols_ws_;
+}
+
+const Matrix& Dense::backward_columns(const Matrix& grad_columns,
+                                      const ColumnSubsets& columns) {
+  DRCELL_CHECK_MSG(grad_columns.rows() == cached_input_.rows(),
+                   "Dense: backward_columns batch mismatch");
+  DRCELL_CHECK_MSG(columns.size() == grad_columns.rows(),
+                   "Dense: one column subset per batch row required");
+  const std::size_t in = w_.value.rows();
+  // dW += xᵀ g restricted to the listed columns, batch rows ascending and
+  // features ascending with x == 0.0 skipped — the dense
+  // matmul_transposed_self_add order with the off-subset (zero) terms
+  // dropped.
+  for (std::size_t r = 0; r < grad_columns.rows(); ++r) {
+    const double* xr = cached_input_.row(r).data();
+    const double* gr = grad_columns.row(r).data();
+    const auto& cols = columns[r];
+    DRCELL_CHECK_MSG(cols.size() <= grad_columns.cols(),
+                     "Dense: column subset wider than gradient");
+    for (std::size_t k = 0; k < in; ++k) {
+      const double v = xr[k];
+      if (v == 0.0) continue;
+      for (std::size_t j = 0; j < cols.size(); ++j)
+        w_.grad(k, cols[j]) += v * gr[j];
+    }
+    for (std::size_t j = 0; j < cols.size(); ++j)
+      b_.grad(0, cols[j]) += gr[j];
+  }
+  // dx(r, f) = Σ_j g(r, j)·W(f, columns[r][j]) over ascending columns with
+  // g == 0.0 skipped — the matmul_transposed_other_into element recurrence
+  // once the off-subset zeros are dropped.
+  grad_in_ws_.resize_overwrite(grad_columns.rows(), in);
+  for (std::size_t r = 0; r < grad_columns.rows(); ++r) {
+    const double* gr = grad_columns.row(r).data();
+    double* dxr = grad_in_ws_.row(r).data();
+    const auto& cols = columns[r];
+    for (std::size_t f = 0; f < in; ++f) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        const double g = gr[j];
+        if (g == 0.0) continue;
+        acc += g * w_.value(f, cols[j]);
+      }
+      dxr[f] = acc;
+    }
+  }
   return grad_in_ws_;
 }
 

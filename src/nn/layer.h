@@ -21,7 +21,10 @@ struct Parameter {
   Parameter(std::size_t rows, std::size_t cols)
       : value(rows, cols), grad(rows, cols) {}
 
-  void zero_grad() { grad = Matrix(value.rows(), value.cols()); }
+  // resize() reuses the gradient's storage (data_.assign on warm capacity),
+  // so a steady-state zero_grad is a fill, not a fresh allocation — at the
+  // metro tier the gradients alone are ~25 MB per network.
+  void zero_grad() { grad.resize(value.rows(), value.cols(), 0.0); }
 
   Matrix value;
   Matrix grad;

@@ -179,10 +179,43 @@ Lstm::Lstm(std::size_t input_size, std::size_t hidden_size, Rng& rng)
     b_.value(0, c) = 1.0;
 }
 
+void Lstm::finish_step(std::size_t t) {
+  const std::size_t hidden = hidden_size();
+  // Pre-activations z = x Wx + h_{t-1} Wh + b (workspaces reused across
+  // steps and calls); z_ws_ arrives holding the input product. The very
+  // first step has no previous hidden state; skipping the zero product is
+  // bit-identical to adding it.
+  Matrix& z = z_ws_;
+  if (t > 0) {
+    h_[t - 1].matmul_into(wh_.value, recur_ws_);
+    z += recur_ws_;
+  }
+  for (std::size_t r = 0; r < batch_; ++r)
+    for (std::size_t col = 0; col < 4 * hidden; ++col)
+      z(r, col) += b_.value(0, col);
+
+  Matrix& gates = gates_[t];
+  gates.resize_overwrite(batch_, 4 * hidden);
+  Matrix& ct = c_[t];
+  ct.resize_overwrite(batch_, hidden);
+  Matrix& tct = tanh_c_[t];
+  tct.resize_overwrite(batch_, hidden);
+  Matrix& ht = h_[t];
+  ht.resize_overwrite(batch_, hidden);
+  const Matrix* c_prev = t > 0 ? &c_[t - 1] : nullptr;
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  if (reference_gate_kernel_) {
+    lstm_gate_forward_reference(z, c_prev, gates, ct, tct, ht);
+    return;
+  }
+#endif
+  lstm_gate_forward(z, c_prev, gates, ct, tct, ht);
+}
+
 const Matrix& Lstm::forward(const std::vector<Matrix>& steps) {
   DRCELL_CHECK_MSG(!steps.empty(), "LSTM forward on empty sequence");
-  const std::size_t hidden = hidden_size();
   batch_ = steps.front().rows();
+  sparse_x_ = false;
 
   const std::size_t t_max = steps.size();
   x_.resize(t_max);
@@ -196,35 +229,48 @@ const Matrix& Lstm::forward(const std::vector<Matrix>& steps) {
     DRCELL_CHECK_MSG(xt.rows() == batch_ && xt.cols() == input_size(),
                      "LSTM: inconsistent step shape");
     x_[t] = xt;
-    // Pre-activations z = x Wx + h_{t-1} Wh + b (workspaces reused across
-    // steps and calls). The very first step has no previous hidden state;
-    // skipping the zero product is bit-identical to adding it.
     xt.matmul_into(wx_.value, z_ws_);
-    Matrix& z = z_ws_;
-    if (t > 0) {
-      h_[t - 1].matmul_into(wh_.value, recur_ws_);
-      z += recur_ws_;
-    }
-    for (std::size_t r = 0; r < batch_; ++r)
-      for (std::size_t col = 0; col < 4 * hidden; ++col)
-        z(r, col) += b_.value(0, col);
+    finish_step(t);
+  }
+  return h_.back();
+}
 
-    Matrix& gates = gates_[t];
-    gates.resize_overwrite(batch_, 4 * hidden);
-    Matrix& ct = c_[t];
-    ct.resize_overwrite(batch_, hidden);
-    Matrix& tct = tanh_c_[t];
-    tct.resize_overwrite(batch_, hidden);
-    Matrix& ht = h_[t];
-    ht.resize_overwrite(batch_, hidden);
-    const Matrix* c_prev = t > 0 ? &c_[t - 1] : nullptr;
-#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
-    if (reference_gate_kernel_) {
-      lstm_gate_forward_reference(z, c_prev, gates, ct, tct, ht);
-      continue;
-    }
-#endif
-    lstm_gate_forward(z, c_prev, gates, ct, tct, ht);
+const Matrix& Lstm::forward(const std::vector<SparseRowMatrix>& steps) {
+  DRCELL_CHECK_MSG(!steps.empty(), "LSTM forward on empty sequence");
+  std::size_t nnz = 0;
+  std::size_t total = 0;
+  for (const auto& s : steps) {
+    nnz += s.nonzeros();
+    total += s.rows() * s.cols();
+  }
+  const double density =
+      total == 0 ? 1.0 : static_cast<double>(nnz) / static_cast<double>(total);
+  if (density >= kSparseGatherMaxDensity) {
+    // Too dense for the gather to win — run the blocked dense engine on the
+    // densified steps (same values, so downstream is unaffected).
+    densify_ws_.resize(steps.size());
+    for (std::size_t t = 0; t < steps.size(); ++t)
+      steps[t].to_dense(densify_ws_[t]);
+    return forward(densify_ws_);
+  }
+
+  batch_ = steps.front().rows();
+  sparse_x_ = true;
+
+  const std::size_t t_max = steps.size();
+  sx_.resize(t_max);
+  gates_.resize(t_max);
+  c_.resize(t_max);
+  tanh_c_.resize(t_max);
+  h_.resize(t_max);
+
+  for (std::size_t t = 0; t < t_max; ++t) {
+    const SparseRowMatrix& xt = steps[t];
+    DRCELL_CHECK_MSG(xt.rows() == batch_ && xt.cols() == input_size(),
+                     "LSTM: inconsistent step shape");
+    sx_[t] = xt;
+    xt.matmul_into(wx_.value, z_ws_);
+    finish_step(t);
   }
   return h_.back();
 }
@@ -296,18 +342,40 @@ const std::vector<Matrix>& Lstm::backward_sequence(
   // bit-identical to the per-sample path. Bonus: one [F x B·T]·[B·T x 4H]
   // GEMM beats T skinny per-step products.
   const std::size_t in = input_size();
-  xcat_ws_.resize_overwrite(batch_ * t_max, in);
   dzcat_ws_.resize_overwrite(batch_ * t_max, 4 * hidden);
   for (std::size_t b = 0; b < batch_; ++b) {
     for (std::size_t t = t_max; t-- > 0;) {
       const std::size_t row = b * t_max + (t_max - 1 - t);
-      const auto xrow = x_[t].row(b);
-      std::copy(xrow.begin(), xrow.end(), xcat_ws_.row(row).begin());
       const auto dzrow = dz_[t].row(b);
       std::copy(dzrow.begin(), dzrow.end(), dzcat_ws_.row(row).begin());
     }
   }
-  xcat_ws_.matmul_transposed_self_add(dzcat_ws_, wx_.grad);
+  if (sparse_x_) {
+    // Sparse twin of the xcat concat: same (b asc; t desc) row order, so
+    // the gathered AᵀB accumulates into wx_.grad in exactly the dense
+    // pass's addition order — bit-identical.
+    sxcat_ws_.reset(batch_ * t_max, in);
+    for (std::size_t b = 0; b < batch_; ++b) {
+      for (std::size_t t = t_max; t-- > 0;) {
+        const std::size_t row = b * t_max + (t_max - 1 - t);
+        const auto cols = sx_[t].row_indices(b);
+        const auto vals = sx_[t].row_values(b);
+        for (std::size_t e = 0; e < cols.size(); ++e)
+          sxcat_ws_.append(row, cols[e], vals[e]);
+      }
+    }
+    sxcat_ws_.matmul_transposed_self_add(dzcat_ws_, wx_.grad);
+  } else {
+    xcat_ws_.resize_overwrite(batch_ * t_max, in);
+    for (std::size_t b = 0; b < batch_; ++b) {
+      for (std::size_t t = t_max; t-- > 0;) {
+        const std::size_t row = b * t_max + (t_max - 1 - t);
+        const auto xrow = x_[t].row(b);
+        std::copy(xrow.begin(), xrow.end(), xcat_ws_.row(row).begin());
+      }
+    }
+    xcat_ws_.matmul_transposed_self_add(dzcat_ws_, wx_.grad);
+  }
   for (std::size_t row = 0; row < dzcat_ws_.rows(); ++row) {
     const auto dzrow = dzcat_ws_.row(row);
     for (std::size_t col = 0; col < 4 * hidden; ++col)
@@ -339,6 +407,7 @@ Matrix Lstm::forward_reference(const std::vector<Matrix>& steps) {
   DRCELL_CHECK_MSG(!steps.empty(), "LSTM forward on empty sequence");
   const std::size_t hidden = hidden_size();
   batch_ = steps.front().rows();
+  sparse_x_ = false;
 
   const std::size_t t_max = steps.size();
   x_.assign(steps.begin(), steps.end());

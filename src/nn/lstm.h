@@ -31,6 +31,7 @@
 
 #include <vector>
 
+#include "linalg/sparse_matrix.h"
 #include "nn/layer.h"
 #include "util/rng.h"
 
@@ -81,6 +82,20 @@ class Lstm {
   /// per-step cache — valid until the next forward()). Caches everything
   /// needed for backward().
   const Matrix& forward(const std::vector<Matrix>& steps);
+
+  /// Sparse-input forward: the same cell fed near-one-hot step matrices.
+  /// Below kSparseGatherMaxDensity the input GEMM runs as a gather
+  /// (SparseRowMatrix::matmul_into) and the parameter-gradient pass later
+  /// gathers too — both bit-identical to the dense kernels, so this fast
+  /// path changes no computed value (tests/sparse_gather_test.cpp). At or
+  /// above the threshold the steps are densified and the dense engine runs
+  /// unchanged.
+  const Matrix& forward(const std::vector<SparseRowMatrix>& steps);
+
+  /// Density cutoff of the sparse forward: gather wins easily on the
+  /// ≤1%-dense metro selection states and loses to the blocked dense GEMM
+  /// well before one entry in four is set.
+  static constexpr double kSparseGatherMaxDensity = 0.25;
 
   /// All per-step hidden states from the previous forward() call
   /// (useful for sequence-output heads and for tests).
@@ -135,11 +150,18 @@ class Lstm {
   Parameter wh_;  // hidden x 4*hidden
   Parameter b_;   // 1      x 4*hidden
 
+  /// Shared tail of one forward step: z_ws_ already holds x_t·Wx; adds the
+  /// recurrent term and bias, then runs the configured gate pass into the
+  /// step-t caches.
+  void finish_step(std::size_t t);
+
 #ifdef DRCELL_ENABLE_REFERENCE_KERNELS
   bool reference_gate_kernel_ = false;
 #endif
   // Forward caches (one entry per time step; storage reused across calls).
-  std::vector<Matrix> x_;       // inputs
+  std::vector<Matrix> x_;       // inputs (dense path)
+  std::vector<SparseRowMatrix> sx_;  // inputs (sparse path)
+  bool sparse_x_ = false;  // which input cache the last forward filled
   std::vector<Matrix> gates_;   // post-activation [i f g o]
   std::vector<Matrix> c_;       // cell states
   std::vector<Matrix> tanh_c_;  // tanh(cell state)
@@ -158,8 +180,10 @@ class Lstm {
   Matrix dh_next_ws_;  // dz_t Whᵀ flowing to step t-1
   Matrix dc_next_ws_;  // cell-state gradient flowing to step t-1
   Matrix dc_prev_ws_;
+  std::vector<Matrix> densify_ws_;  // dense fallback of the sparse forward
   // Sample-major concatenations feeding the deferred parameter GEMMs.
   Matrix xcat_ws_;    // [B·T x input]  rows (b asc; t desc)
+  SparseRowMatrix sxcat_ws_;  // its sparse twin when sparse_x_
   Matrix dzcat_ws_;   // [B·T x 4H]     rows (b asc; t desc)
   Matrix hcat_ws_;    // [B·(T-1) x H]  rows (b asc; t desc, t >= 1)
   Matrix dzhcat_ws_;  // [B·(T-1) x 4H] rows (b asc; t desc, t >= 1)

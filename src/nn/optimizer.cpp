@@ -1,6 +1,9 @@
 #include "nn/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "util/thread_pool.h"
 
 namespace drcell::nn {
 
@@ -22,13 +25,27 @@ Sgd::Sgd(std::vector<Parameter*> params, double learning_rate, double momentum)
     velocity_.emplace_back(p->value.rows(), p->value.cols());
 }
 
-void Sgd::step() {
+// The update loops below spell out __restrict pointers and hoist the
+// scalar hyper-parameters into locals. Without this the compiler must
+// assume the value/grad/moment arrays (and the member doubles reachable
+// through `this`) alias each other and emits a scalar loop; with it the
+// loops vectorise. The per-element arithmetic is unchanged — elementwise
+// mul/add/div/sqrt with no reassociation — so the update is bit-identical
+// to the scalar form, it just runs several lanes at a time (at the
+// 10,000-cell metro tier the optimiser pass covers ~3.2M parameters and
+// dominated the train step before this).
+
+void Sgd::step(util::ThreadPool* /*pool*/) {
+  const double momentum = momentum_, lr = lr_;
   for (std::size_t k = 0; k < params_.size(); ++k) {
     auto& p = *params_[k];
-    auto vdata = velocity_[k].data();
-    for (std::size_t i = 0; i < p.value.data().size(); ++i) {
-      vdata[i] = momentum_ * vdata[i] - lr_ * p.grad.data()[i];
-      p.value.data()[i] += vdata[i];
+    const std::size_t n = p.value.data().size();
+    double* __restrict v = velocity_[k].data().data();
+    double* __restrict x = p.value.data().data();
+    const double* __restrict g = p.grad.data().data();
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = momentum * v[i] - lr * g[i];
+      x[i] += v[i];
     }
   }
 }
@@ -43,14 +60,17 @@ RmsProp::RmsProp(std::vector<Parameter*> params, double learning_rate,
     mean_square_.emplace_back(p->value.rows(), p->value.cols());
 }
 
-void RmsProp::step() {
+void RmsProp::step(util::ThreadPool* /*pool*/) {
+  const double decay = decay_, lr = lr_, eps = eps_;
   for (std::size_t k = 0; k < params_.size(); ++k) {
     auto& p = *params_[k];
-    auto ms = mean_square_[k].data();
-    for (std::size_t i = 0; i < p.value.data().size(); ++i) {
-      const double g = p.grad.data()[i];
-      ms[i] = decay_ * ms[i] + (1.0 - decay_) * g * g;
-      p.value.data()[i] -= lr_ * g / (std::sqrt(ms[i]) + eps_);
+    const std::size_t n = p.value.data().size();
+    double* __restrict ms = mean_square_[k].data().data();
+    double* __restrict x = p.value.data().data();
+    const double* __restrict g = p.grad.data().data();
+    for (std::size_t i = 0; i < n; ++i) {
+      ms[i] = decay * ms[i] + (1.0 - decay) * g[i] * g[i];
+      x[i] -= lr * g[i] / (std::sqrt(ms[i]) + eps);
     }
   }
 }
@@ -70,23 +90,49 @@ Adam::Adam(std::vector<Parameter*> params, double learning_rate, double beta1,
   }
 }
 
-void Adam::step() {
+void Adam::step(util::ThreadPool* pool) {
   ++t_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
-  for (std::size_t k = 0; k < params_.size(); ++k) {
-    auto& p = *params_[k];
-    auto m = m_[k].data();
-    auto v = v_[k].data();
-    for (std::size_t i = 0; i < p.value.data().size(); ++i) {
-      const double g = p.grad.data()[i];
-      m[i] = beta1_ * m[i] + (1.0 - beta1_) * g;
-      v[i] = beta2_ * v[i] + (1.0 - beta2_) * g * g;
+  const double beta1 = beta1_, beta2 = beta2_, lr = lr_, eps = eps_;
+  // Scalars captured by value: a by-reference capture would be a load
+  // through the closure the vectoriser must assume aliases the __restrict
+  // stores below, forcing the loop scalar again.
+  const auto update = [this, beta1, beta2, lr, eps, bc1,
+                       bc2](std::size_t tensor, std::size_t lo,
+                            std::size_t hi) {
+    auto& p = *params_[tensor];
+    double* __restrict m = m_[tensor].data().data();
+    double* __restrict v = v_[tensor].data().data();
+    double* __restrict x = p.value.data().data();
+    const double* __restrict g = p.grad.data().data();
+    for (std::size_t i = lo; i < hi; ++i) {
+      m[i] = beta1 * m[i] + (1.0 - beta1) * g[i];
+      v[i] = beta2 * v[i] + (1.0 - beta2) * g[i] * g[i];
       const double mhat = m[i] / bc1;
       const double vhat = v[i] / bc2;
-      p.value.data()[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      x[i] -= lr * mhat / (std::sqrt(vhat) + eps);
     }
+  };
+  if (pool != nullptr && pool->worker_count() > 0) {
+    // Index-exclusive chunks: every element is written by exactly one task
+    // and the per-element arithmetic is untouched, so the pooled update is
+    // bit-identical to the serial loop below for any worker count.
+    constexpr std::size_t kChunk = 1 << 16;
+    chunks_ws_.clear();
+    for (std::size_t k = 0; k < params_.size(); ++k) {
+      const std::size_t n = params_[k]->value.data().size();
+      for (std::size_t lo = 0; lo < n; lo += kChunk)
+        chunks_ws_.push_back({k, lo, std::min(lo + kChunk, n)});
+    }
+    pool->parallel_for(chunks_ws_.size(), [&](std::size_t c) {
+      const Chunk& ch = chunks_ws_[c];
+      update(ch.tensor, ch.lo, ch.hi);
+    });
+    return;
   }
+  for (std::size_t k = 0; k < params_.size(); ++k)
+    update(k, 0, params_[k]->value.data().size());
 }
 
 double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm) {

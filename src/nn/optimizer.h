@@ -2,9 +2,14 @@
 // gradient clipping (standard stabilisation for recurrent Q-networks).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "nn/layer.h"
+
+namespace drcell::util {
+class ThreadPool;
+}
 
 namespace drcell::nn {
 
@@ -13,8 +18,13 @@ class Optimizer {
   explicit Optimizer(std::vector<Parameter*> params);
   virtual ~Optimizer() = default;
 
-  /// Applies one update using the accumulated gradients.
-  virtual void step() = 0;
+  /// Applies one update using the accumulated gradients. A non-null `pool`
+  /// lets the optimiser fan the elementwise update over the ThreadPool in
+  /// index-exclusive parameter ranges — per thread_pool.h's determinism
+  /// contract the result is bit-identical to the serial pass for any
+  /// worker count (the update touches each element exactly once, with no
+  /// cross-element arithmetic).
+  virtual void step(util::ThreadPool* pool = nullptr) = 0;
   /// Clears all gradients.
   void zero_grad();
 
@@ -29,7 +39,9 @@ class Sgd : public Optimizer {
  public:
   Sgd(std::vector<Parameter*> params, double learning_rate,
       double momentum = 0.0);
-  void step() override;
+  /// Serial regardless of `pool` — SGD's two-op update is memory-bound at
+  /// sizes where the fan-out would pay for itself.
+  void step(util::ThreadPool* pool = nullptr) override;
 
  private:
   double lr_;
@@ -42,7 +54,8 @@ class RmsProp : public Optimizer {
  public:
   RmsProp(std::vector<Parameter*> params, double learning_rate,
           double decay = 0.99, double epsilon = 1e-8);
-  void step() override;
+  /// Serial regardless of `pool` (see Sgd::step).
+  void step(util::ThreadPool* pool = nullptr) override;
 
  private:
   double lr_, decay_, eps_;
@@ -54,12 +67,21 @@ class Adam : public Optimizer {
  public:
   Adam(std::vector<Parameter*> params, double learning_rate,
        double beta1 = 0.9, double beta2 = 0.999, double epsilon = 1e-8);
-  void step() override;
+  /// With a pool, the sqrt/div-heavy update runs as index-exclusive chunks
+  /// over the workers — bit-identical to serial, and the difference between
+  /// the optimiser pass *mattering* and not at the 10k-cell tier (~3.2M
+  /// parameters per step).
+  void step(util::ThreadPool* pool = nullptr) override;
 
  private:
+  struct Chunk {
+    std::size_t tensor, lo, hi;
+  };
+
   double lr_, beta1_, beta2_, eps_;
   long t_ = 0;
   std::vector<Matrix> m_, v_;
+  std::vector<Chunk> chunks_ws_;
 };
 
 /// Scales gradients so their global L2 norm does not exceed max_norm.

@@ -43,8 +43,18 @@ std::vector<Matrix> DqnTrainer::to_sequence(
 }
 
 EncodedExperience DqnTrainer::encode_experience(const Experience& e) const {
-  return EncodedExperience{encoder_.to_sequence(e.state),
-                           encoder_.to_sequence(e.next_state)};
+  // Cached sparse either way: dense states are scanned once here and never
+  // re-densified; sparse (metro) states never materialise k·m vectors at
+  // all.
+  EncodedExperience enc;
+  if (e.sparse_states) {
+    encoder_.ones_to_sparse_steps(e.state_ones, enc.state);
+    encoder_.ones_to_sparse_steps(e.next_state_ones, enc.next_state);
+  } else {
+    encoder_.to_sparse_steps(e.state, enc.state);
+    encoder_.to_sparse_steps(e.next_state, enc.next_state);
+  }
+  return enc;
 }
 
 std::size_t DqnTrainer::masked_argmax(
@@ -94,9 +104,23 @@ std::vector<double> DqnTrainer::q_values(const std::vector<double>& state) {
 
 void DqnTrainer::observe(Experience e) {
   DRCELL_CHECK(e.action < online_->num_actions());
-  DRCELL_CHECK(e.state.size() == encoder_.state_size());
-  DRCELL_CHECK(e.next_state.size() == encoder_.state_size());
-  DRCELL_CHECK(e.next_mask.size() == online_->num_actions());
+  if (e.sparse_states) {
+    DRCELL_CHECK_MSG(e.state.empty() && e.next_state.empty(),
+                     "sparse_states transitions must leave the dense "
+                     "encodings empty");
+  } else {
+    DRCELL_CHECK(e.state.size() == encoder_.state_size());
+    DRCELL_CHECK(e.next_state.size() == encoder_.state_size());
+  }
+  if (e.next_candidates.empty()) {
+    // Full-action bootstrap needs the mask (terminal transitions never
+    // bootstrap, so theirs may stay empty).
+    DRCELL_CHECK(e.terminal || e.next_mask.size() == online_->num_actions());
+  } else {
+    DRCELL_CHECK_MSG(
+        e.next_mask.empty() || e.next_mask.size() == online_->num_actions(),
+        "next_mask must be empty or full-width");
+  }
   replay_.add(std::move(e));
 }
 
@@ -108,6 +132,23 @@ double DqnTrainer::bootstrap_value(const Experience& e,
   // argmax from the online network, value from the target network. Terminal
   // transitions and dead-end masks contribute nothing.
   if (e.terminal) return 0.0;
+  if (!e.next_candidates.empty()) {
+    // Candidate-subset bootstrap: argmax restricted to the stored
+    // candidates. Ascending cell ids with strict > replicate
+    // masked_argmax's first-max-wins tie-breaking, so when the candidates
+    // cover the allowed actions this equals the full masked bootstrap
+    // exactly.
+    const Matrix& chooser = options_.double_dqn ? q_next_online : q_next_target;
+    std::size_t best = e.next_candidates.front();
+    double best_q = -std::numeric_limits<double>::infinity();
+    for (const std::uint32_t a : e.next_candidates) {
+      if (chooser(row, a) > best_q) {
+        best_q = chooser(row, a);
+        best = a;
+      }
+    }
+    return q_next_target(row, best);
+  }
   bool any = false;
   for (std::uint8_t allowed : e.next_mask)
     if (allowed) {
@@ -125,7 +166,9 @@ double DqnTrainer::bootstrap_value(const Experience& e,
 double DqnTrainer::finish_update(double raw_loss_sum, double normalizer) {
   if (options_.grad_clip_norm > 0.0)
     nn::clip_grad_norm(online_->parameters(), options_.grad_clip_norm);
-  optimizer_->step();
+  // Pooled elementwise update — bit-identical to serial for any worker
+  // count (optimizer.h), and the dominant per-step cost at the metro tier.
+  optimizer_->step(pool_ ? pool_ : &util::ThreadPool::global());
   ++train_steps_;
   if (train_steps_ % options_.target_sync_interval == 0) sync_target();
   return raw_loss_sum / normalizer;
@@ -153,6 +196,9 @@ double DqnTrainer::train_step_reference() {
 
 double DqnTrainer::train_step_on_indices(
     std::span<const std::size_t> indices) {
+  if (options_.candidate_training)
+    return train_step_candidates_on_indices(indices);
+
   const std::size_t b = indices.size();
   DRCELL_CHECK(b > 0);
   const std::size_t actions = online_->num_actions();
@@ -160,9 +206,20 @@ double DqnTrainer::train_step_on_indices(
   // One timestep-major minibatch for the current and next states, assembled
   // by the replay buffer straight from its encoded-sequence cache (a
   // transition is encoded once, not once per epoch it gets sampled into).
-  replay_.fill_timestep_major(
-      indices, [this](const Experience& e) { return encode_experience(e); },
-      state_seq_ws_, next_seq_ws_);
+  // Networks with a sparse batch path consume the minibatch without
+  // densification — bit-identical values either way.
+  const auto encode = [this](const Experience& e) {
+    return encode_experience(e);
+  };
+  const bool sparse_batch = !options_.force_dense_batch &&
+                            online_->supports_sparse_batch() &&
+                            target_->supports_sparse_batch();
+  if (sparse_batch) {
+    replay_.fill_timestep_major_sparse(indices, encode, state_sseq_ws_,
+                                       next_sseq_ws_);
+  } else {
+    replay_.fill_timestep_major(indices, encode, state_seq_ws_, next_seq_ws_);
+  }
 
   // The target and online networks are distinct objects, so their batch
   // forwards run as two concurrent pool lanes. The online lane keeps its
@@ -176,7 +233,13 @@ double DqnTrainer::train_step_on_indices(
   util::ThreadPool& pool = pool_ ? *pool_ : util::ThreadPool::global();
   pool.parallel_for(2, [&](std::size_t lane) {
     if (lane == 0) {
-      q_next_target = &target_->forward_batch(next_seq_ws_);
+      q_next_target = sparse_batch
+                          ? &target_->forward_batch_sparse(next_sseq_ws_)
+                          : &target_->forward_batch(next_seq_ws_);
+    } else if (sparse_batch) {
+      if (options_.double_dqn)
+        q_next_online_ws_ = online_->forward_batch_sparse(next_sseq_ws_);
+      q_pred = &online_->forward_batch_sparse(state_sseq_ws_);
     } else {
       if (options_.double_dqn)
         q_next_online_ws_ = online_->forward_batch(next_seq_ws_);
@@ -203,7 +266,171 @@ double DqnTrainer::train_step_on_indices(
   return finish_update(loss.raw_sum, loss.normalizer);
 }
 
+double DqnTrainer::train_step_candidates_on_indices(
+    std::span<const std::size_t> indices) {
+  // The metro-tier update: sparse minibatch, Q head evaluated at one column
+  // (the taken action) per prediction row and at the stored candidates per
+  // bootstrap row, masked Huber over [b x 1]. Every evaluated Q-value, the
+  // loss and the resulting parameter update are bit-identical to the full
+  // batched path whenever each transition's candidates cover its allowed
+  // actions (the covering contract pinned by tests/sparse_gather_test.cpp);
+  // the head work drops from O(b·m·hidden) to O(b·K·hidden).
+  const std::size_t b = indices.size();
+  DRCELL_CHECK(b > 0);
+  DRCELL_CHECK_MSG(online_->supports_action_columns(),
+                   "candidate_training needs a column-capable network");
+
+  replay_.fill_timestep_major_sparse(
+      indices, [this](const Experience& e) { return encode_experience(e); },
+      state_sseq_ws_, next_sseq_ws_);
+
+  action_cols_ws_.resize(b);
+  next_cols_ws_.resize(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    const Experience& e = replay_.at(indices[i]);
+    action_cols_ws_[i].assign(1, static_cast<std::uint32_t>(e.action));
+    if (e.terminal) {
+      // Never bootstrapped — any well-formed column keeps the batch
+      // rectangular without influencing the update.
+      next_cols_ws_[i].assign(1, 0);
+    } else {
+      DRCELL_CHECK_MSG(!e.next_candidates.empty(),
+                       "candidate training needs next_candidates on every "
+                       "non-terminal transition");
+      next_cols_ws_[i] = e.next_candidates;
+    }
+  }
+
+  // Same two concurrent lanes as the full path (distinct network objects;
+  // the online lane orders its forwards so the cached activations belong to
+  // q_pred).
+  const Matrix* q_next_target = nullptr;
+  const Matrix* q_pred = nullptr;
+  util::ThreadPool& pool = pool_ ? *pool_ : util::ThreadPool::global();
+  pool.parallel_for(2, [&](std::size_t lane) {
+    if (lane == 0) {
+      q_next_target =
+          &target_->forward_batch_columns(next_sseq_ws_, next_cols_ws_);
+    } else {
+      if (options_.double_dqn)
+        q_next_online_ws_ =
+            online_->forward_batch_columns(next_sseq_ws_, next_cols_ws_);
+      q_pred = &online_->forward_batch_columns(state_sseq_ws_, action_cols_ws_);
+    }
+  });
+
+  targets_ws_.resize(b, 1);
+  mask_ws_.resize(b, 1);
+  for (std::size_t i = 0; i < b; ++i) {
+    const Experience& e = replay_.at(indices[i]);
+    double boot = 0.0;
+    if (!e.terminal) {
+      // Argmax over candidate positions (ascending cell ids, strict >):
+      // replicates masked_argmax's first-max-wins scan over the same
+      // Q-values.
+      const auto& cols = next_cols_ws_[i];
+      const Matrix& chooser =
+          options_.double_dqn ? q_next_online_ws_ : *q_next_target;
+      std::size_t best = 0;
+      double best_q = -std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        if (chooser(i, j) > best_q) {
+          best_q = chooser(i, j);
+          best = j;
+        }
+      }
+      boot = (*q_next_target)(i, best);
+    }
+    targets_ws_(i, 0) = e.reward + options_.gamma * boot;
+    mask_ws_(i, 0) = 1.0;
+  }
+
+  // One masked entry per row, so the default normalizer (mask count = b)
+  // matches the full path's — the per-row loss terms and gradients are the
+  // full path's masked entries, nothing more.
+  const auto loss = nn::masked_huber_loss(*q_pred, targets_ws_, mask_ws_,
+                                          options_.huber_delta);
+  optimizer_->zero_grad();
+  online_->backward_columns(loss.grad, action_cols_ws_);
+  return finish_update(loss.raw_sum, loss.normalizer);
+}
+
+std::vector<double> DqnTrainer::candidate_q_values(
+    std::span<const std::uint32_t> state_ones,
+    std::span<const std::uint32_t> candidates) {
+  DRCELL_CHECK_MSG(!candidates.empty(), "no candidate actions");
+  const std::size_t k = encoder_.history_cycles();
+  sel_seq_ws_.resize(k);
+  for (auto& step : sel_seq_ws_) step.reset(1, encoder_.cells());
+  encoder_.ones_to_sequence_row(state_ones, 0, sel_seq_ws_);
+  sel_cols_ws_.resize(1);
+  sel_cols_ws_[0].assign(candidates.begin(), candidates.end());
+  const Matrix& q = online_->forward_batch_columns(sel_seq_ws_, sel_cols_ws_);
+  std::vector<double> out(candidates.size());
+  for (std::size_t j = 0; j < candidates.size(); ++j) out[j] = q(0, j);
+  return out;
+}
+
+std::size_t DqnTrainer::candidate_argmax(
+    std::span<const std::uint32_t> state_ones,
+    std::span<const std::uint32_t> candidates) {
+  DRCELL_CHECK_MSG(!candidates.empty(), "no candidate actions");
+  const std::size_t k = encoder_.history_cycles();
+  sel_seq_ws_.resize(k);
+  for (auto& step : sel_seq_ws_) step.reset(1, encoder_.cells());
+  encoder_.ones_to_sequence_row(state_ones, 0, sel_seq_ws_);
+  sel_cols_ws_.resize(1);
+  sel_cols_ws_[0].assign(candidates.begin(), candidates.end());
+  const Matrix& q = online_->forward_batch_columns(sel_seq_ws_, sel_cols_ws_);
+  std::size_t best = 0;
+  double best_q = -std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    if (q(0, j) > best_q) {
+      best_q = q(0, j);
+      best = j;
+    }
+  }
+  return best;
+}
+
+std::size_t DqnTrainer::select_action_candidates(
+    std::span<const std::uint32_t> state_ones,
+    std::span<const std::uint32_t> candidates) {
+  const double eps = current_epsilon();
+  ++env_steps_;
+  const std::size_t best = candidate_argmax(state_ones, candidates);
+  // Same δ-greedy draw pattern as select_action: explore only when an
+  // alternative exists, drawing uniformly from the non-greedy candidates.
+  if (candidates.size() > 1 && rng_.bernoulli(eps)) {
+    std::size_t j = rng_.uniform_index(candidates.size() - 1);
+    if (j >= best) ++j;
+    return candidates[j];
+  }
+  return candidates[best];
+}
+
+std::size_t DqnTrainer::greedy_action_candidates(
+    std::span<const std::uint32_t> state_ones,
+    std::span<const std::uint32_t> candidates) {
+  return candidates[candidate_argmax(state_ones, candidates)];
+}
+
 #ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+std::vector<Matrix> DqnTrainer::to_reference_sequence(
+    const SparseRowMatrix& s) const {
+  // Fresh per-call allocations on purpose — this feeds the retained
+  // pre-refactor reference path, whose convention is allocation-heavy.
+  std::vector<Matrix> seq(s.rows());
+  for (std::size_t j = 0; j < s.rows(); ++j) {
+    seq[j].resize(1, s.cols());
+    const auto cols = s.row_indices(j);
+    const auto vals = s.row_values(j);
+    for (std::size_t e = 0; e < cols.size(); ++e)
+      seq[j](0, cols[e]) = vals[e];
+  }
+  return seq;
+}
+
 double DqnTrainer::train_step_reference_on_indices(
     std::span<const std::size_t> indices) {
   // The per-sample trainer the batched engine replaces, retained as the
@@ -226,16 +453,21 @@ double DqnTrainer::train_step_reference_on_indices(
         indices[i], [this](const Experience& ex) {
           return encode_experience(ex);
         });
+    // The cache stores sparse encodings; the reference implementations
+    // consume dense B=1 sequences, so densify (outside any timed kernel
+    // contract — the reference is the floor, not the fast path).
+    const std::vector<Matrix> next_seq = to_reference_sequence(enc.next_state);
+    const std::vector<Matrix> state_seq = to_reference_sequence(enc.state);
 
-    const Matrix q_next_target = target_->forward_reference(enc.next_state);
+    const Matrix q_next_target = target_->forward_reference(next_seq);
     double boot = 0.0;
     if (options_.double_dqn) {
-      const Matrix q_next_online = online_->forward_reference(enc.next_state);
+      const Matrix q_next_online = online_->forward_reference(next_seq);
       boot = bootstrap_value(e, q_next_target, q_next_online, 0);
     } else {
       boot = bootstrap_value(e, q_next_target, q_next_online_ws_, 0);
     }
-    const Matrix q_pred = online_->forward_reference(enc.state);
+    const Matrix q_pred = online_->forward_reference(state_seq);
 
     Matrix target_row(1, actions);
     Matrix mask_row(1, actions);

@@ -60,6 +60,20 @@ struct DqnOptions {
   /// this flag set.
   bool reference_gate_kernel = false;
 #endif
+  /// Train on candidate action subsets (metro tier): the minibatch is
+  /// assembled sparse, the online Q head is evaluated only at each
+  /// transition's taken action and the bootstrap argmax only over its
+  /// stored next_candidates (Experience::next_candidates must be non-empty
+  /// for every non-terminal transition). Requires a network with
+  /// supports_action_columns(). The train-step arithmetic is bit-identical
+  /// to the full batched path whenever the candidates cover the allowed
+  /// actions (tests/sparse_gather_test.cpp); with genuine subsets the
+  /// *trajectory*, not the arithmetic, diverges — see docs/ARCHITECTURE.md.
+  bool candidate_training = false;
+  /// Disable the sparse minibatch fast path even when the network supports
+  /// it (verification/benchmarking: pins the dense engine as the floor the
+  /// sparse gather is gated against).
+  bool force_dense_batch = false;
   EpsilonSchedule epsilon{1.0, 0.05, 5000};
 };
 
@@ -85,8 +99,30 @@ class DqnTrainer {
   std::size_t greedy_action(const std::vector<double>& state,
                             const std::vector<std::uint8_t>& mask);
 
+  /// Candidate-subset variants (metro tier): the state arrives as its
+  /// sparse one-index list (mcs::SparseMcsEnvironment::state_ones) and only
+  /// `candidates` (strictly ascending cell ids, all currently selectable)
+  /// are scored — one B=1 sparse forward of the restricted Q head instead
+  /// of a k·m dense encode plus full-width forward. The δ-greedy variant
+  /// draws its exploration from the candidate set and advances the
+  /// schedule; every scored Q-value is bit-identical to the full forward's.
+  std::size_t select_action_candidates(
+      std::span<const std::uint32_t> state_ones,
+      std::span<const std::uint32_t> candidates);
+  std::size_t greedy_action_candidates(
+      std::span<const std::uint32_t> state_ones,
+      std::span<const std::uint32_t> candidates);
+
   /// Q-values for one state (diagnostics / tests).
   std::vector<double> q_values(const std::vector<double>& state);
+
+  /// Q-values of `candidates`, in candidate order, from the same B=1
+  /// sparse restricted forward greedy_action_candidates argmaxes over —
+  /// for policies that post-process candidate scores (e.g. test-time
+  /// symmetry averaging) instead of taking the raw argmax.
+  std::vector<double> candidate_q_values(
+      std::span<const std::uint32_t> state_ones,
+      std::span<const std::uint32_t> candidates);
 
   /// Stores a transition in the replay pool.
   void observe(Experience e);
@@ -132,6 +168,19 @@ class DqnTrainer {
   /// Shared epilogue of both update paths: clip, optimiser step, target
   /// sync cadence.
   double finish_update(double raw_loss_sum, double normalizer);
+  /// Position (not cell id) of the greedy candidate in `candidates` after
+  /// one B=1 sparse column-restricted forward.
+  std::size_t candidate_argmax(std::span<const std::uint32_t> state_ones,
+                               std::span<const std::uint32_t> candidates);
+  /// The candidate-training minibatch update (see
+  /// DqnOptions::candidate_training).
+  double train_step_candidates_on_indices(
+      std::span<const std::size_t> indices);
+#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
+  /// Densifies one cached sparse encoding into the B=1 timestep-major
+  /// sequence the reference implementations consume.
+  std::vector<Matrix> to_reference_sequence(const SparseRowMatrix& s) const;
+#endif
 
   QNetworkPtr online_;
   QNetworkPtr target_;
@@ -150,6 +199,13 @@ class DqnTrainer {
   Matrix q_next_online_ws_;
   Matrix targets_ws_;
   Matrix mask_ws_;
+  // Sparse / candidate-path workspaces (metro tier).
+  std::vector<SparseRowMatrix> state_sseq_ws_;
+  std::vector<SparseRowMatrix> next_sseq_ws_;
+  ActionColumns action_cols_ws_;  // width-1 taken-action columns
+  ActionColumns next_cols_ws_;    // per-sample bootstrap candidates
+  std::vector<SparseRowMatrix> sel_seq_ws_;  // B=1 action selection
+  ActionColumns sel_cols_ws_;
 };
 
 }  // namespace drcell::rl

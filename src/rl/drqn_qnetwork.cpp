@@ -35,6 +35,37 @@ void DrqnQNetwork::backward(const Matrix& grad_q) {
   lstm_.backward(head_.backward(grad_q), /*compute_input_grads=*/false);
 }
 
+const Matrix& DrqnQNetwork::forward_batch_sparse(
+    const std::vector<SparseRowMatrix>& timestep_major_batch) {
+  DRCELL_CHECK_MSG(timestep_major_batch.size() == history_steps_,
+                   "sequence length mismatch");
+  return head_.forward(lstm_.forward(timestep_major_batch));
+}
+
+const Matrix& DrqnQNetwork::forward_batch_columns(
+    const std::vector<SparseRowMatrix>& timestep_major_batch,
+    const ActionColumns& columns) {
+  DRCELL_CHECK_MSG(timestep_major_batch.size() == history_steps_,
+                   "sequence length mismatch");
+  // All head layers but the output Dense run in full (they are
+  // hidden-width, not action-width); only the final m-wide projection is
+  // restricted to the candidate columns.
+  const Matrix* x = &lstm_.forward(timestep_major_batch);
+  for (std::size_t i = 0; i + 1 < head_.layer_count(); ++i)
+    x = &head_.layer(i).forward(*x);
+  auto& out = static_cast<nn::Dense&>(head_.layer(head_.layer_count() - 1));
+  return out.forward_columns(*x, columns);
+}
+
+void DrqnQNetwork::backward_columns(const Matrix& grad_columns,
+                                    const ActionColumns& columns) {
+  auto& out = static_cast<nn::Dense&>(head_.layer(head_.layer_count() - 1));
+  const Matrix* g = &out.backward_columns(grad_columns, columns);
+  for (std::size_t i = head_.layer_count() - 1; i-- > 0;)
+    g = &head_.layer(i).backward(*g);
+  lstm_.backward(*g, /*compute_input_grads=*/false);
+}
+
 #ifdef DRCELL_ENABLE_REFERENCE_KERNELS
 Matrix DrqnQNetwork::forward_reference(const std::vector<Matrix>& sequence) {
   DRCELL_CHECK_MSG(sequence.size() == history_steps_,

@@ -20,6 +20,19 @@ class DrqnQNetwork final : public QNetwork {
   const Matrix& forward_batch(
       const std::vector<Matrix>& timestep_major_batch) override;
   void backward(const Matrix& grad_q) override;
+
+  /// Metro-tier fast paths: gather-GEMM LSTM input (bit-identical to the
+  /// dense forward — see nn/lstm.h) and the candidate-restricted Q head
+  /// (final Dense evaluated only at each sample's candidate columns).
+  bool supports_sparse_batch() const override { return true; }
+  const Matrix& forward_batch_sparse(
+      const std::vector<SparseRowMatrix>& timestep_major_batch) override;
+  bool supports_action_columns() const override { return true; }
+  const Matrix& forward_batch_columns(
+      const std::vector<SparseRowMatrix>& timestep_major_batch,
+      const ActionColumns& columns) override;
+  void backward_columns(const Matrix& grad_columns,
+                        const ActionColumns& columns) override;
 #ifdef DRCELL_ENABLE_REFERENCE_KERNELS
   Matrix forward_reference(const std::vector<Matrix>& sequence) override;
   void backward_reference(const Matrix& grad_q) override;

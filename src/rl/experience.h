@@ -2,6 +2,14 @@
 // mask of S' (cells already sensed in the next state may not be chosen, so
 // the bootstrap max must exclude them) and a terminal flag (the end of the
 // training horizon must not bootstrap into the next episode).
+//
+// Metro-tier extensions (10,000 cells): a dense transition costs
+// 2·k·cells doubles for the states plus cells bytes for the mask — ~330 KB
+// each, gigabytes per replay pool. `sparse_states` switches the state
+// representation to the ascending flat indices of the 1.0 entries (the
+// selection encodings are exactly one-hot unions), and `next_candidates`
+// records the candidate action subset generated at S' so the bootstrap
+// argmax can be restricted to it without storing a 10k-wide mask.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +24,18 @@ struct Experience {
   std::vector<double> next_state;        ///< flat encoding of S'
   std::vector<std::uint8_t> next_mask;   ///< valid actions at S'
   bool terminal = false;                 ///< no bootstrapping past here
+
+  /// When set, `state`/`next_state` stay empty and the flat encodings are
+  /// given by the ascending index lists below (all entries 1.0) — see
+  /// mcs::StateEncoder::encode_ones.
+  bool sparse_states = false;
+  std::vector<std::uint32_t> state_ones;       ///< S's 1.0 entries
+  std::vector<std::uint32_t> next_state_ones;  ///< S''s 1.0 entries
+  /// Candidate actions at S' (ascending cell ids, a subset of the allowed
+  /// actions). Non-empty: the bootstrap argmax is restricted to it and
+  /// `next_mask` may be left empty. Empty: full action space via
+  /// `next_mask` as before.
+  std::vector<std::uint32_t> next_candidates;
 };
 
 }  // namespace drcell::rl

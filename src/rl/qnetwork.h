@@ -12,15 +12,21 @@
 // per-sample loop addition for addition.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "linalg/sparse_matrix.h"
 #include "nn/layer.h"
 #include "util/rng.h"
 
 namespace drcell::rl {
+
+/// Per-sample candidate action lists (strictly ascending cell ids) for the
+/// column-restricted Q-head ops.
+using ActionColumns = std::vector<std::vector<std::uint32_t>>;
 
 class QNetwork {
  public:
@@ -43,6 +49,42 @@ class QNetwork {
   /// Backpropagates the gradient w.r.t. the Q output of the last
   /// forward_batch (same [batch x m] shape).
   virtual void backward(const Matrix& grad_q) = 0;
+
+  /// Sparse fast paths (metro tier). The sparse batch forward consumes the
+  /// same timestep-major layout with near-one-hot steps stored sparse and
+  /// must return values bit-identical to forward_batch on the densified
+  /// steps. The column-restricted pair evaluates/backpropagates the Q head
+  /// only at each sample's candidate actions: forward_batch_columns returns
+  /// [batch x max_width] (row i's entries past columns[i].size() are
+  /// padding) and every evaluated entry is bit-identical to the
+  /// corresponding full forward_batch entry; backward_columns takes the
+  /// matching gradient layout. Networks that do not implement a path keep
+  /// the default supports_* = false and the default bodies throw.
+  virtual bool supports_sparse_batch() const { return false; }
+  virtual const Matrix& forward_batch_sparse(
+      const std::vector<SparseRowMatrix>& timestep_major_batch) {
+    (void)timestep_major_batch;
+    ::drcell::detail::check_failed("supports_sparse_batch()", __FILE__,
+                                   __LINE__, name() + " has no sparse path");
+  }
+  virtual bool supports_action_columns() const { return false; }
+  virtual const Matrix& forward_batch_columns(
+      const std::vector<SparseRowMatrix>& timestep_major_batch,
+      const ActionColumns& columns) {
+    (void)timestep_major_batch;
+    (void)columns;
+    ::drcell::detail::check_failed("supports_action_columns()", __FILE__,
+                                   __LINE__,
+                                   name() + " has no candidate-column path");
+  }
+  virtual void backward_columns(const Matrix& grad_columns,
+                                const ActionColumns& columns) {
+    (void)grad_columns;
+    (void)columns;
+    ::drcell::detail::check_failed("supports_action_columns()", __FILE__,
+                                   __LINE__,
+                                   name() + " has no candidate-column path");
+  }
 
 #ifdef DRCELL_ENABLE_REFERENCE_KERNELS
   /// Retained pre-batching reference path (the benchmark floor the batched

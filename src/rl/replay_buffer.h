@@ -1,15 +1,14 @@
 // Uniform experience-replay memory (the pool D of Algorithm 2).
 //
 // Alongside each transition the buffer caches its encoded DRQN input
-// sequences: the one-hot k x (1 x m) matrices the state encoder produces
-// are a pure function of the stored transition, yet the seed re-encoded
-// every sampled transition on every train step. The cache is filled lazily
+// sequences. The encodings are one-hot unions, so they are cached *sparse*
+// (SparseRowMatrix, one [k x cells] per state): a dense encoded transition
+// costs ~2·k·cells doubles — at the 10,000-cell metro tier the former
+// 256 MiB dense budget would hold fewer than 800 transitions, while the
+// sparse form costs ~12 bytes per selected cell. The cache is filled lazily
 // on first access (the trainer supplies the encoding function), invalidated
-// when the ring overwrites the slot, and bounded by a byte budget — an
-// encoded transition costs ~2·k·cells doubles, which at a 1000-cell
-// deployment with the default 20000-transition capacity would otherwise
-// grow unchecked. Past the budget, encoded() computes into a scratch slot
-// instead of caching.
+// when the ring overwrites the slot, and bounded by a byte budget. Past the
+// budget, encoded() computes into a scratch slot instead of caching.
 #pragma once
 
 #include <algorithm>
@@ -19,23 +18,26 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "linalg/sparse_matrix.h"
 #include "rl/experience.h"
 #include "util/rng.h"
 
 namespace drcell::rl {
 
-/// Encoded DRQN inputs of one transition: the k per-step 1 x cells matrices
-/// of S and S' (see mcs::StateEncoder::to_sequence).
+/// Encoded DRQN inputs of one transition, stored sparse: row j of each
+/// [k x cells] matrix is step j of S (resp. S') — see
+/// mcs::StateEncoder::to_sparse_steps.
 struct EncodedExperience {
-  std::vector<Matrix> state;
-  std::vector<Matrix> next_state;
+  SparseRowMatrix state;
+  SparseRowMatrix next_state;
 };
 
 class ReplayBuffer {
  public:
-  /// Default byte budget of the encoded-sequence cache (256 MiB): never a
-  /// constraint at paper scale (57 cells x 20000 transitions ≈ 36 MiB
-  /// fully warm), a deliberate cap at the 1000-cell scale target.
+  /// Default byte budget of the encoded-sequence cache (256 MiB). With the
+  /// sparse encoding an entry costs ~12 bytes per selected cell instead of
+  /// 8·k·cells, so the budget now covers full pools even at the
+  /// 10,000-cell metro tier (300 selections/cycle, k = 2: ≲15 KB each).
   static constexpr std::size_t kDefaultMaxCacheBytes =
       std::size_t{256} << 20;
 
@@ -76,15 +78,14 @@ class ReplayBuffer {
     scratch_ = std::move(enc);
     return scratch_;
   }
-  /// Assembles the trainer's timestep-major minibatch straight from the
-  /// encoded-sequence cache: `state_seq`/`next_seq` are shaped to k matrices
-  /// of [indices.size() x cells] (their storage is reused across calls) and
-  /// row i of every step is filled from transition indices[i]'s cached
-  /// encoding — one row copy per (transition, step), no per-transition
-  /// temporaries or re-packing in between. Rows land in ascending i order,
-  /// so the batch layout is deterministic. Cache semantics match encoded():
-  /// lazy fill on first access, invalidated when the ring overwrites a
-  /// slot, scratch fallback past the byte budget.
+  /// Assembles the trainer's *dense* timestep-major minibatch straight from
+  /// the (sparse) encoded-sequence cache: `state_seq`/`next_seq` are shaped
+  /// to k matrices of [indices.size() x cells] (their storage is reused
+  /// across calls) and row i of every step is zeroed then scattered from
+  /// transition indices[i]'s cached encoding. Rows land in ascending i
+  /// order, so the batch layout is deterministic. Cache semantics match
+  /// encoded(): lazy fill on first access, invalidated when the ring
+  /// overwrites a slot, scratch fallback past the byte budget.
   template <typename EncodeFn>
   void fill_timestep_major(std::span<const std::size_t> indices,
                            EncodeFn&& encode, std::vector<Matrix>& state_seq,
@@ -97,10 +98,10 @@ class ReplayBuffer {
       // the next lookup.
       const EncodedExperience& enc = encoded(indices[i], encode);
       if (i == 0) {
-        const std::size_t k = enc.state.size();
-        DRCELL_CHECK_MSG(k > 0 && enc.next_state.size() == k,
+        const std::size_t k = enc.state.rows();
+        DRCELL_CHECK_MSG(k > 0 && enc.next_state.rows() == k,
                          "malformed encoded experience");
-        const std::size_t cells = enc.state.front().cols();
+        const std::size_t cells = enc.state.cols();
         if (state_seq.size() != k) state_seq.resize(k);
         if (next_seq.size() != k) next_seq.resize(k);
         for (std::size_t j = 0; j < k; ++j) {
@@ -108,15 +109,51 @@ class ReplayBuffer {
           next_seq[j].resize_overwrite(b, cells);
         }
       }
-      DRCELL_CHECK_MSG(enc.state.size() == state_seq.size(),
+      DRCELL_CHECK_MSG(enc.state.rows() == state_seq.size(),
                        "inconsistent encoded sequence length");
+      DRCELL_CHECK_MSG(enc.state.cols() == state_seq.front().cols(),
+                       "inconsistent encoded step width");
       for (std::size_t j = 0; j < state_seq.size(); ++j) {
-        const auto srow = enc.state[j].row(0);
-        DRCELL_CHECK_MSG(srow.size() == state_seq[j].cols(),
-                         "inconsistent encoded step width");
-        std::copy(srow.begin(), srow.end(), state_seq[j].row(i).begin());
-        const auto nrow = enc.next_state[j].row(0);
-        std::copy(nrow.begin(), nrow.end(), next_seq[j].row(i).begin());
+        scatter_row(enc.state, j, state_seq[j], i);
+        scatter_row(enc.next_state, j, next_seq[j], i);
+      }
+    }
+  }
+
+  /// Sparse counterpart of fill_timestep_major: shapes `state_seq`/
+  /// `next_seq` to k SparseRowMatrix of [indices.size() x cells] (entry
+  /// storage reused across calls) and appends transition indices[i]'s
+  /// cached rows as row i — no densification anywhere, so assembling a
+  /// metro-tier minibatch costs O(nonzeros) instead of O(b·k·cells).
+  template <typename EncodeFn>
+  void fill_timestep_major_sparse(std::span<const std::size_t> indices,
+                                  EncodeFn&& encode,
+                                  std::vector<SparseRowMatrix>& state_seq,
+                                  std::vector<SparseRowMatrix>& next_seq)
+      const {
+    DRCELL_CHECK_MSG(!indices.empty(), "empty minibatch");
+    const std::size_t b = indices.size();
+    for (std::size_t i = 0; i < b; ++i) {
+      const EncodedExperience& enc = encoded(indices[i], encode);
+      if (i == 0) {
+        const std::size_t k = enc.state.rows();
+        DRCELL_CHECK_MSG(k > 0 && enc.next_state.rows() == k,
+                         "malformed encoded experience");
+        const std::size_t cells = enc.state.cols();
+        if (state_seq.size() != k) state_seq.resize(k);
+        if (next_seq.size() != k) next_seq.resize(k);
+        for (std::size_t j = 0; j < k; ++j) {
+          state_seq[j].reset(b, cells);
+          next_seq[j].reset(b, cells);
+        }
+      }
+      DRCELL_CHECK_MSG(enc.state.rows() == state_seq.size(),
+                       "inconsistent encoded sequence length");
+      DRCELL_CHECK_MSG(enc.state.cols() == state_seq.front().cols(),
+                       "inconsistent encoded step width");
+      for (std::size_t j = 0; j < state_seq.size(); ++j) {
+        append_row(enc.state, j, state_seq[j], i);
+        append_row(enc.next_state, j, next_seq[j], i);
       }
     }
   }
@@ -132,11 +169,24 @@ class ReplayBuffer {
 
  private:
   static std::size_t encoded_bytes(const EncodedExperience& e) {
-    std::size_t b = 0;
-    for (const Matrix& m : e.state) b += m.data().size() * sizeof(double);
-    for (const Matrix& m : e.next_state)
-      b += m.data().size() * sizeof(double);
-    return b;
+    return e.state.byte_size() + e.next_state.byte_size();
+  }
+  /// Row `src_row` of `enc` written dense into row `dst_row` of `dst`
+  /// (zeroed first — resize_overwrite leaves stale contents).
+  static void scatter_row(const SparseRowMatrix& enc, std::size_t src_row,
+                          Matrix& dst, std::size_t dst_row) {
+    auto drow = dst.row(dst_row);
+    std::fill(drow.begin(), drow.end(), 0.0);
+    const auto cols = enc.row_indices(src_row);
+    const auto vals = enc.row_values(src_row);
+    for (std::size_t e = 0; e < cols.size(); ++e) drow[cols[e]] = vals[e];
+  }
+  static void append_row(const SparseRowMatrix& enc, std::size_t src_row,
+                         SparseRowMatrix& dst, std::size_t dst_row) {
+    const auto cols = enc.row_indices(src_row);
+    const auto vals = enc.row_values(src_row);
+    for (std::size_t e = 0; e < cols.size(); ++e)
+      dst.append(dst_row, cols[e], vals[e]);
   }
 
   std::size_t capacity_;

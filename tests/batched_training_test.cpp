@@ -381,8 +381,10 @@ TEST(FillTimestepMajor, MatchesManualAssemblyAndReusesCache) {
     buffer.add(std::move(e));
   }
   const auto encode = [&](const rl::Experience& e) {
-    return rl::EncodedExperience{encoder.to_sequence(e.state),
-                                 encoder.to_sequence(e.next_state)};
+    rl::EncodedExperience enc;
+    encoder.to_sparse_steps(e.state, enc.state);
+    encoder.to_sparse_steps(e.next_state, enc.next_state);
+    return enc;
   };
 
   const std::vector<std::size_t> indices{3, 0, 3, 6};
@@ -414,8 +416,10 @@ TEST(FillTimestepMajor, RingOverwriteInvalidatesCachedRows) {
   mcs::StateEncoder encoder(cells, k);
   rl::ReplayBuffer buffer(4);
   const auto encode = [&](const rl::Experience& e) {
-    return rl::EncodedExperience{encoder.to_sequence(e.state),
-                                 encoder.to_sequence(e.next_state)};
+    rl::EncodedExperience enc;
+    encoder.to_sparse_steps(e.state, enc.state);
+    encoder.to_sparse_steps(e.next_state, enc.next_state);
+    return enc;
   };
   const auto make = [&](double v) {
     rl::Experience e;

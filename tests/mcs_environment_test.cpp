@@ -208,6 +208,67 @@ TEST(Environment, RunCycleDrivesSelectorToCompletion) {
   EXPECT_EQ(env.stats().cycle_selected.back(), 3u);  // min_observations
 }
 
+TEST(Environment, ErrorShapingRewardsErrorReduction) {
+  // Twin environments over the same task and action sequence, one with
+  // error_shaping enabled. Cold-start engines (warm_start = false) make
+  // every inference a deterministic function of the window alone, so a
+  // reference engine can reproduce the shaped env's per-step errors exactly.
+  auto task = std::make_shared<const SensingTask>(
+      testing::make_toy_task(6, 4, /*noise=*/0.3));
+  cs::MatrixCompletionOptions eng_opt;
+  eng_opt.rank = 3;
+  eng_opt.warm_start = false;
+  EnvOptions opt;
+  opt.min_observations = 2;
+  opt.max_selections_per_cycle = 4;
+  const double kScale = 10.0;
+  EnvOptions shaped_opt = opt;
+  shaped_opt.error_shaping = kScale;
+  auto gate = std::make_shared<GroundTruthGate>(1e-12);  // cycles run to cap
+  SparseMcsEnvironment plain(
+      task, std::make_shared<cs::MatrixCompletion>(eng_opt), gate, opt);
+  SparseMcsEnvironment shaped(
+      task, std::make_shared<cs::MatrixCompletion>(eng_opt), gate, shaped_opt);
+  cs::MatrixCompletion ref(eng_opt);
+  auto ref_error = [&] {
+    return true_cycle_error(*task, shaped.observation_window(),
+                            shaped.current_window_col(),
+                            ref.infer(shaped.observation_window()),
+                            shaped.current_cycle());
+  };
+
+  // Below min_observations: no measurable error yet, rewards identical.
+  StepResult rp = plain.step(0);
+  StepResult rs = shaped.step(0);
+  EXPECT_DOUBLE_EQ(rs.reward, rp.reward);
+  // First measurable error has no predecessor to difference against.
+  rp = plain.step(1);
+  rs = shaped.step(1);
+  EXPECT_DOUBLE_EQ(rs.reward, rp.reward);
+  double prev_err = ref_error();
+  // From here every step earns its own marginal error reduction.
+  rp = plain.step(2);
+  rs = shaped.step(2);
+  const double cur_err = ref_error();
+  EXPECT_NEAR(rs.reward - rp.reward, kScale * (prev_err - cur_err), 1e-12);
+  prev_err = cur_err;
+  // The cap-hitting step is shaped too; its error arrives in the result.
+  rp = plain.step(3);
+  rs = shaped.step(3);
+  ASSERT_TRUE(rs.cycle_complete);
+  EXPECT_FALSE(rs.quality_satisfied);
+  EXPECT_NEAR(rs.reward - rp.reward,
+              kScale * (prev_err - rs.true_cycle_error), 1e-12);
+  // A new cycle differences from scratch: its first measurable error is
+  // unshaped rather than compared against the previous cycle's final error.
+  rp = plain.step(0);
+  rs = shaped.step(0);
+  EXPECT_DOUBLE_EQ(rs.reward, rp.reward);
+  rp = plain.step(1);
+  rs = shaped.step(1);
+  EXPECT_DOUBLE_EQ(rs.reward, rp.reward);
+}
+
 TEST(Environment, TrueErrorDropsWithMoreSensing) {
   // Compare final cycle error when sensing 2 cells vs 5 of 6.
   auto run = [&](std::size_t sense) {

@@ -32,7 +32,7 @@ TEST(Lstm, OutputShape) {
 TEST(Lstm, EmptySequenceThrows) {
   Rng rng(1);
   Lstm lstm(3, 5, rng);
-  EXPECT_THROW(lstm.forward({}), CheckError);
+  EXPECT_THROW(lstm.forward(std::vector<Matrix>{}), CheckError);
 }
 
 TEST(Lstm, InconsistentStepShapeThrows) {

@@ -1,0 +1,797 @@
+// The metro-tier fast-path contracts (linalg/sparse_matrix.h,
+// nn/lstm.h, rl/qnetwork.h, mcs/candidate_set.h):
+//
+//  * the sparse gather kernels are BIT-IDENTICAL to the dense kernels on
+//    the densified operand — the dense kernels accumulate each output
+//    element in ascending-k order and skip zero terms, and the gather
+//    replays exactly those additions in exactly that order;
+//  * the candidate-restricted Q head scores every candidate bit-identically
+//    to the full forward, so the candidate argmax equals the full masked
+//    argmax whenever the candidates cover the allowed actions — and under
+//    covering candidates a whole candidate train step matches the full
+//    batched train step parameter for parameter;
+//  * the candidate-set generator degenerates to the exact action space in
+//    the covering case and otherwise returns a deterministic, strictly
+//    ascending subset of the unsensed cells.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "linalg/sparse_matrix.h"
+#include "mcs/candidate_set.h"
+#include "mcs/environment.h"
+#include "mcs/state_encoder.h"
+#include "nn/lstm.h"
+#include "rl/dqn_trainer.h"
+#include "rl/drqn_qnetwork.h"
+#include "rl/replay_buffer.h"
+#include "rl/spatial_drqn_qnetwork.h"
+#include "test_helpers.h"
+
+namespace drcell {
+namespace {
+
+/// Densified matrix -> SparseRowMatrix (ascending columns per row, explicit
+/// zeros dropped) — the canonical conversion every bit-identity test pivots
+/// on.
+SparseRowMatrix to_sparse(const Matrix& m) {
+  SparseRowMatrix s(m.rows(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      if (m(r, c) != 0.0) s.append(r, c, m(r, c));
+  return s;
+}
+
+std::vector<SparseRowMatrix> to_sparse_batch(const std::vector<Matrix>& seq) {
+  std::vector<SparseRowMatrix> out;
+  out.reserve(seq.size());
+  for (const Matrix& m : seq) out.push_back(to_sparse(m));
+  return out;
+}
+
+/// Timestep-major batch with controllable sparsity. `one_hot` rows hold a
+/// single 1.0 (the selection-vector shape); otherwise entries are nonzero
+/// with probability `density` and carry arbitrary values (the mixed-density
+/// shape the gather must still match the dense kernel on).
+std::vector<Matrix> random_batch(std::size_t steps, std::size_t batch,
+                                 std::size_t cells, bool one_hot,
+                                 double density, Rng& rng) {
+  std::vector<Matrix> seq(steps, Matrix(batch, cells));
+  for (auto& m : seq)
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (one_hot) {
+        m(b, rng.uniform_index(cells)) = 1.0;
+      } else {
+        for (std::size_t c = 0; c < cells; ++c)
+          if (rng.bernoulli(density)) m(b, c) = rng.normal();
+      }
+    }
+  return seq;
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.normal();
+  return m;
+}
+
+TEST(SparseRowMatrix, BasicsAndByteSize) {
+  SparseRowMatrix s(3, 5);
+  EXPECT_EQ(s.rows(), 3u);
+  EXPECT_EQ(s.cols(), 5u);
+  EXPECT_EQ(s.nonzeros(), 0u);
+  EXPECT_EQ(s.density(), 0.0);
+
+  s.append(0, 1, 1.0);
+  s.append(0, 4, 2.0);
+  s.append(2, 0, 3.0);  // row 1 stays empty
+  EXPECT_EQ(s.nonzeros(), 3u);
+  EXPECT_DOUBLE_EQ(s.density(), 3.0 / 15.0);
+
+  const auto r0 = s.row_indices(0);
+  ASSERT_EQ(r0.size(), 2u);
+  EXPECT_EQ(r0[0], 1u);
+  EXPECT_EQ(r0[1], 4u);
+  EXPECT_EQ(s.row_indices(1).size(), 0u);
+  ASSERT_EQ(s.row_indices(2).size(), 1u);
+  EXPECT_EQ(s.row_values(2)[0], 3.0);
+
+  const Matrix d = s.to_dense();
+  EXPECT_EQ(d.rows(), 3u);
+  EXPECT_EQ(d.cols(), 5u);
+  EXPECT_EQ(d(0, 1), 1.0);
+  EXPECT_EQ(d(0, 4), 2.0);
+  EXPECT_EQ(d(2, 0), 3.0);
+  EXPECT_EQ(d(1, 2), 0.0);
+
+  // 3 idx * 4 + 3 val * 8 + 3 opened-row offsets (the skipped empty row 1
+  // is opened in passing so its span reads back empty).
+  EXPECT_EQ(s.byte_size(), 3 * 4 + 3 * 8 + 3 * sizeof(std::size_t));
+
+  s.reset(2, 4);
+  EXPECT_EQ(s.nonzeros(), 0u);
+  EXPECT_EQ(s.rows(), 2u);
+  // Empty shape forces the dense path instead of dividing by zero.
+  EXPECT_EQ(SparseRowMatrix().density(), 1.0);
+}
+
+TEST(SparseGather, MatmulBitIdenticalToDenseKernel) {
+  for (std::size_t batch : {std::size_t{1}, std::size_t{32}}) {
+    for (bool one_hot : {true, false}) {
+      Rng rng(100 + batch + (one_hot ? 1 : 0));
+      const auto seq = random_batch(1, batch, 40, one_hot, 0.15, rng);
+      const Matrix& dense = seq.front();
+      const SparseRowMatrix sparse = to_sparse(dense);
+      const Matrix w = random_matrix(40, 13, rng);
+
+      Matrix out_dense, out_sparse;
+      dense.matmul_into(w, out_dense);
+      sparse.matmul_into(w, out_sparse);
+      EXPECT_EQ(out_dense, out_sparse)
+          << "batch=" << batch << " one_hot=" << one_hot;
+    }
+  }
+}
+
+TEST(SparseGather, TransposedSelfAddBitIdenticalToDenseKernel) {
+  // The batched parameter-gradient contraction: out += xᵀ · g must replay
+  // the dense kernel's additions exactly (same ascending row order, same
+  // zero skips), including on a non-zero initial accumulator.
+  for (std::size_t batch : {std::size_t{1}, std::size_t{32}}) {
+    for (bool one_hot : {true, false}) {
+      Rng rng(200 + batch + (one_hot ? 1 : 0));
+      const auto seq = random_batch(1, batch, 17, one_hot, 0.2, rng);
+      const Matrix& dense = seq.front();
+      const SparseRowMatrix sparse = to_sparse(dense);
+      const Matrix g = random_matrix(batch, 9, rng);
+
+      Matrix acc_dense = random_matrix(17, 9, rng);
+      Matrix acc_sparse = acc_dense;
+      dense.matmul_transposed_self_add(g, acc_dense);
+      sparse.matmul_transposed_self_add(g, acc_sparse);
+      EXPECT_EQ(acc_dense, acc_sparse)
+          << "batch=" << batch << " one_hot=" << one_hot;
+    }
+  }
+}
+
+TEST(SparseGather, LstmSparseForwardAndBackwardBitIdentical) {
+  // Whole-layer contract: forward hidden states and the backward pass's
+  // accumulated parameter gradients through the sparse-input path equal the
+  // dense path's bit for bit (the sparse concat feeds the same
+  // matmul_transposed_self_add additions in the same sample-major order).
+  for (std::size_t batch : {std::size_t{1}, std::size_t{32}}) {
+    const auto build = [] {
+      Rng rng(7);
+      return nn::Lstm(20, 6, rng);
+    };
+    nn::Lstm dense_lstm = build();
+    nn::Lstm sparse_lstm = build();
+
+    Rng data_rng(300 + batch);
+    const auto seq = random_batch(3, batch, 20, true, 0.0, data_rng);
+    const auto sseq = to_sparse_batch(seq);
+    Matrix grad_h(batch, 6);
+    for (double& v : grad_h.data()) v = data_rng.normal();
+
+    for (auto* p : dense_lstm.parameters()) p->zero_grad();
+    for (auto* p : sparse_lstm.parameters()) p->zero_grad();
+    const Matrix h_dense = dense_lstm.forward(seq);
+    const Matrix h_sparse = sparse_lstm.forward(sseq);
+    EXPECT_EQ(h_dense, h_sparse) << "batch=" << batch;
+
+    dense_lstm.backward(grad_h);
+    sparse_lstm.backward(grad_h);
+    const auto pa = dense_lstm.parameters();
+    const auto pb = sparse_lstm.parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i)
+      EXPECT_EQ(pa[i]->grad, pb[i]->grad)
+          << "param " << i << " batch=" << batch;
+  }
+}
+
+TEST(SparseGather, LstmDensityFallbackStillMatchesDense) {
+  // Above kSparseGatherMaxDensity the sparse forward densifies and
+  // delegates — trivially identical, but the routing itself must not
+  // disturb shapes or downstream backward state.
+  Rng rng(8);
+  nn::Lstm a(10, 5, rng);
+  Rng rng_b(8);
+  nn::Lstm b(10, 5, rng_b);
+  Rng data_rng(9);
+  // density 0.6 >> 0.25 threshold
+  const auto seq = random_batch(2, 4, 10, false, 0.6, data_rng);
+  ASSERT_GE(to_sparse(seq.front()).density(),
+            nn::Lstm::kSparseGatherMaxDensity);
+  const Matrix h_dense = a.forward(seq);
+  const Matrix h_sparse = b.forward(to_sparse_batch(seq));
+  EXPECT_EQ(h_dense, h_sparse);
+
+  Matrix grad_h(4, 5);
+  for (double& v : grad_h.data()) v = data_rng.normal();
+  for (auto* p : a.parameters()) p->zero_grad();
+  for (auto* p : b.parameters()) p->zero_grad();
+  a.backward(grad_h);
+  b.backward(grad_h);
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_EQ(pa[i]->grad, pb[i]->grad) << "param " << i;
+}
+
+TEST(SparseGather, DrqnForwardBatchSparseBitIdentical) {
+  for (std::size_t batch : {std::size_t{1}, std::size_t{32}}) {
+    Rng rng_a(11), rng_b(11);
+    rl::DrqnQNetwork dense_net(15, 3, 8, 4, rng_a);
+    rl::DrqnQNetwork sparse_net(15, 3, 8, 4, rng_b);
+    Rng data_rng(400 + batch);
+    const auto seq = random_batch(3, batch, 15, true, 0.0, data_rng);
+    EXPECT_EQ(dense_net.forward_batch(seq),
+              sparse_net.forward_batch_sparse(to_sparse_batch(seq)))
+        << "batch=" << batch;
+  }
+}
+
+TEST(SparseGather, ForwardBatchColumnsMatchesFullForward) {
+  // Every scored candidate Q-value equals the full forward's value at that
+  // column, bit for bit (ragged per-sample column lists, padded rows).
+  for (std::size_t batch : {std::size_t{1}, std::size_t{7}}) {
+    Rng rng_a(13), rng_b(13);
+    rl::DrqnQNetwork full(12, 2, 6, 5, rng_a);
+    rl::DrqnQNetwork restricted(12, 2, 6, 5, rng_b);
+    Rng data_rng(500 + batch);
+    const auto seq = random_batch(2, batch, 12, true, 0.0, data_rng);
+    const auto sseq = to_sparse_batch(seq);
+
+    rl::ActionColumns columns(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::uint32_t c = 0; c < 12; ++c)
+        if (data_rng.bernoulli(0.4)) columns[b].push_back(c);
+      if (columns[b].empty()) columns[b].push_back(3);
+    }
+
+    const Matrix q_full = full.forward_batch(seq);
+    const Matrix q_cols = restricted.forward_batch_columns(sseq, columns);
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t j = 0; j < columns[b].size(); ++j)
+        EXPECT_EQ(q_cols(b, j), q_full(b, columns[b][j]))
+            << "batch=" << batch << " b=" << b << " j=" << j;
+  }
+}
+
+TEST(SparseGather, BackwardColumnsMatchesScatteredFullBackward) {
+  // backward_columns with a [b x width] gradient must accumulate exactly
+  // the parameter gradients of a full backward whose [b x cells] gradient
+  // is zero outside the candidate columns.
+  const std::size_t batch = 5, cells = 10;
+  Rng rng_a(17), rng_b(17);
+  rl::DrqnQNetwork full(cells, 2, 6, 4, rng_a);
+  rl::DrqnQNetwork restricted(cells, 2, 6, 4, rng_b);
+  Rng data_rng(21);
+  const auto seq = random_batch(2, batch, cells, true, 0.0, data_rng);
+  const auto sseq = to_sparse_batch(seq);
+
+  rl::ActionColumns columns(batch);
+  std::size_t width = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::uint32_t c = 0; c < cells; ++c)
+      if (data_rng.bernoulli(0.3)) columns[b].push_back(c);
+    if (columns[b].empty()) columns[b].push_back(0);
+    width = std::max(width, columns[b].size());
+  }
+  Matrix grad_cols(batch, width);
+  Matrix grad_full(batch, cells);
+  for (std::size_t b = 0; b < batch; ++b)
+    for (std::size_t j = 0; j < columns[b].size(); ++j) {
+      const double g = data_rng.normal();
+      grad_cols(b, j) = g;
+      grad_full(b, columns[b][j]) = g;
+    }
+
+  for (auto* p : full.parameters()) p->zero_grad();
+  for (auto* p : restricted.parameters()) p->zero_grad();
+  full.forward_batch_sparse(sseq);
+  full.backward(grad_full);
+  restricted.forward_batch_columns(sseq, columns);
+  restricted.backward_columns(grad_cols, columns);
+
+  const auto pa = full.parameters();
+  const auto pb = restricted.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_EQ(pa[i]->grad, pb[i]->grad) << "param " << i;
+}
+
+rl::QNetworkPtr make_drqn(std::size_t cells, std::size_t k,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  return std::make_unique<rl::DrqnQNetwork>(cells, k, 10, 0, rng);
+}
+
+TEST(CandidateActions, GreedyArgmaxEqualsFullMaskedArgmaxWhenCovering) {
+  const std::size_t cells = 14, k = 2;
+  rl::DqnOptions opt;
+  rl::DqnTrainer trainer(make_drqn(cells, k, 31), opt, 41);
+  Rng rng(43);
+  for (int trial = 0; trial < 20; ++trial) {
+    // One-hot-union state, both representations.
+    std::vector<double> state(k * cells, 0.0);
+    std::vector<std::uint32_t> ones;
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t hot = j * cells + rng.uniform_index(cells);
+      state[hot] = 1.0;
+      ones.push_back(static_cast<std::uint32_t>(hot));
+    }
+    std::vector<std::uint8_t> mask(cells, 0);
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t c = 0; c < cells; ++c)
+      if (rng.bernoulli(0.6)) {
+        mask[c] = 1;
+        candidates.push_back(c);
+      }
+    if (candidates.empty()) {
+      mask[5] = 1;
+      candidates.push_back(5);
+    }
+    EXPECT_EQ(trainer.greedy_action(state, mask),
+              trainer.greedy_action_candidates(ones, candidates))
+        << "trial " << trial;
+  }
+}
+
+rl::Experience random_sparse_experience(std::size_t cells, std::size_t k,
+                                        Rng& rng) {
+  rl::Experience e;
+  e.sparse_states = true;
+  for (std::size_t j = 0; j < k; ++j) {
+    e.state_ones.push_back(
+        static_cast<std::uint32_t>(j * cells + rng.uniform_index(cells)));
+    e.next_state_ones.push_back(
+        static_cast<std::uint32_t>(j * cells + rng.uniform_index(cells)));
+  }
+  e.action = rng.uniform_index(cells);
+  e.reward = rng.uniform(-1.0, 2.0);
+  e.terminal = rng.bernoulli(0.15);
+  std::vector<std::uint8_t> mask(cells, 0);
+  std::size_t allowed = 0;
+  for (std::uint32_t c = 0; c < cells; ++c)
+    if (rng.bernoulli(0.7)) {
+      mask[c] = 1;
+      ++allowed;
+    }
+  if (allowed == 0) mask[0] = 1;
+  e.next_mask = mask;
+  return e;
+}
+
+TEST(CandidateActions, CoveringCandidateTrainStepMatchesFullBitIdentically) {
+  // Two identically seeded trainers over the same minibatches: one trains
+  // full-width (next_mask bootstrap, full Q head + masked loss), one on
+  // candidate subsets that exactly cover the allowed actions. The covering
+  // contract: losses and post-update parameters bit-identical — candidate
+  // training changes the trajectory distribution only, never the
+  // arithmetic.
+  const std::size_t cells = 12, k = 2;
+  rl::DqnOptions opt;
+  opt.batch_size = 8;
+  opt.min_replay = 8;
+  opt.replay_capacity = 64;
+  opt.target_sync_interval = 3;
+  rl::DqnOptions cand_opt = opt;
+  cand_opt.candidate_training = true;
+
+  for (bool double_dqn : {false, true}) {
+    opt.double_dqn = cand_opt.double_dqn = double_dqn;
+    rl::DqnTrainer full(make_drqn(cells, k, 51), opt, 61);
+    rl::DqnTrainer candidate(make_drqn(cells, k, 51), cand_opt, 61);
+
+    Rng fill(71);
+    for (int i = 0; i < 40; ++i) {
+      rl::Experience e = random_sparse_experience(cells, k, fill);
+      rl::Experience cov = e;
+      // Candidate copy: covering candidates instead of the mask.
+      cov.next_candidates.clear();
+      for (std::uint32_t c = 0; c < cells; ++c)
+        if (e.next_mask[c]) cov.next_candidates.push_back(c);
+      cov.next_mask.clear();
+      full.observe(std::move(e));
+      candidate.observe(std::move(cov));
+    }
+
+    Rng draw(81);
+    for (int step = 0; step < 10; ++step) {
+      std::vector<std::size_t> indices;
+      for (std::size_t i = 0; i < opt.batch_size; ++i)
+        indices.push_back(draw.uniform_index(40));
+      const double loss_full = full.train_step_on_indices(indices);
+      const double loss_cand = candidate.train_step_on_indices(indices);
+      ASSERT_EQ(loss_full, loss_cand)
+          << "step " << step << " double_dqn=" << double_dqn;
+    }
+    const auto pa = full.online().parameters();
+    const auto pb = candidate.online().parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i)
+      EXPECT_EQ(pa[i]->value, pb[i]->value)
+          << "param " << i << " double_dqn=" << double_dqn;
+  }
+}
+
+TEST(CandidateActions, SparseBatchTrainStepMatchesForcedDense) {
+  // The sparse minibatch fast path vs the same trainer pinned dense
+  // (force_dense_batch): identical losses and parameters — the routing
+  // flag must not change the arithmetic.
+  const std::size_t cells = 10, k = 2;
+  rl::DqnOptions opt;
+  opt.batch_size = 6;
+  opt.min_replay = 6;
+  opt.replay_capacity = 32;
+  rl::DqnOptions dense_opt = opt;
+  dense_opt.force_dense_batch = true;
+
+  rl::DqnTrainer sparse(make_drqn(cells, k, 91), opt, 95);
+  rl::DqnTrainer dense(make_drqn(cells, k, 91), dense_opt, 95);
+  Rng fill(97);
+  for (int i = 0; i < 20; ++i) {
+    rl::Experience e = random_sparse_experience(cells, k, fill);
+    rl::Experience copy = e;
+    sparse.observe(std::move(e));
+    dense.observe(std::move(copy));
+  }
+  Rng draw(99);
+  for (int step = 0; step < 8; ++step) {
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < opt.batch_size; ++i)
+      indices.push_back(draw.uniform_index(20));
+    ASSERT_EQ(sparse.train_step_on_indices(indices),
+              dense.train_step_on_indices(indices))
+        << "step " << step;
+  }
+  const auto pa = sparse.online().parameters();
+  const auto pb = dense.online().parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_EQ(pa[i]->value, pb[i]->value) << "param " << i;
+}
+
+std::vector<cs::CellCoord> grid_coords(std::size_t side) {
+  std::vector<cs::CellCoord> coords;
+  for (std::size_t y = 0; y < side; ++y)
+    for (std::size_t x = 0; x < side; ++x)
+      coords.push_back({static_cast<double>(x), static_cast<double>(y)});
+  return coords;
+}
+
+TEST(CandidateSet, CoveringCaseReturnsWholeUnsensedSorted) {
+  mcs::CandidateSetOptions opt;
+  opt.subset_size = 8;
+  mcs::CandidateSetGenerator gen(grid_coords(10), opt);
+  const std::vector<std::size_t> unsensed{42, 7, 99, 3};
+  const std::vector<std::size_t> recent{50};
+  const auto& c = gen.generate(unsensed, recent);
+  EXPECT_EQ(c, (std::vector<std::uint32_t>{3, 7, 42, 99}));
+}
+
+TEST(CandidateSet, SubsetIsAscendingDistinctWithinUnsensedAndDeterministic) {
+  mcs::CandidateSetOptions opt;
+  opt.subset_size = 16;
+  opt.random_fraction = 0.5;
+  opt.seed = 123;
+  mcs::CandidateSetGenerator gen_a(grid_coords(10), opt);
+  mcs::CandidateSetGenerator gen_b(grid_coords(10), opt);
+
+  std::vector<std::size_t> unsensed;
+  for (std::size_t c = 0; c < 100; c += 2) unsensed.push_back(c);  // 50 cells
+  const std::vector<std::size_t> recent{44, 46};
+
+  const auto a = gen_a.generate(unsensed, recent);
+  const auto& b = gen_b.generate(unsensed, recent);
+  EXPECT_EQ(a, b);  // same seed, same call sequence -> same subset
+  EXPECT_EQ(a.size(), opt.subset_size);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_EQ(std::adjacent_find(a.begin(), a.end()), a.end());
+  for (const std::uint32_t cell : a)
+    EXPECT_TRUE(std::find(unsensed.begin(), unsensed.end(), cell) !=
+                unsensed.end())
+        << cell;
+}
+
+TEST(CandidateSet, PureKnnSlicePicksNearestToRecentCentroid) {
+  mcs::CandidateSetOptions opt;
+  opt.subset_size = 6;
+  opt.random_fraction = 0.0;  // KNN slice only
+  const auto coords = grid_coords(10);
+  mcs::CandidateSetGenerator gen(coords, opt);
+
+  std::vector<std::size_t> unsensed;
+  for (std::size_t c = 0; c < 100; ++c) unsensed.push_back(c);
+  const std::vector<std::size_t> recent{55};  // centroid = (5, 5)
+
+  const auto& got = gen.generate(unsensed, recent);
+  // Expected: the 6 nearest unsensed cells by squared distance to (5, 5),
+  // ties broken by ascending cell id, then sorted ascending.
+  std::vector<std::pair<double, std::size_t>> scored;
+  for (const std::size_t c : unsensed) {
+    const double dx = coords[c].x - 5.0, dy = coords[c].y - 5.0;
+    scored.push_back({dx * dx + dy * dy, c});
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<std::uint32_t> expected;
+  for (std::size_t i = 0; i < opt.subset_size; ++i)
+    expected.push_back(static_cast<std::uint32_t>(scored[i].second));
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(CandidateSet, EmptyRecentFallsBackToFullyRandomSubset) {
+  mcs::CandidateSetOptions opt;
+  opt.subset_size = 10;
+  opt.random_fraction = 0.0;  // would be all-KNN, but nothing to anchor on
+  mcs::CandidateSetGenerator gen(grid_coords(10), opt);
+  std::vector<std::size_t> unsensed;
+  for (std::size_t c = 0; c < 100; ++c) unsensed.push_back(c);
+  const auto& got = gen.generate(unsensed, {});
+  EXPECT_EQ(got.size(), opt.subset_size);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_EQ(std::adjacent_find(got.begin(), got.end()), got.end());
+}
+
+TEST(FillTimestepMajorSparse, DensifiedMatchesDenseFill) {
+  const std::size_t cells = 6, k = 3;
+  mcs::StateEncoder encoder(cells, k);
+  rl::ReplayBuffer buffer(8);
+  Rng fill(7);
+  for (int i = 0; i < 8; ++i) {
+    rl::Experience e;
+    e.state.assign(k * cells, 0.0);
+    e.next_state.assign(k * cells, 0.0);
+    for (std::size_t j = 0; j < k; ++j) {
+      e.state[j * cells + fill.uniform_index(cells)] = 1.0;
+      e.next_state[j * cells + fill.uniform_index(cells)] = 1.0;
+    }
+    e.next_mask.assign(cells, 1);
+    buffer.add(std::move(e));
+  }
+  const auto encode = [&](const rl::Experience& e) {
+    rl::EncodedExperience enc;
+    encoder.to_sparse_steps(e.state, enc.state);
+    encoder.to_sparse_steps(e.next_state, enc.next_state);
+    return enc;
+  };
+
+  const std::vector<std::size_t> indices{5, 1, 5, 0, 2};
+  std::vector<Matrix> dstate, dnext;
+  buffer.fill_timestep_major(indices, encode, dstate, dnext);
+  std::vector<SparseRowMatrix> sstate, snext;
+  buffer.fill_timestep_major_sparse(indices, encode, sstate, snext);
+
+  ASSERT_EQ(sstate.size(), k);
+  ASSERT_EQ(snext.size(), k);
+  for (std::size_t j = 0; j < k; ++j) {
+    EXPECT_EQ(sstate[j].to_dense(), dstate[j]) << "step " << j;
+    EXPECT_EQ(snext[j].to_dense(), dnext[j]) << "step " << j;
+  }
+}
+
+TEST(CandidateActions, CandidateQValuesMatchFullForwardAndGreedyArgmax) {
+  // candidate_q_values must hand back exactly the scores the greedy
+  // candidate path argmaxes over — bit-identical to the full forward's
+  // entries at the candidate columns, with the argmax agreeing with
+  // greedy_action_candidates (same first-max tie-break).
+  const std::size_t cells = 14, k = 2;
+  rl::DqnOptions opt;
+  rl::DqnTrainer trainer(make_drqn(cells, k, 33), opt, 47);
+  Rng rng(53);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> state(k * cells, 0.0);
+    std::vector<std::uint32_t> ones;
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t hot = j * cells + rng.uniform_index(cells);
+      state[hot] = 1.0;
+      ones.push_back(static_cast<std::uint32_t>(hot));
+    }
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t c = 0; c < cells; ++c)
+      if (rng.bernoulli(0.5)) candidates.push_back(c);
+    if (candidates.empty()) candidates.push_back(2);
+
+    const std::vector<double> qs = trainer.candidate_q_values(ones, candidates);
+    ASSERT_EQ(qs.size(), candidates.size()) << "trial " << trial;
+    const std::vector<double> full = trainer.q_values(state);
+    for (std::size_t j = 0; j < candidates.size(); ++j)
+      EXPECT_EQ(qs[j], full[candidates[j]]) << "trial " << trial << " j=" << j;
+    const std::size_t best = static_cast<std::size_t>(
+        std::max_element(qs.begin(), qs.end()) - qs.begin());
+    EXPECT_EQ(candidates[best],
+              trainer.greedy_action_candidates(ones, candidates))
+        << "trial " << trial;
+  }
+}
+
+// --- SpatialDrqnQNetwork: the metro-tier action-embedding head ---------
+
+TEST(SpatialDrqn, FeatureMatrixShapeAndCountColumn) {
+  Rng rng(61);
+  rl::SpatialDrqnQNetwork net(6, 5, 2, 8, 2, 0, rng);
+  EXPECT_EQ(net.num_actions(), 30u);
+  EXPECT_EQ(net.history_steps(), 2u);
+  // d = (2k+1)^2 Fourier features per cell; feature 0 is the constant 1,
+  // so a summed projection's first coordinate carries the selection count
+  // (the within-cycle progress signal, see the kInputGain note).
+  const Matrix& phi = net.features();
+  EXPECT_EQ(net.feature_dims(), 25u);
+  ASSERT_EQ(phi.rows(), 30u);
+  ASSERT_EQ(phi.cols(), 25u);
+  for (std::size_t c = 0; c < phi.rows(); ++c)
+    EXPECT_EQ(phi(c, 0), 1.0) << "cell " << c;
+}
+
+TEST(SpatialDrqn, SparseForwardBitIdenticalToDense) {
+  // The x·Φ trunk projection is the sparse gather-GEMM; both input paths
+  // must produce bit-identical Q over all cells. Exercised with one-hot
+  // selection rows and mixed-density rows, and with both query heads
+  // (direct map and ReLU hidden layer).
+  for (std::size_t query_hidden : {std::size_t{0}, std::size_t{7}}) {
+    for (std::size_t batch : {std::size_t{1}, std::size_t{9}}) {
+      for (bool one_hot : {true, false}) {
+        Rng rng_a(23), rng_b(23);
+        rl::SpatialDrqnQNetwork dense_net(6, 5, 2, 8, 2, query_hidden, rng_a);
+        rl::SpatialDrqnQNetwork sparse_net(6, 5, 2, 8, 2, query_hidden, rng_b);
+        Rng data_rng(600 + batch + (one_hot ? 1 : 0));
+        const auto seq = random_batch(2, batch, 30, one_hot, 0.15, data_rng);
+        EXPECT_EQ(dense_net.forward_batch(seq),
+                  sparse_net.forward_batch_sparse(to_sparse_batch(seq)))
+            << "qh=" << query_hidden << " batch=" << batch
+            << " one_hot=" << one_hot;
+      }
+    }
+  }
+}
+
+TEST(SpatialDrqn, ForwardBatchColumnsMatchesFullForward) {
+  // The column-restricted head evaluates q·φ(a) with the same ascending-k
+  // zero-skip recurrence the full q·Φᵀ kernel uses, so every scored entry
+  // must equal the full forward's bit for bit.
+  for (std::size_t batch : {std::size_t{1}, std::size_t{7}}) {
+    Rng rng_a(29), rng_b(29);
+    rl::SpatialDrqnQNetwork full(5, 5, 2, 8, 2, 3, rng_a);
+    rl::SpatialDrqnQNetwork restricted(5, 5, 2, 8, 2, 3, rng_b);
+    Rng data_rng(700 + batch);
+    const auto seq = random_batch(2, batch, 25, true, 0.0, data_rng);
+    const auto sseq = to_sparse_batch(seq);
+
+    rl::ActionColumns columns(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::uint32_t c = 0; c < 25; ++c)
+        if (data_rng.bernoulli(0.4)) columns[b].push_back(c);
+      if (columns[b].empty()) columns[b].push_back(11);
+    }
+
+    const Matrix q_full = full.forward_batch(seq);
+    const Matrix q_cols = restricted.forward_batch_columns(sseq, columns);
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t j = 0; j < columns[b].size(); ++j)
+        EXPECT_EQ(q_cols(b, j), q_full(b, columns[b][j]))
+            << "batch=" << batch << " b=" << b << " j=" << j;
+  }
+}
+
+TEST(SpatialDrqn, BackwardColumnsMatchesScatteredFullBackward) {
+  // backward_columns accumulates exactly the terms of a full backward
+  // whose [b x cells] gradient is zero outside the candidate columns.
+  const std::size_t batch = 5, cells = 24;
+  Rng rng_a(37), rng_b(37);
+  rl::SpatialDrqnQNetwork full(6, 4, 2, 8, 1, 0, rng_a);
+  rl::SpatialDrqnQNetwork restricted(6, 4, 2, 8, 1, 0, rng_b);
+  Rng data_rng(41);
+  const auto seq = random_batch(2, batch, cells, true, 0.0, data_rng);
+  const auto sseq = to_sparse_batch(seq);
+
+  rl::ActionColumns columns(batch);
+  std::size_t width = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::uint32_t c = 0; c < cells; ++c)
+      if (data_rng.bernoulli(0.3)) columns[b].push_back(c);
+    if (columns[b].empty()) columns[b].push_back(0);
+    width = std::max(width, columns[b].size());
+  }
+  Matrix grad_cols(batch, width);
+  Matrix grad_full(batch, cells);
+  for (std::size_t b = 0; b < batch; ++b)
+    for (std::size_t j = 0; j < columns[b].size(); ++j) {
+      const double g = data_rng.normal();
+      grad_cols(b, j) = g;
+      grad_full(b, columns[b][j]) = g;
+    }
+
+  for (auto* p : full.parameters()) p->zero_grad();
+  for (auto* p : restricted.parameters()) p->zero_grad();
+  full.forward_batch_sparse(sseq);
+  full.backward(grad_full);
+  restricted.forward_batch_columns(sseq, columns);
+  restricted.backward_columns(grad_cols, columns);
+
+  const auto pa = full.parameters();
+  const auto pb = restricted.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_EQ(pa[i]->grad, pb[i]->grad) << "param " << i;
+}
+
+TEST(SpatialDrqn, CloneArchitectureMatchesShapes) {
+  Rng rng(43);
+  rl::SpatialDrqnQNetwork net(6, 4, 3, 10, 2, 5, rng);
+  Rng clone_rng(991);
+  const auto clone = net.clone_architecture(clone_rng);
+  EXPECT_EQ(clone->num_actions(), net.num_actions());
+  EXPECT_EQ(clone->history_steps(), net.history_steps());
+  EXPECT_EQ(clone->name(), net.name());
+  EXPECT_TRUE(clone->supports_sparse_batch());
+  EXPECT_TRUE(clone->supports_action_columns());
+  const auto pa = net.parameters();
+  const auto pb = clone->parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i]->value.rows(), pb[i]->value.rows()) << "param " << i;
+    EXPECT_EQ(pa[i]->value.cols(), pb[i]->value.cols()) << "param " << i;
+  }
+}
+
+TEST(SpatialDrqn, TrainerGreedyCandidatesAgreeWithCandidateQValues) {
+  // The pairing the metro example's D4-averaged selector depends on: with
+  // the spatial network under the trainer, candidate_q_values scores the
+  // same restricted forward greedy_action_candidates argmaxes over.
+  rl::DqnOptions opt;
+  Rng net_rng(71);
+  rl::DqnTrainer trainer(
+      std::make_unique<rl::SpatialDrqnQNetwork>(6, 6, 2, 8, 2, 0, net_rng),
+      opt, 73);
+  Rng rng(79);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint32_t> ones;
+    for (std::size_t j = 0; j < 2; ++j)
+      for (int s = 0; s < 3; ++s)
+        ones.push_back(static_cast<std::uint32_t>(j * 36 +
+                                                  rng.uniform_index(36)));
+    std::sort(ones.begin(), ones.end());
+    ones.erase(std::unique(ones.begin(), ones.end()), ones.end());
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t c = 0; c < 36; ++c)
+      if (rng.bernoulli(0.4)) candidates.push_back(c);
+    if (candidates.empty()) candidates.push_back(17);
+
+    const auto qs = trainer.candidate_q_values(ones, candidates);
+    ASSERT_EQ(qs.size(), candidates.size());
+    const std::size_t best = static_cast<std::size_t>(
+        std::max_element(qs.begin(), qs.end()) - qs.begin());
+    EXPECT_EQ(candidates[best],
+              trainer.greedy_action_candidates(ones, candidates))
+        << "trial " << trial;
+  }
+}
+
+TEST(Environment, StateOnesMatchesDenseStateNonzeros) {
+  auto task = std::make_shared<const mcs::SensingTask>(
+      testing::make_toy_task(8, 10));
+  auto env = testing::make_toy_environment(task, 1e9);
+  Rng rng(3);
+  for (int step = 0; step < 12 && !env.episode_done(); ++step) {
+    const std::vector<double> state = env.state();
+    std::vector<std::uint32_t> expected;
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      EXPECT_TRUE(state[i] == 0.0 || state[i] == 1.0);
+      if (state[i] == 1.0) expected.push_back(static_cast<std::uint32_t>(i));
+    }
+    EXPECT_EQ(env.state_ones(), expected) << "step " << step;
+
+    const auto& unsensed = env.unsensed_cells();
+    env.step(unsensed[rng.uniform_index(unsensed.size())]);
+  }
+}
+
+}  // namespace
+}  // namespace drcell

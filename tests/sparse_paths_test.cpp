@@ -6,6 +6,7 @@
 // sequence cache.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <memory>
@@ -343,9 +344,14 @@ TEST(ReplayEncodedCache, InvalidatedWhenRingOverwritesSlot) {
   std::size_t encode_calls = 0;
   const auto encode = [&](const rl::Experience& e) {
     ++encode_calls;
-    Matrix step(1, e.state.size());
-    for (std::size_t i = 0; i < e.state.size(); ++i) step(0, i) = e.state[i];
-    return rl::EncodedExperience{{step}, {step}};
+    rl::EncodedExperience enc;
+    enc.state.reset(1, e.state.size());
+    enc.next_state.reset(1, e.state.size());
+    for (std::size_t i = 0; i < e.state.size(); ++i) {
+      if (e.state[i] != 0.0) enc.state.append(0, i, e.state[i]);
+      if (e.next_state[i] != 0.0) enc.next_state.append(0, i, e.next_state[i]);
+    }
+    return enc;
   };
 
   (void)buf.encoded(0, encode);
@@ -359,7 +365,7 @@ TEST(ReplayEncodedCache, InvalidatedWhenRingOverwritesSlot) {
   buf.add(make_experience(rng, 4, 1));
   const auto& re = buf.encoded(0, encode);
   EXPECT_EQ(encode_calls, 3u);
-  EXPECT_EQ(re.state[0].row(0)[0], buf.at(0).state[0]);
+  EXPECT_EQ(re.state.to_dense()(0, 0), buf.at(0).state[0]);
   (void)buf.encoded(1, encode);
   EXPECT_EQ(encode_calls, 3u);
 
@@ -369,37 +375,47 @@ TEST(ReplayEncodedCache, InvalidatedWhenRingOverwritesSlot) {
 
 TEST(ReplayEncodedCache, ByteBudgetStopsCachingButKeepsServing) {
   Rng rng(2);
-  // Budget fits exactly one encoding (2 matrices of 4 doubles = 64 bytes).
-  rl::ReplayBuffer buf(4, /*max_cache_bytes=*/64);
+  // Each sparse [1 x 4] one-hot encoding costs 4 (index) + 8 (value) +
+  // 8 (row offset) = 20 bytes; state + next_state = 40. The budget fits
+  // exactly one encoding.
+  rl::ReplayBuffer buf(4, /*max_cache_bytes=*/40);
   for (int i = 0; i < 4; ++i) buf.add(make_experience(rng, 4, 1));
 
   std::size_t encode_calls = 0;
   const auto encode = [&](const rl::Experience& e) {
     ++encode_calls;
-    Matrix step(1, e.state.size());
-    for (std::size_t i = 0; i < e.state.size(); ++i) step(0, i) = e.state[i];
-    return rl::EncodedExperience{{step}, {step}};
+    rl::EncodedExperience enc;
+    enc.state.reset(1, e.state.size());
+    enc.next_state.reset(1, e.state.size());
+    for (std::size_t i = 0; i < e.state.size(); ++i) {
+      if (e.state[i] != 0.0) enc.state.append(0, i, e.state[i]);
+      if (e.next_state[i] != 0.0) enc.next_state.append(0, i, e.next_state[i]);
+    }
+    return enc;
   };
 
   (void)buf.encoded(0, encode);  // cached (fills the budget)
-  EXPECT_EQ(buf.cache_bytes(), 64u);
+  EXPECT_EQ(buf.cache_bytes(), 40u);
   (void)buf.encoded(0, encode);
   EXPECT_EQ(encode_calls, 1u);
 
   // Over budget: slot 1 is served from scratch, re-encoded on every call,
   // and still returns the right transition's encoding.
   const auto& e1 = buf.encoded(1, encode);
-  EXPECT_EQ(e1.state[0].row(0)[0], buf.at(1).state[0]);
+  const std::size_t hot = static_cast<std::size_t>(
+      std::find(buf.at(1).state.begin(), buf.at(1).state.end(), 1.0) -
+      buf.at(1).state.begin());
+  EXPECT_EQ(e1.state.to_dense()(0, hot), 1.0);
   (void)buf.encoded(1, encode);
   EXPECT_EQ(encode_calls, 3u);
-  EXPECT_EQ(buf.cache_bytes(), 64u);
+  EXPECT_EQ(buf.cache_bytes(), 40u);
 
   // Overwriting the cached slot releases its budget; the next miss caches
   // again.
   for (int i = 0; i < 4; ++i) buf.add(make_experience(rng, 4, 1));
   EXPECT_EQ(buf.cache_bytes(), 0u);
   (void)buf.encoded(2, encode);
-  EXPECT_EQ(buf.cache_bytes(), 64u);
+  EXPECT_EQ(buf.cache_bytes(), 40u);
 }
 
 TEST(ReplayEncodedCache, TrainStepsStopReencodingTransitions) {

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Self-test for tools/compare_bench.py.
+
+compare_bench.py is the CI perf gate; a bug here silently disarms every
+speedup regression check, so the branch behaviour (NEW ops, missing ops,
+--min-baseline ungating, the regression threshold itself, --ops typo
+protection, quick-mode refusal) is pinned by this suite. Stdlib-only and
+registered with CTest as `compare_bench_selftest` (guarded on a Python3
+interpreter being found).
+
+Run directly:  python3 tools/test_compare_bench.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "compare_bench.py")
+
+
+def report(ops, quick=False):
+    """Build a BENCH_*.json payload: {op_name: speedup_vs_naive}."""
+    return {
+        "quick": quick,
+        "entries": [
+            {"op": name, "speedup_vs_naive": speedup}
+            for name, speedup in ops.items()
+        ],
+    }
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(payload, f)
+        return path
+
+    def run_compare(self, baseline, fresh, *extra):
+        cmd = [sys.executable, SCRIPT, "--baseline", baseline,
+               "--fresh", fresh, *extra]
+        return subprocess.run(cmd, capture_output=True, text=True)
+
+    def test_no_regression_passes(self):
+        base = self.write("base.json", report({"matmul": 4.0, "lstm": 3.0}))
+        fresh = self.write("fresh.json", report({"matmul": 4.1, "lstm": 2.9}))
+        r = self.run_compare(base, fresh)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("no perf regressions", r.stdout)
+
+    def test_regression_beyond_threshold_fails(self):
+        base = self.write("base.json", report({"matmul": 4.0}))
+        fresh = self.write("fresh.json", report({"matmul": 2.0}))  # -50%
+        r = self.run_compare(base, fresh, "--max-regression-pct", "20")
+        self.assertEqual(r.returncode, 1, r.stdout)
+        self.assertIn("REGRESSION", r.stdout)
+
+    def test_regression_within_threshold_passes(self):
+        base = self.write("base.json", report({"matmul": 4.0}))
+        fresh = self.write("fresh.json", report({"matmul": 3.5}))  # -12.5%
+        r = self.run_compare(base, fresh, "--max-regression-pct", "20")
+        self.assertEqual(r.returncode, 0, r.stdout)
+
+    def test_baseline_op_missing_from_fresh_fails(self):
+        # A silently dropped measurement must not disarm its gate.
+        base = self.write("base.json", report({"matmul": 4.0, "lstm": 3.0}))
+        fresh = self.write("fresh.json", report({"matmul": 4.0}))
+        r = self.run_compare(base, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout)
+        self.assertIn("missing from fresh report", r.stdout)
+
+    def test_missing_op_fails_even_when_ungated(self):
+        # --min-baseline ungates the *ratio*, not the existence check.
+        base = self.write("base.json", report({"pooled": 1.1}))
+        fresh = self.write("fresh.json", report({}))
+        r = self.run_compare(base, fresh, "--min-baseline", "1.5")
+        self.assertEqual(r.returncode, 1, r.stdout)
+        self.assertIn("missing from fresh report", r.stdout)
+
+    def test_min_baseline_ungates_noisy_ratio(self):
+        # Baseline speedup 1.1x is below --min-baseline: even a large drop
+        # in the fresh ratio must not fail (it is noise, not a regression).
+        base = self.write("base.json", report({"pooled": 1.1, "matmul": 4.0}))
+        fresh = self.write("fresh.json", report({"pooled": 0.5, "matmul": 4.0}))
+        r = self.run_compare(base, fresh, "--min-baseline", "1.5")
+        self.assertEqual(r.returncode, 0, r.stdout)
+        self.assertIn("ungated: baseline ~1x", r.stdout)
+
+    def test_new_op_reported_not_failed(self):
+        base = self.write("base.json", report({"matmul": 4.0}))
+        fresh = self.write("fresh.json", report({"matmul": 4.0, "gather": 5.0}))
+        r = self.run_compare(base, fresh)
+        self.assertEqual(r.returncode, 0, r.stdout)
+        self.assertIn("(NEW)", r.stdout)
+
+    def test_new_gated_op_arms_once_baselined(self):
+        # An --ops entry present only in the fresh run is the add-a-bench-op
+        # flow: passes now, gate arms when the regenerated baseline lands.
+        base = self.write("base.json", report({"matmul": 4.0}))
+        fresh = self.write("fresh.json", report({"matmul": 4.0, "gather": 5.0}))
+        r = self.run_compare(base, fresh, "--ops", "matmul,gather")
+        self.assertEqual(r.returncode, 0, r.stdout)
+        self.assertIn("NEW: gated once baselined", r.stdout)
+
+    def test_ops_entry_in_neither_report_fails(self):
+        # Typo protection: a gate that matches nothing is disarmed forever.
+        base = self.write("base.json", report({"matmul": 4.0}))
+        fresh = self.write("fresh.json", report({"matmul": 4.0}))
+        r = self.run_compare(base, fresh, "--ops", "matmul,matmlu_320")
+        self.assertEqual(r.returncode, 1, r.stdout)
+        self.assertIn("neither report", r.stdout)
+
+    def test_ungated_op_regression_does_not_fail(self):
+        base = self.write("base.json", report({"matmul": 4.0, "wild": 6.0}))
+        fresh = self.write("fresh.json", report({"matmul": 4.0, "wild": 1.0}))
+        r = self.run_compare(base, fresh, "--ops", "matmul")
+        self.assertEqual(r.returncode, 0, r.stdout)
+        self.assertIn("ungated: not in --ops", r.stdout)
+
+    def test_quick_mode_report_refused(self):
+        base = self.write("base.json", report({"matmul": 4.0}))
+        fresh = self.write("fresh.json", report({"matmul": 4.0}, quick=True))
+        r = self.run_compare(base, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout)
+        self.assertIn("quick-mode", r.stdout)
+
+    def test_empty_baseline_refused(self):
+        base = self.write("base.json", report({}))
+        fresh = self.write("fresh.json", report({"matmul": 4.0}))
+        r = self.run_compare(base, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout)
+        self.assertIn("no speedup_vs_naive entries", r.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
