@@ -1,0 +1,437 @@
+// Multi-campaign serving bench — the scale lane of the campaign scheduler
+// (core/campaign_scheduler.h): {10, 100, 1000} concurrent city-scale
+// campaigns stepped in waves over the shared pool, with the multicore lane
+// re-running the 100-campaign tier at workers in {1, 4, ncores}.
+//
+// Hard gates (exit non-zero, independent of --no-perf-gate):
+//   * batched stepping is bit-identical per campaign to solo stepping with
+//     the same seeds (action logs AND episode stats, vs both the unbatched
+//     scheduler and the single-campaign runner);
+//   * worker count never changes any campaign's trace (the pooled STEP
+//     phase is index-exclusive by contract);
+//   * N same-spatial-params campaigns pay ONE factorisation: the shared
+//     factor registry records >= N-1 hits;
+//   * --resume-smoke: a fleet checkpointed mid-flight and resumed in a
+//     fresh scheduler finishes bit-identical to an uninterrupted run (the
+//     CI resume smoke job runs exactly this mode).
+//
+// Perf gate (skipped under --no-perf-gate): building same-geometry tasks
+// against a warm shared registry must be >= 3x faster than paying the
+// spatial factorisation per task (the op CI tracks as
+// multi_campaign_field_gen_shared_cache).
+//
+//   ./build/bench_multi_campaign [--quick] [--json [path]]
+//                                [--no-perf-gate] [--resume-smoke]
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/campaign_scheduler.h"
+#include "core/checkpoint.h"
+#include "data/synthetic_field.h"
+
+namespace {
+
+using namespace drcell;
+using bench::JsonReporter;
+using bench::measure_ms;
+
+cs::InferenceEnginePtr make_engine() {
+  return std::make_shared<cs::MatrixCompletion>();
+}
+
+// ---------------------------------------------------------------------------
+// Fleet construction
+
+/// City-scale campaign sized so one wave's work is dominated by inference:
+/// min_observations == max_selections_per_cycle makes the gate consult (and
+/// its 1000-cell completion) fire exactly once per cycle.
+struct CityFleetSpec {
+  std::size_t campaigns = 10;
+  std::size_t cycles = 4;
+  std::uint64_t seed_base = 5000;
+};
+
+core::CampaignConfig city_campaign_config(const mcs::SensingTask& task,
+                                          std::size_t warm_cycles) {
+  core::CampaignConfig campaign;
+  campaign.epsilon = 1.0;
+  campaign.p = 0.9;
+  campaign.env.inference_window = 4;
+  campaign.env.min_observations = 12;
+  campaign.env.max_selections_per_cycle = 12;
+  campaign.env.warm_start = task.slice_cycles(0, warm_cycles).ground_truth();
+  return campaign;
+}
+
+/// Same spatial params, different seeds: every task draws a different field
+/// over the same 25 x 40 grid, so the fleet exercises the process-wide
+/// shared factor registry (one Cholesky for the whole fleet).
+void populate_city_fleet(core::CampaignScheduler& scheduler,
+                         const CityFleetSpec& spec) {
+  const std::size_t warm = 4;
+  for (std::size_t i = 0; i < spec.campaigns; ++i) {
+    const auto task = std::make_shared<const mcs::SensingTask>(
+        data::make_city_scale_task(25, 40, warm + spec.cycles,
+                                   spec.seed_base + i));
+    core::CampaignConfig campaign = city_campaign_config(*task, warm);
+    auto test_task = std::make_shared<const mcs::SensingTask>(
+        task->slice_cycles(warm, warm + spec.cycles));
+    scheduler.add_campaign("city-" + std::to_string(i), campaign, test_task,
+                           make_engine,
+                           std::make_shared<baselines::RandomSelector>(
+                               900 + spec.seed_base + i));
+  }
+}
+
+/// Small mixed fleet for the bit-identity gates: `drqn` frozen DR-Cell
+/// campaigns sharing ONE (deterministically initialised) agent — the
+/// batched group — plus `random` RANDOM campaigns, all on the 36-cell
+/// U-Air-like task.
+struct MixedFleet {
+  std::shared_ptr<core::DrCellAgent> agent;
+  std::shared_ptr<const mcs::SensingTask> test_task;
+  core::CampaignConfig campaign;
+  std::size_t drqn = 3;
+  std::size_t random = 3;
+
+  MixedFleet(std::size_t drqn_n, std::size_t random_n)
+      : drqn(drqn_n), random(random_n) {
+    const auto dataset = data::make_uair_like(2013);
+    test_task = std::make_shared<const mcs::SensingTask>(
+        dataset.pm25.slice_cycles(24, 48));
+    core::DrCellConfig config;
+    config.lstm_hidden = 24;
+    config.env.min_observations = 3;
+    config.env.inference_window = 8;
+    // Deterministic random-init weights: bit-identity does not need a
+    // trained policy, only a fixed one.
+    agent = std::make_shared<core::DrCellAgent>(test_task->num_cells(),
+                                               config);
+    campaign.epsilon = 9.0 / 36.0;
+    campaign.p = 0.9;
+    campaign.env = config.env;
+    campaign.env.history_cycles = config.history_cycles;
+  }
+
+  void populate(core::CampaignScheduler& scheduler) const {
+    for (std::size_t i = 0; i < drqn; ++i)
+      scheduler.add_campaign("drqn-" + std::to_string(i), campaign, test_task,
+                             make_engine,
+                             std::make_shared<core::DrCellPolicy>(*agent));
+    for (std::size_t i = 0; i < random; ++i)
+      scheduler.add_campaign(
+          "rand-" + std::to_string(i), campaign, test_task, make_engine,
+          std::make_shared<baselines::RandomSelector>(200 + i));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Bit-compare helpers (seconds excluded by construction: scheduler results
+// carry seconds = 0)
+
+bool same_stats(const mcs::EpisodeStats& a, const mcs::EpisodeStats& b) {
+  return a.cycles == b.cycles && a.total_selections == b.total_selections &&
+         a.total_reward == b.total_reward && a.total_cost == b.total_cost &&
+         a.cycle_errors == b.cycle_errors &&
+         a.cycle_selected == b.cycle_selected;
+}
+
+bool same_result(const core::CampaignResult& a, const core::CampaignResult& b,
+                 bool compare_id = true) {
+  return (!compare_id || a.id == b.id) && a.selector == b.selector &&
+         a.cycles == b.cycles && a.total_selected == b.total_selected &&
+         a.avg_cells_per_cycle == b.avg_cells_per_cycle &&
+         a.satisfaction_ratio == b.satisfaction_ratio &&
+         a.mean_cycle_error == b.mean_cycle_error &&
+         a.total_cost == b.total_cost && same_stats(a.stats, b.stats);
+}
+
+bool same_fleets(const core::CampaignScheduler& a,
+                 const core::CampaignScheduler& b, const char* what) {
+  const auto ra = a.results();
+  const auto rb = b.results();
+  if (ra.size() != rb.size()) {
+    std::cerr << "GATE FAIL (" << what << "): fleet sizes differ\n";
+    return false;
+  }
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    if (!same_result(ra[i], rb[i]) || a.action_log(i) != b.action_log(i)) {
+      std::cerr << "GATE FAIL (" << what << "): campaign '" << ra[i].id
+                << "' diverged\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Gate (a): batched wave == unbatched wave == solo runner
+
+bool gate_batched_bit_identity() {
+  const MixedFleet fleet(3, 3);
+
+  core::CampaignScheduler::Options batched_opts;
+  batched_opts.cross_campaign_batching = true;
+  core::CampaignScheduler batched(batched_opts);
+  fleet.populate(batched);
+  batched.run();
+
+  core::CampaignScheduler::Options unbatched_opts;
+  unbatched_opts.cross_campaign_batching = false;
+  core::CampaignScheduler unbatched(unbatched_opts);
+  // RANDOM selectors are stateful: rebuild the fleet so their streams start
+  // fresh (frozen DR-Cell shares the agent, which solo stepping reads only).
+  fleet.populate(unbatched);
+  unbatched.run();
+
+  if (!same_fleets(batched, unbatched, "batched vs unbatched")) return false;
+
+  // Solo reference: the single-campaign runner, same seeds.
+  const auto batched_results = batched.results();
+  for (std::size_t i = 0; i < fleet.drqn; ++i) {
+    core::DrCellPolicy solo_policy(*fleet.agent);
+    const auto solo = core::run_campaign(fleet.test_task, make_engine(),
+                                         solo_policy, fleet.campaign);
+    if (!same_result(solo, batched_results[i], /*compare_id=*/false)) {
+      std::cerr << "GATE FAIL (scheduler vs run_campaign): drqn-" << i
+                << " diverged\n";
+      return false;
+    }
+  }
+  {
+    baselines::RandomSelector solo_random(200);  // seed of rand-0
+    const auto solo = core::run_campaign(fleet.test_task, make_engine(),
+                                         solo_random, fleet.campaign);
+    if (!same_result(solo, batched_results[fleet.drqn],
+                     /*compare_id=*/false)) {
+      std::cerr << "GATE FAIL (scheduler vs run_campaign): rand-0 diverged\n";
+      return false;
+    }
+  }
+  std::cout << "gate: batched stepping bit-identical to solo stepping\n";
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Gate: shared factor registry
+
+bool gate_shared_cache(std::size_t n_tasks) {
+  data::SyntheticFieldGenerator::reset_shared_factor_cache();
+  for (std::size_t i = 0; i < n_tasks; ++i)
+    data::make_city_scale_task(25, 40, /*cycles=*/2, /*seed=*/7000 + i);
+  const std::size_t hits =
+      data::SyntheticFieldGenerator::shared_factor_cache_hits();
+  if (hits < n_tasks - 1) {
+    std::cerr << "GATE FAIL (shared factor cache): " << n_tasks
+              << " same-params tasks produced only " << hits
+              << " registry hits (need >= " << (n_tasks - 1) << ")\n";
+    return false;
+  }
+  std::cout << "gate: shared factor cache served " << hits << "/"
+            << (n_tasks - 1) << "+ same-params factorisations\n";
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Resume smoke: burst -> checkpoint -> fresh scheduler -> resume -> compare
+
+int resume_smoke() {
+  const MixedFleet fleet(3, 3);
+
+  core::CampaignScheduler uninterrupted;
+  fleet.populate(uninterrupted);
+  uninterrupted.run();
+
+  core::CampaignScheduler burst;
+  fleet.populate(burst);
+  burst.run(/*max_waves=*/25);
+  std::ostringstream checkpoint(std::ios::binary);
+  core::save_checkpoint(burst, checkpoint);
+
+  // The burst scheduler is destroyed here; the resumed one is rebuilt from
+  // the registry alone plus the checkpoint bytes.
+  core::CampaignScheduler resumed;
+  fleet.populate(resumed);
+  std::istringstream in(checkpoint.str(), std::ios::binary);
+  core::load_checkpoint(resumed, in);
+  resumed.run();
+
+  if (!same_fleets(uninterrupted, resumed, "resume smoke")) return 1;
+  std::cout << "gate: checkpoint/resume bit-identical to uninterrupted run ("
+            << checkpoint.str().size() << "-byte checkpoint)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  const std::string json =
+      bench::json_path(argc, argv, "BENCH_multi_campaign.json");
+  bool perf_gate = true;
+  bool smoke_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--no-perf-gate") perf_gate = false;
+    if (std::string(argv[i]) == "--resume-smoke") smoke_only = true;
+  }
+  if (smoke_only) return resume_smoke();
+
+  Stopwatch total;
+  JsonReporter report("multi_campaign", quick);
+  std::cout << "multi-campaign serving bench (" << (quick ? "quick" : "full")
+            << " mode)\n\n";
+
+  // --- Correctness gates (always hard) ---------------------------------
+  if (!gate_batched_bit_identity()) return 1;
+  if (!gate_shared_cache(quick ? 4 : 8)) return 1;
+  if (resume_smoke() != 0) return 1;
+
+  // --- Shared-registry perf pair ---------------------------------------
+  // Optimised: N same-geometry generators against a warm registry pay one
+  // lookup each. Reference: the registry is reset before every build, so
+  // each generator pays the full 1000-cell spatial Cholesky — exactly what
+  // every campaign of a fleet paid before the process-wide cache.
+  {
+    const auto coords = data::grid_coords(25, 40, 100.0, 100.0);
+    data::FieldParams params;
+    params.spatial_length = 600.0;
+    params.nugget = 0.02;
+    params.num_modes = 6;
+    const std::size_t gens_per_call = 4;
+    const auto build_fleet_fields = [&] {
+      for (std::size_t i = 0; i < gens_per_call; ++i) {
+        data::SyntheticFieldGenerator gen(coords);
+        Rng rng(400 + i);
+        gen.generate(params, 2, rng);
+      }
+    };
+    data::SyntheticFieldGenerator::reset_shared_factor_cache();
+    const auto warm =
+        measure_ms(build_fleet_fields, quick ? 200.0 : 600.0, 50);
+    const auto cold = measure_ms(
+        [&] {
+          data::SyntheticFieldGenerator::reset_shared_factor_cache();
+          build_fleet_fields();
+        },
+        quick ? 300.0 : 1000.0, 50);
+    report.add_with_reference("multi_campaign_field_gen_shared_cache",
+                              warm.wall_ms, warm.iterations,
+                              1e3 / warm.wall_ms, cold.wall_ms,
+                              cold.iterations);
+    std::cout << "shared-registry field gen: " << format_double(warm.wall_ms, 1)
+              << " ms warm vs " << format_double(cold.wall_ms, 1)
+              << " ms cold ("
+              << format_double(
+                     report.speedup("multi_campaign_field_gen_shared_cache"), 2)
+              << "x)\n";
+    if (perf_gate &&
+        report.speedup("multi_campaign_field_gen_shared_cache") < 3.0) {
+      std::cerr << "PERF GATE FAIL: shared factor registry speedup < 3x\n";
+      return 1;
+    }
+  }
+
+  // --- Batched-wave perf pair ------------------------------------------
+  // A pure serving fleet (32 frozen DR-Cell campaigns, one shared agent) on
+  // the 36-cell task: batched waves score all campaigns with one
+  // forward_batch; the unbatched reference runs 32 B = 1 forwards. Context
+  // number (no hard gate): the win is batching overhead amortisation, and
+  // at fleet sizes this small it is expected to be modest.
+  {
+    const std::size_t fleet_size = quick ? 8 : 32;
+    const MixedFleet fleet(fleet_size, 0);
+    const auto run_fleet = [&](bool batching) {
+      core::CampaignScheduler::Options opts;
+      opts.cross_campaign_batching = batching;
+      core::CampaignScheduler scheduler(opts);
+      fleet.populate(scheduler);
+      scheduler.run(/*max_waves=*/quick ? 10 : 20);
+    };
+    const auto batched = measure_ms([&] { run_fleet(true); },
+                                    quick ? 200.0 : 500.0, 20);
+    const auto unbatched = measure_ms([&] { run_fleet(false); },
+                                      quick ? 200.0 : 500.0, 20);
+    report.add_with_reference("multi_campaign_batched_wave", batched.wall_ms,
+                              batched.iterations, 1e3 / batched.wall_ms,
+                              unbatched.wall_ms, unbatched.iterations);
+    std::cout << "batched wave (" << fleet_size
+              << " campaigns, shared agent): "
+              << format_double(batched.wall_ms, 1) << " ms vs "
+              << format_double(unbatched.wall_ms, 1) << " ms unbatched ("
+              << format_double(report.speedup("multi_campaign_batched_wave"),
+                               2)
+              << "x)\n";
+  }
+
+  // --- Concurrent-campaign tiers ---------------------------------------
+  // Aggregate serving throughput: N city-scale campaigns to completion,
+  // reported as sensing cycles finished per second across the fleet.
+  const std::vector<std::size_t> tiers =
+      quick ? std::vector<std::size_t>{5, 20}
+            : std::vector<std::size_t>{10, 100, 1000};
+  for (const std::size_t n : tiers) {
+    CityFleetSpec spec;
+    spec.campaigns = n;
+    spec.cycles = quick ? 2 : 4;
+    core::CampaignScheduler scheduler;
+    populate_city_fleet(scheduler, spec);
+    Stopwatch sw;
+    scheduler.run();
+    const double ms = sw.elapsed_ms();
+    std::size_t fleet_cycles = 0;
+    for (const auto& r : scheduler.results()) fleet_cycles += r.cycles;
+    const double cycles_per_sec = 1e3 * static_cast<double>(fleet_cycles) / ms;
+    const std::string op = "multi_campaign_cycles_" + std::to_string(n);
+    report.add(op, ms, 1, cycles_per_sec);
+    std::cout << op << ": " << n << " campaigns, " << fleet_cycles
+              << " cycles in " << format_double(ms, 0) << " ms ("
+              << format_double(cycles_per_sec, 1) << " cycles/s)\n";
+  }
+
+  // --- Multicore lane: 100-campaign tier at workers in {1, 4, ncores} ---
+  // Hard-gates worker-count invariance: every worker count must produce the
+  // identical fleet trace (the pooled STEP phase is index-exclusive).
+  {
+    const std::size_t tier = quick ? 12 : 100;
+    // "Workers" here counts executing lanes (pool threads + the
+    // participating caller), so lane 1 is the serial floor and lane ncores
+    // saturates the machine.
+    const std::size_t ncores = util::ThreadPool::default_worker_count() + 1;
+    std::vector<std::size_t> worker_counts{1, 4};
+    if (ncores != 1 && ncores != 4) worker_counts.push_back(ncores);
+    std::unique_ptr<core::CampaignScheduler> reference;
+    for (const std::size_t workers : worker_counts) {
+      util::ThreadPool pool(workers - 1);
+      core::CampaignScheduler::Options opts;
+      opts.pool = &pool;
+      auto scheduler = std::make_unique<core::CampaignScheduler>(opts);
+      CityFleetSpec spec;
+      spec.campaigns = tier;
+      spec.cycles = quick ? 2 : 4;
+      populate_city_fleet(*scheduler, spec);
+      Stopwatch sw;
+      scheduler->run();
+      const double ms = sw.elapsed_ms();
+      std::size_t fleet_cycles = 0;
+      for (const auto& r : scheduler->results()) fleet_cycles += r.cycles;
+      const std::string op = "multi_campaign_" + std::to_string(tier) +
+                             "_workers" + std::to_string(workers);
+      report.add(op, ms, 1,
+                 1e3 * static_cast<double>(fleet_cycles) / ms);
+      std::cout << op << ": " << format_double(ms, 0) << " ms\n";
+      if (reference == nullptr) {
+        reference = std::move(scheduler);
+      } else if (!same_fleets(*reference, *scheduler,
+                              "worker-count invariance")) {
+        return 1;
+      }
+    }
+    std::cout << "gate: fleet trace identical for all worker counts\n";
+  }
+
+  std::cout << "\nall gates passed\n";
+  return bench::finish_report(report, json, total);
+}

@@ -4,13 +4,14 @@
 // Moderate, ... Hazardous) differs from the true one, and the quality gate
 // uses a Beta-Bernoulli posterior instead of the Gaussian CLT.
 //
-// Build & run:  ./build/examples/air_quality_campaign
+// Build & run:  ./build/example_air_quality_campaign [--json [path]]
 #include <iostream>
 #include <memory>
 
 #include "baselines/qbc_selector.h"
 #include "baselines/random_selector.h"
 #include "core/campaign.h"
+#include "core/campaign_json.h"
 #include "core/policy.h"
 #include "core/trainer.h"
 #include "cs/matrix_completion.h"
@@ -19,7 +20,9 @@
 
 using namespace drcell;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json =
+      core::campaign_json_path(argc, argv, "CAMPAIGN_air_quality.json");
   std::cout << "generating U-Air-like Beijing PM2.5 data (36 cells, hourly "
                "cycles, heavy-tailed)...\n";
   const auto dataset = data::make_uair_like(/*seed=*/2013);
@@ -59,21 +62,27 @@ int main() {
 
   TablePrinter table({"method", "avg cells/cycle", "of 36", "satisfaction",
                       "class. error"});
+  std::vector<core::CampaignResult> results;
   for (baselines::CellSelector* selector :
        {static_cast<baselines::CellSelector*>(&drcell),
         static_cast<baselines::CellSelector*>(&qbc),
         static_cast<baselines::CellSelector*>(&random)}) {
     std::cout << "running testing stage with " << selector->name() << "...\n";
-    const auto r = core::run_campaign(test_task, engine, *selector, campaign);
+    auto r = core::run_campaign(test_task, engine, *selector, campaign);
+    r.id = r.selector;
     table.add_row(r.selector,
                   {r.avg_cells_per_cycle,
                    100.0 * r.avg_cells_per_cycle / 36.0,
                    r.satisfaction_ratio, r.mean_cycle_error});
+    results.push_back(std::move(r));
   }
   std::cout << '\n';
   table.print(std::cout);
   std::cout << "\n(quality gate: at most 9 of 36 cells misclassified, "
                "p = 0.9; 'class. error' is the mean fraction of unsensed "
                "cells whose AQI category was inferred wrongly)\n";
+  if (!json.empty() &&
+      !core::write_campaign_json_file(json, "air_quality_campaign", results))
+    return 1;
   return 0;
 }

@@ -5,12 +5,13 @@
 // fingerprint; this example runs a short campaign end to end and reports
 // the sensing throughput alongside the quality numbers.
 //
-// Build & run:  ./build/example_scale_1000cell
+// Build & run:  ./build/example_scale_1000cell [--json [path]]
 #include <iostream>
 #include <memory>
 
 #include "baselines/random_selector.h"
 #include "core/campaign.h"
+#include "core/campaign_json.h"
 #include "cs/matrix_completion.h"
 #include "data/datasets.h"
 #include "util/stopwatch.h"
@@ -18,7 +19,9 @@
 
 using namespace drcell;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json =
+      core::campaign_json_path(argc, argv, "CAMPAIGN_scale_1000cell.json");
   std::cout << "generating city-scale data (1000 cells on a 25 x 40 grid, "
                "0.5 h cycles)...\n";
   Stopwatch gen_watch;
@@ -43,7 +46,8 @@ int main() {
 
   std::cout << "running a 48-cycle campaign with " << random.name()
             << " selection...\n\n";
-  const auto r = core::run_campaign(test_task, engine, random, campaign);
+  auto r = core::run_campaign(test_task, engine, random, campaign);
+  r.id = r.selector;
 
   TablePrinter table({"method", "cells/cycle", "of 1000", "satisfaction",
                       "MAE (degC)", "cycles/s"});
@@ -56,5 +60,8 @@ int main() {
   table.print(std::cout);
   std::cout << "\n(quality gate: MAE <= 1.0 degC with p = 0.9; 'of 1000' is "
                "the percentage of the city sensed per cycle)\n";
+  if (!json.empty() &&
+      !core::write_campaign_json_file(json, "scale_1000cell", {r}))
+    return 1;
   return 0;
 }

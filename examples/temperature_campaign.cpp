@@ -3,13 +3,14 @@
 // well under a minute. DR-Cell trains on a preliminary study and is then
 // deployed against QBC and RANDOM under a (0.3 °C, 0.9)-quality gate.
 //
-// Build & run:  ./build/examples/temperature_campaign
+// Build & run:  ./build/example_temperature_campaign [--json [path]]
 #include <iostream>
 #include <memory>
 
 #include "baselines/qbc_selector.h"
 #include "baselines/random_selector.h"
 #include "core/campaign.h"
+#include "core/campaign_json.h"
 #include "core/policy.h"
 #include "core/trainer.h"
 #include "cs/matrix_completion.h"
@@ -18,7 +19,9 @@
 
 using namespace drcell;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json =
+      core::campaign_json_path(argc, argv, "CAMPAIGN_temperature.json");
   std::cout << "generating Sensor-Scope-like campus data (57 cells, 0.5 h "
                "cycles)...\n";
   const auto dataset = data::make_sensorscope_like(/*seed=*/2018);
@@ -60,21 +63,27 @@ int main() {
 
   TablePrinter table(
       {"method", "avg cells/cycle", "of 57", "satisfaction", "MAE (degC)"});
+  std::vector<core::CampaignResult> results;
   for (baselines::CellSelector* selector :
        {static_cast<baselines::CellSelector*>(&drcell),
         static_cast<baselines::CellSelector*>(&qbc),
         static_cast<baselines::CellSelector*>(&random)}) {
     std::cout << "running testing stage with " << selector->name() << "...\n";
-    const auto r = core::run_campaign(test_task, engine, *selector, campaign);
+    auto r = core::run_campaign(test_task, engine, *selector, campaign);
+    r.id = r.selector;
     table.add_row(r.selector,
                   {r.avg_cells_per_cycle,
                    100.0 * r.avg_cells_per_cycle /
                        static_cast<double>(test_task->num_cells()),
                    r.satisfaction_ratio, r.mean_cycle_error});
+    results.push_back(std::move(r));
   }
   std::cout << '\n';
   table.print(std::cout);
   std::cout << "\n('of 57' is the percentage of the 57 campus cells sensed "
                "per cycle; quality gate: MAE <= 0.3 degC with p = 0.9)\n";
+  if (!json.empty() &&
+      !core::write_campaign_json_file(json, "temperature_campaign", results))
+    return 1;
   return 0;
 }

@@ -2,7 +2,9 @@
 // all implement it, so the campaign runner can evaluate them identically.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "mcs/environment.h"
 
@@ -23,6 +25,21 @@ class CellSelector {
     (void)env;
     (void)action;
     (void)result;
+  }
+
+  /// Checkpoint/resume hooks (core/checkpoint.h): the selector's mutable
+  /// state as opaque 64-bit words, such that restore_state_words on a
+  /// freshly constructed same-config selector makes its future decisions
+  /// bit-identical to the checkpointed one's. Stateless selectors (greedy
+  /// DR-Cell, QBC, oracle) keep the empty default; stochastic ones
+  /// (RANDOM, online DR-Cell) serialise their RNG stream. Model weights
+  /// travel separately in the checkpoint's agent table, not here.
+  virtual std::vector<std::uint64_t> checkpoint_state_words() const {
+    return {};
+  }
+  virtual void restore_state_words(const std::vector<std::uint64_t>& words) {
+    DRCELL_CHECK_MSG(words.empty(),
+                     "selector " + name() + " expects no checkpoint state");
   }
 
   virtual std::string name() const = 0;

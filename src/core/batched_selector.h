@@ -1,0 +1,37 @@
+// Opt-in mixin for selectors whose decision is the greedy argmax of a
+// Q-network forward — the hook the multi-campaign scheduler
+// (core/campaign_scheduler.h) uses to batch those forwards across
+// campaigns. Lives in core/ (not baselines/) so the baseline layer keeps
+// no rl/ dependency; the scheduler discovers the capability by
+// dynamic_cast.
+//
+// Contract: the selector's select() must be exactly
+//
+//   encode state -> shared_network().forward_batch (B = 1)
+//     -> rl::masked_argmax_row(q, 0, env.action_mask())
+//
+// with the encoder shape implied by the network (num_actions() cells,
+// history_steps() recent selection vectors). Under the batched determinism
+// contract (rl/qnetwork.h: row b of a batched forward is bit-identical to
+// the B = 1 forward of sample b) the scheduler may stack any number of such
+// campaigns' states into one forward_batch and argmax each row, producing
+// per campaign exactly the action solo stepping would. Selectors that
+// explore (δ-greedy), post-process scores or consult non-Q state must NOT
+// claim this mixin — the scheduler steps them unbatched.
+#pragma once
+
+#include "rl/qnetwork.h"
+
+namespace drcell::core {
+
+class BatchedQSelector {
+ public:
+  virtual ~BatchedQSelector() = default;
+
+  /// The network whose greedy argmax IS this selector's decision. Campaigns
+  /// returning the same network object are batched into one forward_batch
+  /// per wave. Non-const: forward_batch writes network-owned workspaces.
+  virtual rl::QNetwork& shared_network() = 0;
+};
+
+}  // namespace drcell::core

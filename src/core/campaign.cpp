@@ -5,33 +5,47 @@
 
 namespace drcell::core {
 
-CampaignResult run_campaign(std::shared_ptr<const mcs::SensingTask> test_task,
-                            cs::InferenceEnginePtr engine,
-                            baselines::CellSelector& selector,
-                            const CampaignConfig& config) {
+std::unique_ptr<mcs::SparseMcsEnvironment> make_campaign_environment(
+    std::shared_ptr<const mcs::SensingTask> test_task,
+    cs::InferenceEnginePtr engine, const CampaignConfig& config) {
   DRCELL_CHECK(test_task != nullptr);
   auto gate = std::make_shared<mcs::LooBayesianGate>(config.epsilon, config.p);
-  mcs::SparseMcsEnvironment env(test_task, std::move(engine), std::move(gate),
-                                config.env);
+  return std::make_unique<mcs::SparseMcsEnvironment>(
+      std::move(test_task), std::move(engine), std::move(gate), config.env);
+}
 
-  Stopwatch watch;
-  while (!env.episode_done()) {
-    const std::size_t action = selector.select(env);
-    const mcs::StepResult result = env.step(action);
-    selector.on_step(env, action, result);
-  }
-
+CampaignResult summarize_campaign(const mcs::SparseMcsEnvironment& env,
+                                  const std::string& selector_name,
+                                  const CampaignConfig& config) {
   const auto& stats = env.stats();
   CampaignResult out;
-  out.selector = selector.name();
+  out.selector = selector_name;
   out.cycles = stats.cycles;
   out.total_selected = stats.total_selections;
   out.avg_cells_per_cycle = stats.average_selections_per_cycle();
   out.satisfaction_ratio = stats.quality_satisfaction_ratio(config.epsilon);
   out.mean_cycle_error = mean(stats.cycle_errors);
   out.total_cost = stats.total_cost;
-  out.seconds = watch.elapsed_seconds();
   out.stats = stats;
+  return out;
+}
+
+CampaignResult run_campaign(std::shared_ptr<const mcs::SensingTask> test_task,
+                            cs::InferenceEnginePtr engine,
+                            baselines::CellSelector& selector,
+                            const CampaignConfig& config) {
+  const auto env = make_campaign_environment(std::move(test_task),
+                                             std::move(engine), config);
+
+  Stopwatch watch;
+  while (!env->episode_done()) {
+    const std::size_t action = selector.select(*env);
+    const mcs::StepResult result = env->step(action);
+    selector.on_step(*env, action, result);
+  }
+
+  CampaignResult out = summarize_campaign(*env, selector.name(), config);
+  out.seconds = watch.elapsed_seconds();
   return out;
 }
 

@@ -22,6 +22,9 @@ struct CampaignConfig {
 };
 
 struct CampaignResult {
+  /// Campaign identifier — empty from run_campaign, the registry id from
+  /// the multi-campaign scheduler (core/campaign_scheduler.h).
+  std::string id;
   std::string selector;
   std::size_t cycles = 0;
   std::size_t total_selected = 0;
@@ -33,6 +36,20 @@ struct CampaignResult {
   double seconds = 0.0;
   mcs::EpisodeStats stats;
 };
+
+/// Builds the campaign environment exactly as run_campaign does — task +
+/// inference engine + a fresh LOO Bayesian gate at (epsilon, p) — so the
+/// multi-campaign scheduler steps environments bit-identical to the solo
+/// runner's.
+std::unique_ptr<mcs::SparseMcsEnvironment> make_campaign_environment(
+    std::shared_ptr<const mcs::SensingTask> test_task,
+    cs::InferenceEnginePtr engine, const CampaignConfig& config);
+
+/// Summarises a finished environment into the figures the paper compares;
+/// `seconds` is left 0 for the caller's clock.
+CampaignResult summarize_campaign(const mcs::SparseMcsEnvironment& env,
+                                  const std::string& selector_name,
+                                  const CampaignConfig& config);
 
 /// Runs one full campaign of `selector` over `test_task` with compressive
 /// sensing inference and the LOO Bayesian gate at (epsilon, p).

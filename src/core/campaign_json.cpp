@@ -1,0 +1,90 @@
+#include "core/campaign_json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "util/table.h"
+
+namespace drcell::core {
+
+namespace {
+
+/// Minimal JSON string escaping for ids/selector names (quotes, backslash,
+/// control characters) — names here are ASCII identifiers, but a stray
+/// quote must not corrupt the document.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_campaign_json(std::ostream& out, const std::string& suite,
+                         const std::vector<CampaignResult>& results) {
+  out << "{\n  \"campaign_suite\": \"" << json_escape(suite)
+      << "\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CampaignResult& r = results[i];
+    out << "    {\"id\": \"" << json_escape(r.id) << "\", \"selector\": \""
+        << json_escape(r.selector) << "\", \"cycles\": " << r.cycles
+        << ", \"total_selected\": " << r.total_selected
+        << ", \"avg_cells_per_cycle\": "
+        << format_double(r.avg_cells_per_cycle, 4)
+        << ", \"satisfaction_ratio\": "
+        << format_double(r.satisfaction_ratio, 4)
+        << ", \"mean_cycle_error\": " << format_double(r.mean_cycle_error, 6)
+        << ", \"total_cost\": " << format_double(r.total_cost, 2)
+        << ", \"seconds\": " << format_double(r.seconds, 4) << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+bool write_campaign_json_file(const std::string& path,
+                              const std::string& suite,
+                              const std::vector<CampaignResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    return false;
+  }
+  write_campaign_json(out, suite, results);
+  out.flush();
+  if (!out.good()) {
+    std::cerr << "failed while writing " << path << '\n';
+    return false;
+  }
+  std::cout << "wrote " << path << '\n';
+  return true;
+}
+
+std::string campaign_json_path(int argc, char** argv,
+                               const std::string& default_path) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--json") continue;
+    if (i + 1 < argc && argv[i + 1][0] != '-') return argv[i + 1];
+    return default_path;
+  }
+  return "";
+}
+
+}  // namespace drcell::core

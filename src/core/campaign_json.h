@@ -1,0 +1,46 @@
+// Machine-readable campaign reports: serialises CampaignResults to the
+// JSON schema the bench reports established (flat objects, format_double
+// numbers — bench/README.md), so campaign examples can emit artifacts CI
+// and notebooks consume next to the BENCH_*.json files.
+//
+//   {
+//     "campaign_suite": "<name>",
+//     "results": [
+//       {"id": "...", "selector": "...", "cycles": N,
+//        "total_selected": N, "avg_cells_per_cycle": X,
+//        "satisfaction_ratio": X, "mean_cycle_error": X,
+//        "total_cost": X, "seconds": X},
+//       ...
+//     ]
+//   }
+//
+// Examples cannot include bench/ headers (the examples link only the
+// library), so the `--json [path]` flag convention they share lives here
+// too.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+
+namespace drcell::core {
+
+/// Writes the suite report; ordering follows the input vector.
+void write_campaign_json(std::ostream& out, const std::string& suite,
+                         const std::vector<CampaignResult>& results);
+
+/// File convenience; returns false (after printing why) when the file
+/// cannot be written, so callers can exit non-zero.
+bool write_campaign_json_file(const std::string& path,
+                              const std::string& suite,
+                              const std::vector<CampaignResult>& results);
+
+/// `--json [path]` parsing shared by the campaign examples: returns
+/// `default_path` when the flag is given bare, "" when absent (same
+/// convention as the bench flag).
+std::string campaign_json_path(int argc, char** argv,
+                               const std::string& default_path);
+
+}  // namespace drcell::core

@@ -1,0 +1,158 @@
+#include "core/campaign_scheduler.h"
+
+#include <algorithm>
+
+#include "mcs/state_encoder.h"
+
+namespace drcell::core {
+
+CampaignScheduler::CampaignScheduler() : CampaignScheduler(Options()) {}
+
+CampaignScheduler::CampaignScheduler(Options options) : options_(options) {}
+
+std::size_t CampaignScheduler::add_campaign(
+    std::string id, CampaignConfig config,
+    std::shared_ptr<const mcs::SensingTask> task, EngineFactory engine_factory,
+    std::shared_ptr<baselines::CellSelector> selector) {
+  DRCELL_CHECK_MSG(!id.empty(), "campaign id must be non-empty");
+  DRCELL_CHECK(task != nullptr);
+  DRCELL_CHECK(engine_factory != nullptr);
+  DRCELL_CHECK(selector != nullptr);
+  for (const Slot& s : slots_)
+    DRCELL_CHECK_MSG(s.id != id, "duplicate campaign id: " + id);
+
+  Slot slot;
+  slot.id = std::move(id);
+  slot.config = config;
+  slot.task = std::move(task);
+  slot.engine_factory = std::move(engine_factory);
+  slot.selector = std::move(selector);
+  slot.batched = dynamic_cast<BatchedQSelector*>(slot.selector.get());
+  slot.env = make_campaign_environment(slot.task, slot.engine_factory(),
+                                       slot.config);
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+bool CampaignScheduler::all_done() const {
+  return std::all_of(slots_.begin(), slots_.end(),
+                     [](const Slot& s) { return s.env->episode_done(); });
+}
+
+void CampaignScheduler::decide_batched(const std::vector<std::size_t>& active) {
+  // Group batchable campaigns by shared network, preserving first-seen
+  // order (and ascending slot order within a group) so the batch layout —
+  // and with it any accumulation order downstream — is deterministic.
+  std::vector<rl::QNetwork*> networks;
+  std::vector<std::vector<std::size_t>> groups;
+  for (const std::size_t i : active) {
+    Slot& slot = slots_[i];
+    if (slot.batched == nullptr) continue;
+    rl::QNetwork* net = &slot.batched->shared_network();
+    const auto it = std::find(networks.begin(), networks.end(), net);
+    if (it == networks.end()) {
+      networks.push_back(net);
+      groups.emplace_back();
+      groups.back().push_back(i);
+    } else {
+      groups[static_cast<std::size_t>(it - networks.begin())].push_back(i);
+    }
+  }
+
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    rl::QNetwork& net = *networks[g];
+    const std::vector<std::size_t>& members = groups[g];
+    std::vector<const std::vector<double>*> states;
+    states.reserve(members.size());
+    for (const std::size_t i : members) {
+      slots_[i].state_buf = slots_[i].env->state();
+      states.push_back(&slots_[i].state_buf);
+    }
+    const mcs::StateEncoder encoder(net.num_actions(), net.history_steps());
+    // One forward for the whole group; row r is bit-identical to the B = 1
+    // forward of member r's state (batched determinism contract), and
+    // masked_argmax_row is the same argmax greedy_action applies — so each
+    // campaign picks exactly its solo action.
+    const Matrix& q = net.forward_batch(encoder.to_sequence_batch(states));
+    for (std::size_t r = 0; r < members.size(); ++r) {
+      Slot& slot = slots_[members[r]];
+      slot.pending_action =
+          rl::masked_argmax_row(q, r, slot.env->action_mask());
+    }
+  }
+}
+
+std::size_t CampaignScheduler::step_wave() {
+  std::vector<std::size_t> active;
+  active.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (!slots_[i].env->episode_done()) active.push_back(i);
+  if (active.empty()) return 0;
+
+  // DECIDE. Batched groups first (one forward per shared network), then the
+  // serial selectors in ascending slot order — each owns its draw stream,
+  // so its decisions replay its solo campaign's exactly.
+  if (options_.cross_campaign_batching) decide_batched(active);
+  for (const std::size_t i : active) {
+    Slot& slot = slots_[i];
+    if (options_.cross_campaign_batching && slot.batched != nullptr) continue;
+    slot.pending_action = slot.selector->select(*slot.env);
+  }
+
+  // STEP — the expensive phase (inference + gate) fans out over the pool.
+  // Index-exclusive writes per slot keep it bit-identical for any worker
+  // count. StepResults are recorded for the OBSERVE phase.
+  util::ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : util::ThreadPool::global();
+  std::vector<mcs::StepResult> results(active.size());
+  pool.parallel_for(active.size(), [&](std::size_t k) {
+    Slot& slot = slots_[active[k]];
+    results[k] = slot.env->step(slot.pending_action);
+    slot.action_log.push_back(
+        static_cast<std::uint32_t>(slot.pending_action));
+  });
+
+  // OBSERVE — serial, ascending: hooks may train a shared agent.
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    Slot& slot = slots_[active[k]];
+    slot.selector->on_step(*slot.env, slot.pending_action, results[k]);
+  }
+
+  ++waves_;
+  return active.size();
+}
+
+std::size_t CampaignScheduler::run(std::size_t max_waves) {
+  std::size_t waves = 0;
+  while (step_wave() > 0) {
+    ++waves;
+    if (max_waves > 0 && waves >= max_waves) break;
+  }
+  return waves;
+}
+
+const mcs::SparseMcsEnvironment& CampaignScheduler::environment(
+    std::size_t slot) const {
+  DRCELL_CHECK(slot < slots_.size());
+  return *slots_[slot].env;
+}
+
+const std::vector<std::uint32_t>& CampaignScheduler::action_log(
+    std::size_t slot) const {
+  DRCELL_CHECK(slot < slots_.size());
+  return slots_[slot].action_log;
+}
+
+std::vector<CampaignResult> CampaignScheduler::results() const {
+  std::vector<CampaignResult> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    CampaignResult r =
+        summarize_campaign(*slot.env, slot.selector->name(), slot.config);
+    r.id = slot.id;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace drcell::core

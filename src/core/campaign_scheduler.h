@@ -1,0 +1,129 @@
+// Multi-campaign serving engine: steps N independent sensing campaigns
+// concurrently over the shared thread pool, one synchronised "wave" (one
+// selection step per unfinished campaign) at a time.
+//
+// Wave anatomy (step_wave):
+//
+//   1. DECIDE — serial, ascending slot order. Campaigns whose selector
+//      claims BatchedQSelector (core/batched_selector.h) are grouped by
+//      shared network; each group's states are stacked into ONE
+//      timestep-major [B x m] minibatch and scored with a single
+//      forward_batch, then each row is argmaxed under that campaign's
+//      action mask. By the batched determinism contract (rl/qnetwork.h)
+//      every row's Q-values — and therefore the chosen action — are
+//      bit-identical to the B = 1 forward the solo runner would do.
+//      Non-batched selectors call select() serially in slot order, so a
+//      selector's private draw stream advances exactly as its solo
+//      campaign would.
+//   2. STEP — parallel_for over the unfinished campaigns: each applies its
+//      decided action to its own environment (where the real work lives —
+//      matrix-completion inference, the LOO gate). Writes are
+//      index-exclusive per slot, so the result is bit-identical for any
+//      worker count (util/thread_pool.h determinism contract).
+//   3. OBSERVE — serial, ascending: selector on_step hooks (online
+//      training). Serial because campaigns may share a trainable agent.
+//
+// Per-campaign equivalence: a campaign stepped here produces the exact
+// action log, environment trace and CampaignResult (seconds excluded —
+// wall-clock is not part of any bit-compare) that run_campaign would
+// produce with the same task/engine/selector/seeds, PROVIDED nothing
+// couples the campaigns (engines and environments are per-campaign by
+// construction; selectors must be per-campaign unless frozen;
+// cross-campaign training through a shared online agent changes the
+// training-data order by design). bench_multi_campaign hard-gates this
+// equivalence.
+//
+// Checkpoint/resume (core/checkpoint.h): the scheduler records every
+// campaign's ordered action log; resume rebuilds each environment with a
+// fresh engine from the registered factory and replays the log — the
+// environment is deterministic given the action sequence, and the replayed
+// engine sees the identical inference-call sequence (including the
+// order-sensitive ALS warm-start fingerprints), so a resumed scheduler
+// continues bit-identically to one that never stopped.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/selector.h"
+#include "core/batched_selector.h"
+#include "core/campaign.h"
+#include "util/thread_pool.h"
+
+namespace drcell::core {
+
+class CampaignScheduler {
+ public:
+  /// Builds the campaign's inference engine. Must be deterministic — resume
+  /// calls it again to rebuild the engine a replayed environment drives —
+  /// which every stateless construction (make_als_engine(params), ...) is.
+  using EngineFactory = std::function<cs::InferenceEnginePtr()>;
+
+  struct Options {
+    util::ThreadPool* pool = nullptr;  ///< nullptr -> ThreadPool::global()
+    /// Batch BatchedQSelector campaigns into shared forward_batch calls.
+    /// Off = the unbatched reference: every selector steps via select().
+    bool cross_campaign_batching = true;
+  };
+
+  CampaignScheduler();  // default Options: global pool, batching on
+  explicit CampaignScheduler(Options options);
+
+  /// Registers a campaign and builds its environment; returns the slot
+  /// index. `selector` must stay exclusive to this campaign unless it is a
+  /// frozen BatchedQSelector policy (stateless select), and ids must be
+  /// unique — they key the checkpoint's identity check.
+  std::size_t add_campaign(std::string id, CampaignConfig config,
+                           std::shared_ptr<const mcs::SensingTask> task,
+                           EngineFactory engine_factory,
+                           std::shared_ptr<baselines::CellSelector> selector);
+
+  std::size_t num_campaigns() const { return slots_.size(); }
+  bool all_done() const;
+  std::size_t waves_completed() const { return waves_; }
+
+  /// One wave: every unfinished campaign decides and applies one action.
+  /// Returns how many campaigns were stepped (0 = all done).
+  std::size_t step_wave();
+
+  /// Waves until every campaign's episode is done; returns the number of
+  /// waves run. `max_waves` > 0 caps the burst (checkpoint drills).
+  std::size_t run(std::size_t max_waves = 0);
+
+  const mcs::SparseMcsEnvironment& environment(std::size_t slot) const;
+  const std::vector<std::uint32_t>& action_log(std::size_t slot) const;
+
+  /// Results in slot order, each carrying its campaign id. seconds is 0 —
+  /// wall-clock is owned by the caller and excluded from bit-compares.
+  std::vector<CampaignResult> results() const;
+
+ private:
+  struct Slot {
+    std::string id;
+    CampaignConfig config;
+    std::shared_ptr<const mcs::SensingTask> task;
+    EngineFactory engine_factory;
+    std::shared_ptr<baselines::CellSelector> selector;
+    BatchedQSelector* batched = nullptr;  ///< non-null: batchable decision
+    std::unique_ptr<mcs::SparseMcsEnvironment> env;
+    std::vector<std::uint32_t> action_log;
+    /// Wave workspaces (DECIDE writes, STEP reads; index-exclusive).
+    std::vector<double> state_buf;
+    std::size_t pending_action = 0;
+  };
+
+  void decide_batched(const std::vector<std::size_t>& active);
+
+  friend void save_checkpoint(const CampaignScheduler& scheduler,
+                              std::ostream& out);
+  friend void load_checkpoint(CampaignScheduler& scheduler, std::istream& in);
+
+  Options options_;
+  std::vector<Slot> slots_;
+  std::size_t waves_ = 0;
+};
+
+}  // namespace drcell::core

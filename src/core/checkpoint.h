@@ -1,0 +1,54 @@
+// Scheduler checkpoint/resume — the stop/restart contract of the
+// multi-campaign serving engine (core/campaign_scheduler.h).
+//
+// Format: magic "DRCK", u32 version, then
+//   u64 waves_completed, u64 campaign count, u64 agent count;
+//   per agent: u64 env_steps, u64 train_steps (the trainer counters that
+//     drive the epsilon schedule and target-sync cadence), u64 blob size,
+//     then that many bytes of DRCW weight stream (nn/serialize.h — the
+//     online network's parameters, exactly what DrCellAgent::save_weights
+//     emits);
+//   per campaign: u64 id length + bytes, i64 agent index (-1 = no agent),
+//     u64 cycle index at checkpoint, u64 action count + u32 actions (the
+//     ordered action log), u64 word count + u64 selector state words
+//     (CellSelector::checkpoint_state_words — RNG streams).
+//
+// Agents are deduplicated by object identity: N campaigns serving one
+// shared DrCellAgent write its weights ONCE and all reference the same
+// table entry.
+//
+// Resume is replay: load_checkpoint requires a scheduler already populated
+// with the same campaigns (matched by id, in order, same configs/tasks/
+// factories/selector types — the checkpoint stores state, not
+// configuration), restores agent weights and counters and selector RNG
+// words FIRST, then rebuilds each environment with a fresh engine from its
+// factory and replays the logged actions through env->step. The
+// environment is deterministic given the action sequence and the replayed
+// engine sees the identical inference-call sequence (including the
+// order-sensitive ALS warm-start fingerprints — why the log keeps order,
+// not just the selection set), so the resumed scheduler's subsequent waves
+// are bit-identical to an uninterrupted run's. Caveat: replay buffers are
+// out of scope, so campaigns that TRAIN during serving (OnlineAdaptive)
+// resume with restored weights but an empty pool — see core/policy.h.
+//
+// Throws nn::SerializationError on bad magic, truncation, count/id/cycle
+// mismatches, or weight-shape mismatches (the DRCW layer's own check).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace drcell::core {
+
+class CampaignScheduler;
+
+void save_checkpoint(const CampaignScheduler& scheduler, std::ostream& out);
+void load_checkpoint(CampaignScheduler& scheduler, std::istream& in);
+
+/// File-path convenience wrappers.
+void save_checkpoint_file(const CampaignScheduler& scheduler,
+                          const std::string& path);
+void load_checkpoint_file(CampaignScheduler& scheduler,
+                          const std::string& path);
+
+}  // namespace drcell::core

@@ -2,19 +2,31 @@
 // the campaign runner can evaluate DR-Cell next to QBC and RANDOM.
 #pragma once
 
+#include <algorithm>
+#include <array>
+
 #include "baselines/selector.h"
 #include "core/agent.h"
+#include "core/batched_selector.h"
 
 namespace drcell::core {
 
 /// Frozen greedy policy — the paper's testing stage: always take the action
-/// with the largest Q-value (Sec. 5.3).
-class DrCellPolicy final : public baselines::CellSelector {
+/// with the largest Q-value (Sec. 5.3). Claims BatchedQSelector: its
+/// decision is exactly the greedy argmax of the agent's online network, so
+/// the multi-campaign scheduler may batch it across campaigns.
+class DrCellPolicy final : public baselines::CellSelector,
+                           public BatchedQSelector {
  public:
   explicit DrCellPolicy(DrCellAgent& agent);
 
   std::size_t select(const mcs::SparseMcsEnvironment& env) override;
   std::string name() const override { return "DR-Cell"; }
+
+  rl::QNetwork& shared_network() override {
+    return agent_.trainer().online();
+  }
+  DrCellAgent& agent() { return agent_; }
 
  private:
   DrCellAgent& agent_;
@@ -34,6 +46,26 @@ class OnlineAdaptivePolicy final : public baselines::CellSelector {
   void on_step(const mcs::SparseMcsEnvironment& env, std::size_t action,
                const mcs::StepResult& result) override;
   std::string name() const override { return "DR-Cell-online"; }
+
+  /// Checkpoint scope (core/checkpoint.h): the exploration RNG stream only.
+  /// Weights and trainer counters travel in the checkpoint's agent table;
+  /// the replay buffer is deliberately out of scope, so a resumed online
+  /// campaign warms its pool up again — its future *training* (not its
+  /// restored weights) may diverge from the uninterrupted run. The
+  /// bit-identical resume guarantee covers non-training selectors.
+  std::vector<std::uint64_t> checkpoint_state_words() const override {
+    const auto s = rng_.save_state();
+    return std::vector<std::uint64_t>(s.begin(), s.end());
+  }
+  void restore_state_words(const std::vector<std::uint64_t>& words) override {
+    DRCELL_CHECK_MSG(words.size() == 6,
+                     "DR-Cell-online checkpoint needs 6 words");
+    std::array<std::uint64_t, 6> s;
+    std::copy(words.begin(), words.end(), s.begin());
+    rng_.restore_state(s);
+  }
+
+  DrCellAgent& online_agent() { return agent_; }
 
  private:
   DrCellAgent& agent_;

@@ -49,21 +49,99 @@ std::size_t SyntheticFieldGenerator::SpatialKeyHash::operator()(
   return static_cast<std::size_t>(h);
 }
 
+namespace {
+
+/// FNV-1a over the raw coordinate doubles — the geometry half of the shared
+/// registry's hash (equality still compares element-wise, so the hash only
+/// routes to a bucket and can never alias two geometries into one entry).
+std::size_t hash_coords(const std::vector<cs::CellCoord>& coords) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  };
+  mix(coords.size());
+  for (const cs::CellCoord& c : coords) {
+    mix(std::bit_cast<std::uint64_t>(c.x));
+    mix(std::bit_cast<std::uint64_t>(c.y));
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace
+
+bool SyntheticFieldGenerator::SharedKey::operator==(
+    const SharedKey& o) const {
+  if (!(spatial == o.spatial) || coord_hash != o.coord_hash) return false;
+  if (coords == o.coords) return true;  // same generator's vector
+  const auto& a = *coords;
+  const auto& b = *o.coords;
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].x != b[i].x || a[i].y != b[i].y) return false;
+  return true;
+}
+
+std::size_t SyntheticFieldGenerator::SharedKeyHash::operator()(
+    const SharedKey& k) const {
+  return k.coord_hash ^ (SpatialKeyHash{}(k.spatial) * 0x9e3779b97f4a7c15ULL);
+}
+
+/// The process-wide factor registry (see shared_factor_cache_hits). One
+/// mutex guards map and counter; held across builds so a concurrent
+/// same-config request waits for the single factorisation instead of
+/// duplicating it — the same discipline as the per-generator lock.
+struct SyntheticFieldGenerator::SharedRegistry {
+  std::mutex mutex;
+  std::unordered_map<SharedKey, std::shared_ptr<const SpatialFactor>,
+                     SharedKeyHash>
+      factors;
+  std::size_t hits = 0;
+};
+
+SyntheticFieldGenerator::SharedRegistry&
+SyntheticFieldGenerator::shared_registry() {
+  static SharedRegistry registry;
+  return registry;
+}
+
+std::size_t SyntheticFieldGenerator::shared_factor_cache_hits() {
+  SharedRegistry& r = shared_registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return r.hits;
+}
+
+std::size_t SyntheticFieldGenerator::shared_factor_cache_size() {
+  SharedRegistry& r = shared_registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return r.factors.size();
+}
+
+void SyntheticFieldGenerator::reset_shared_factor_cache() {
+  SharedRegistry& r = shared_registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.factors.clear();
+  r.hits = 0;
+}
+
 SyntheticFieldGenerator::SyntheticFieldGenerator(
     std::vector<cs::CellCoord> coords)
-    : coords_(std::move(coords)) {
-  DRCELL_CHECK_MSG(!coords_.empty(), "generator needs cell coordinates");
+    : coords_(std::make_shared<const std::vector<cs::CellCoord>>(
+          std::move(coords))),
+      coord_hash_(hash_coords(*coords_)) {
+  DRCELL_CHECK_MSG(!coords_->empty(), "generator needs cell coordinates");
 }
 
 Matrix SyntheticFieldGenerator::spatial_cholesky(
     const FieldParams& params) const {
-  const std::size_t m = coords_.size();
+  const std::size_t m = coords_->size();
   Matrix k(m, m);
   const double ell2 = params.spatial_length * params.spatial_length;
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = 0; j < m; ++j)
       k(i, j) = (1.0 - params.nugget) *
-                std::exp(rbf_exponent(coords_[i], coords_[j], ell2));
+                std::exp(rbf_exponent((*coords_)[i], (*coords_)[j], ell2));
     k(i, i) += params.nugget;
   }
   return Cholesky(k).l;
@@ -74,19 +152,19 @@ std::vector<std::size_t> SyntheticFieldGenerator::landmark_indices(
   // Deterministic farthest-point sampling: start from cell 0, then
   // repeatedly add the cell farthest from the chosen set (lowest index on
   // ties). Covers irregular layouts evenly in O(m·k).
-  const std::size_t m = coords_.size();
+  const std::size_t m = coords_->size();
   std::vector<std::size_t> landmarks;
   landmarks.reserve(k);
   std::vector<double> dist2(m, std::numeric_limits<double>::infinity());
   std::size_t next = 0;
   for (std::size_t t = 0; t < k; ++t) {
     landmarks.push_back(next);
-    const cs::CellCoord& c = coords_[next];
+    const cs::CellCoord& c = (*coords_)[next];
     std::size_t best = 0;
     double best_d2 = -1.0;
     for (std::size_t i = 0; i < m; ++i) {
-      const double dx = coords_[i].x - c.x;
-      const double dy = coords_[i].y - c.y;
+      const double dx = (*coords_)[i].x - c.x;
+      const double dy = (*coords_)[i].y - c.y;
       const double d2 = dx * dx + dy * dy;
       if (d2 < dist2[i]) dist2[i] = d2;
       if (dist2[i] > best_d2) {
@@ -101,7 +179,7 @@ std::vector<std::size_t> SyntheticFieldGenerator::landmark_indices(
 
 Matrix SyntheticFieldGenerator::build_nystrom_factor(
     const FieldParams& params) const {
-  const std::size_t m = coords_.size();
+  const std::size_t m = coords_->size();
   const std::size_t k = std::min(params.nystrom_landmarks, m);
   DRCELL_CHECK_MSG(k > 0, "Nyström factor needs at least one landmark");
   const std::vector<std::size_t> landmarks = landmark_indices(k);
@@ -114,7 +192,7 @@ Matrix SyntheticFieldGenerator::build_nystrom_factor(
   Matrix c(m, k);
   for (std::size_t i = 0; i < m; ++i)
     for (std::size_t j = 0; j < k; ++j)
-      c(i, j) = rbf_exponent(coords_[i], coords_[landmarks[j]], ell2);
+      c(i, j) = rbf_exponent((*coords_)[i], (*coords_)[landmarks[j]], ell2);
   fastmath::exp_inplace(c.data());
   c *= amp;
 
@@ -123,7 +201,7 @@ Matrix SyntheticFieldGenerator::build_nystrom_factor(
   for (std::size_t a = 0; a < k; ++a)
     for (std::size_t b = 0; b < k; ++b)
       w(a, b) =
-          rbf_exponent(coords_[landmarks[a]], coords_[landmarks[b]], ell2);
+          rbf_exponent((*coords_)[landmarks[a]], (*coords_)[landmarks[b]], ell2);
   fastmath::exp_inplace(w.data());
   w *= amp;
   for (std::size_t a = 0; a < k; ++a) w(a, a) += kNystromJitter * amp;
@@ -149,31 +227,47 @@ const SyntheticFieldGenerator::SpatialFactor&
 SyntheticFieldGenerator::spatial_factor(const FieldParams& params) const {
   DRCELL_CHECK(params.spatial_length > 0.0);
   DRCELL_CHECK(params.nugget > 0.0 && params.nugget <= 1.0);
-  const bool low_rank = coords_.size() > params.nystrom_threshold;
+  const bool low_rank = coords_->size() > params.nystrom_threshold;
   const SpatialKey key{params.spatial_length, params.nugget, low_rank,
                        low_rank ? params.nystrom_landmarks : 0};
-  // The lock covers the build too: a concurrent same-config generate()
-  // waits for one factorisation instead of duplicating it, and map element
-  // references stay valid for callers after release.
+  // The generator lock covers the local lookup and the registry consult: a
+  // concurrent same-config generate() on this generator waits instead of
+  // racing, and the shared_ptr pinned into the local map keeps the returned
+  // reference valid past release (even across a registry reset). Lock order
+  // is generator → registry, with no path back, so no deadlock.
   const std::lock_guard<std::mutex> lock(factor_mutex_);
   if (const auto it = factor_cache_.find(key); it != factor_cache_.end()) {
     ++factor_cache_hits_;
+    return *it->second;
+  }
+  std::shared_ptr<const SpatialFactor> factor = shared_factor(key, params);
+  return *factor_cache_.emplace(key, std::move(factor)).first->second;
+}
+
+std::shared_ptr<const SyntheticFieldGenerator::SpatialFactor>
+SyntheticFieldGenerator::shared_factor(const SpatialKey& key,
+                                       const FieldParams& params) const {
+  const SharedKey shared_key{coords_, coord_hash_, key};
+  SharedRegistry& r = shared_registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  if (const auto it = r.factors.find(shared_key); it != r.factors.end()) {
+    ++r.hits;
     return it->second;
   }
-  SpatialFactor factor;
-  factor.low_rank = low_rank;
-  if (low_rank)
-    factor.f = build_nystrom_factor(params);
+  auto factor = std::make_shared<SpatialFactor>();
+  factor->low_rank = key.low_rank;
+  if (key.low_rank)
+    factor->f = build_nystrom_factor(params);
   else
-    factor.dense_l = spatial_cholesky(params);
-  return factor_cache_.emplace(key, std::move(factor)).first->second;
+    factor->dense_l = spatial_cholesky(params);
+  return r.factors.emplace(shared_key, std::move(factor)).first->second;
 }
 
 const Matrix& SyntheticFieldGenerator::nystrom_factor(
     const FieldParams& params) const {
   // Reject exact-path params before spatial_factor() would pay the O(m³)
   // dense factorisation (and cache it) only to throw.
-  DRCELL_CHECK_MSG(coords_.size() > params.nystrom_threshold,
+  DRCELL_CHECK_MSG(coords_->size() > params.nystrom_threshold,
                    "params select the exact path (cells <= nystrom_threshold)");
   return spatial_factor(params).f;
 }
@@ -181,7 +275,7 @@ const Matrix& SyntheticFieldGenerator::nystrom_factor(
 Matrix SyntheticFieldGenerator::draw_modes(const FieldParams& params,
                                            Rng& rng) const {
   DRCELL_CHECK(params.num_modes > 0);
-  const std::size_t m = coords_.size();
+  const std::size_t m = coords_->size();
   const SpatialFactor& factor = spatial_factor(params);
   Matrix modes(m, params.num_modes);
   if (!factor.low_rank) {

@@ -60,18 +60,7 @@ EncodedExperience DqnTrainer::encode_experience(const Experience& e) const {
 std::size_t DqnTrainer::masked_argmax(
     const Matrix& q, std::size_t row,
     const std::vector<std::uint8_t>& mask) const {
-  DRCELL_CHECK(mask.size() == q.cols());
-  std::size_t best = mask.size();
-  double best_q = -std::numeric_limits<double>::infinity();
-  for (std::size_t a = 0; a < mask.size(); ++a) {
-    if (!mask[a]) continue;
-    if (q(row, a) > best_q) {
-      best_q = q(row, a);
-      best = a;
-    }
-  }
-  DRCELL_CHECK_MSG(best < mask.size(), "no selectable action");
-  return best;
+  return masked_argmax_row(q, row, mask);
 }
 
 std::size_t DqnTrainer::select_action(const std::vector<double>& state,

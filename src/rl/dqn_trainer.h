@@ -153,6 +153,16 @@ class DqnTrainer {
   /// Copies the online parameters into the fixed-target network.
   void sync_target();
 
+  /// Checkpoint/resume: restores the step counters that drive the epsilon
+  /// schedule (env_steps) and the target-sync cadence (train_steps) — the
+  /// "epsilon state" of the scheduler checkpoint contract
+  /// (core/checkpoint.h). Weights are restored separately via the
+  /// parameter (de)serialisation in nn/serialize.h.
+  void restore_counters(std::size_t env_steps, std::size_t train_steps) {
+    env_steps_ = env_steps;
+    train_steps_ = train_steps;
+  }
+
   /// Overrides the pool that runs the batch forwards of train_step.
   /// nullptr restores the global pool.
   void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }

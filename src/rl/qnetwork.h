@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -115,5 +116,27 @@ class QNetwork {
 };
 
 using QNetworkPtr = std::unique_ptr<QNetwork>;
+
+/// Greedy masked argmax over row `row` of a [B x m] Q matrix: ascending
+/// scan, strict `>` comparison (first maximum wins), masked-out actions
+/// skipped. This is THE argmax of the library — DqnTrainer's greedy/
+/// behaviour policies and the cross-campaign batched serving path
+/// (core::CampaignScheduler) all call it, so a batched Q row argmaxes to
+/// exactly the action a B = 1 forward would pick.
+inline std::size_t masked_argmax_row(const Matrix& q, std::size_t row,
+                                     const std::vector<std::uint8_t>& mask) {
+  DRCELL_CHECK(mask.size() == q.cols());
+  std::size_t best = mask.size();
+  double best_q = -std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < mask.size(); ++a) {
+    if (!mask[a]) continue;
+    if (q(row, a) > best_q) {
+      best_q = q(row, a);
+      best = a;
+    }
+  }
+  DRCELL_CHECK_MSG(best < mask.size(), "no selectable action");
+  return best;
+}
 
 }  // namespace drcell::rl

@@ -6,6 +6,7 @@
 // has a tiny state compared to std::mt19937.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -78,6 +79,14 @@ class Rng {
 
   /// Derive an independent child generator (for per-component streams).
   Rng fork();
+
+  /// Checkpoint/resume support: the full generator state as six words —
+  /// the four xoshiro words, the cached Box–Muller spare (bit-cast), and
+  /// its validity flag. restore_state(save_state()) resumes the exact draw
+  /// stream, so a resumed campaign replays the uninterrupted one bit for
+  /// bit (core/checkpoint.h).
+  std::array<std::uint64_t, 6> save_state() const;
+  void restore_state(const std::array<std::uint64_t, 6>& words);
 
  private:
   std::uint64_t s_[4];

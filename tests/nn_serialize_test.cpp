@@ -5,6 +5,7 @@
 #include "nn/dense.h"
 #include "nn/lstm.h"
 #include "nn/serialize.h"
+#include "rl/spatial_drqn_qnetwork.h"
 
 namespace drcell::nn {
 namespace {
@@ -121,6 +122,54 @@ TEST(Serialize, FileRoundTrip) {
   Dense restored(4, 2, rng2);
   load_parameters_from_file(path, restored.parameters());
   EXPECT_EQ(original.weight().value, restored.weight().value);
+}
+
+std::vector<Matrix> spatial_probe_batch(const rl::SpatialDrqnQNetwork& net,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Matrix> steps(net.history_steps(),
+                            Matrix(2, net.num_actions()));
+  for (auto& step : steps)
+    for (double& v : step.data()) v = rng.uniform() < 0.2 ? 1.0 : 0.0;
+  return steps;
+}
+
+TEST(Serialize, SpatialDrqnRoundTripPreservesQValues) {
+  Rng rng(20);
+  rl::SpatialDrqnQNetwork original(4, 3, 2, 8, 1, 0, rng);
+  std::stringstream ss;
+  save_parameters(ss, original.parameters());
+
+  Rng rng2(21);
+  rl::SpatialDrqnQNetwork restored(4, 3, 2, 8, 1, 0, rng2);
+  const auto probe = spatial_probe_batch(original, 22);
+  ASSERT_NE(original.forward_batch(probe), restored.forward_batch(probe));
+  load_parameters(ss, restored.parameters());
+  EXPECT_EQ(original.forward_batch(probe), restored.forward_batch(probe));
+}
+
+TEST(Serialize, SpatialDrqnTruncatedStreamThrows) {
+  Rng rng(23);
+  rl::SpatialDrqnQNetwork net(4, 3, 2, 8, 1, 4, rng);
+  std::stringstream ss;
+  save_parameters(ss, net.parameters());
+  std::string data = ss.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW(load_parameters(truncated, net.parameters()),
+               SerializationError);
+}
+
+TEST(Serialize, SpatialDrqnShapeMismatchThrows) {
+  Rng rng(24);
+  rl::SpatialDrqnQNetwork small(4, 3, 2, 8, 1, 0, rng);
+  std::stringstream ss;
+  save_parameters(ss, small.parameters());
+  // Same grid and parameter count, but a wider LSTM: every weight shape
+  // disagrees and the load must refuse rather than scribble.
+  rl::SpatialDrqnQNetwork wide(4, 3, 2, 12, 1, 0, rng);
+  ASSERT_EQ(wide.parameters().size(), small.parameters().size());
+  EXPECT_THROW(load_parameters(ss, wide.parameters()), SerializationError);
 }
 
 TEST(Serialize, MissingFileThrows) {
