@@ -20,6 +20,7 @@
 #include "core/trainer.h"
 #include "cs/matrix_completion.h"
 #include "data/datasets.h"
+#include "linalg/backend.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
@@ -31,6 +32,22 @@ inline bool quick_mode(int argc, char** argv) {
     if (std::string(argv[i]) == "--quick") return true;
   const char* env = std::getenv("DRCELL_QUICK");
   return env != nullptr && std::string(env) == "1";
+}
+
+/// `--backend <name>` selects the compute backend for the run (same
+/// registry as the DRCELL_BACKEND env var; unknown names fail loudly via
+/// the registry's check). Returns the selected backend's name so benches
+/// can stamp it into their report; without the flag the default selection
+/// order applies untouched. Gate policy: the hard perf and bit-identity
+/// gates are calibrated for the native backend — benches relax or skip
+/// them when another backend is selected (bench/README.md).
+inline std::string select_backend(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--backend" && i + 1 < argc) {
+      BackendRegistry::set_active(argv[i + 1]);
+      break;
+    }
+  return BackendRegistry::active().name();
 }
 
 /// `--json [path]` enables the machine-readable perf report. With no path
@@ -53,6 +70,10 @@ class JsonReporter {
  public:
   JsonReporter(std::string bench, bool quick)
       : bench_(std::move(bench)), quick_(quick) {}
+
+  /// Stamps the compute backend the run executed under into the report
+  /// (consumers ignore unknown keys, so older tooling is unaffected).
+  void set_backend(std::string backend) { backend_ = std::move(backend); }
 
   /// Records one op. `wall_ms` is the mean wall time of a single execution;
   /// `per_sec` is how many such executions fit in a second (for campaign
@@ -90,7 +111,9 @@ class JsonReporter {
       return false;
     }
     out << "{\n  \"bench\": \"" << bench_ << "\",\n  \"quick\": "
-        << (quick_ ? "true" : "false") << ",\n  \"entries\": [\n";
+        << (quick_ ? "true" : "false");
+    if (!backend_.empty()) out << ",\n  \"backend\": \"" << backend_ << "\"";
+    out << ",\n  \"entries\": [\n";
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       out << "    {\"op\": \"" << e.op << "\", \"wall_ms\": "
@@ -122,6 +145,7 @@ class JsonReporter {
   };
   std::string bench_;
   bool quick_;
+  std::string backend_;
   std::vector<Entry> entries_;
 };
 

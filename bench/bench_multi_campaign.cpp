@@ -269,6 +269,10 @@ int resume_smoke() {
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  // The correctness gates below are within-process bit-identity checks, so
+  // they hold under any single exact-contract backend; the perf gate is
+  // shape-level (shared registry vs rebuilt) and backend-agnostic.
+  const std::string backend = bench::select_backend(argc, argv);
   const std::string json =
       bench::json_path(argc, argv, "BENCH_multi_campaign.json");
   bool perf_gate = true;
@@ -281,6 +285,7 @@ int main(int argc, char** argv) {
 
   Stopwatch total;
   JsonReporter report("multi_campaign", quick);
+  report.set_backend(backend);
   std::cout << "multi-campaign serving bench (" << (quick ? "quick" : "full")
             << " mode)\n\n";
 

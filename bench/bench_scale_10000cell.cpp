@@ -243,9 +243,11 @@ void bench_train_step(bench::JsonReporter& report, bool quick) {
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  const std::string backend = bench::select_backend(argc, argv);
   const std::string json =
       bench::json_path(argc, argv, "BENCH_scale_10000cell.json");
   bench::JsonReporter report("scale_10000cell", quick);
+  report.set_backend(backend);
   Stopwatch total;
 
   std::cout << "generating 10000-cell metro-scale task (100 x 100 grid, "

@@ -339,9 +339,11 @@ void bench_train_step(std::size_t cells, bench::JsonReporter& report,
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  const std::string backend = bench::select_backend(argc, argv);
   const std::string json =
       bench::json_path(argc, argv, "BENCH_scale_1000cell.json");
   bench::JsonReporter report("scale_1000cell", quick);
+  report.set_backend(backend);
   Stopwatch total;
 
   std::cout << "generating 1000-cell city-scale task (25 x 40 grid)...\n";

@@ -1,0 +1,118 @@
+// The optional "blas" compute backend (compiled only with
+// -DDRCELL_WITH_BLAS; CMake links the BLAS found by find_package). The
+// three dense GEMM forms run through Fortran dgemm; the sparse gather pair
+// and the fused gate pass reuse the native kernels (a gather over a handful
+// of stored entries gains nothing from dgemm, and BLAS has no gate op).
+//
+// Contract tier: tolerance, not bit-exact. dgemm makes no promise about
+// accumulation order, so none of the exact-arithmetic rules (ascending-k,
+// zero-skip, direct accumulation) hold — exact_contract() is false, the
+// bit-identity suites are replaced by the conformance suite's
+// tolerance_vs_native() bound (≤1e-10 max-abs on the conformance
+// workloads), and end-to-end training comparisons use the documented 1e-8
+// bound. Row-major layouts map onto Fortran's column-major dgemm via
+// Cᵀ = Bᵀ·Aᵀ: a row-major M x N buffer read column-major IS its transpose.
+#ifdef DRCELL_WITH_BLAS
+
+#include "linalg/backend.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse_matrix.h"
+#include "nn/lstm.h"
+
+extern "C" {
+// Fortran BLAS symbol — declared directly so no cblas header is required.
+void dgemm_(const char* transa, const char* transb, const int* m,
+            const int* n, const int* k, const double* alpha, const double* a,
+            const int* lda, const double* b, const int* ldb,
+            const double* beta, double* c, const int* ldc);
+}
+
+namespace drcell {
+
+namespace {
+
+void dgemm(char transa, char transb, int m, int n, int k, double alpha,
+           const double* a, int lda, const double* b, int ldb, double beta,
+           double* c, int ldc) {
+  dgemm_(&transa, &transb, &m, &n, &k, &alpha, a, lda, b, ldb, &beta, c,
+         ldc);
+}
+
+class BlasBackend final : public ComputeBackend {
+ public:
+  const char* name() const override { return "blas"; }
+  bool exact_contract() const override { return false; }
+  double tolerance_vs_native() const override { return 1e-10; }
+
+  void matmul_into(const Matrix& a, const Matrix& b,
+                   Matrix& out) const override {
+    // out = a·b, all row-major: column-major outᵀ = bᵀ·aᵀ, and the
+    // row-major buffers read column-major are exactly those transposes.
+    const int m = static_cast<int>(a.rows());
+    const int k = static_cast<int>(a.cols());
+    const int n = static_cast<int>(b.cols());
+    if (m == 0 || n == 0) return;
+    if (k == 0) return;  // out stays zeroed — matches the empty-sum contract
+    dgemm('N', 'N', n, m, k, 1.0, b.data().data(), n, a.data().data(), k,
+          0.0, out.data().data(), n);
+  }
+
+  void matmul_transposed_other_into(const Matrix& a, const Matrix& b,
+                                    Matrix& out) const override {
+    // out = a·bᵀ (a: M x K, b: N x K): column-major outᵀ = b·aᵀ, with b
+    // recovered from its column-major-read transpose via 'T'.
+    const int m = static_cast<int>(a.rows());
+    const int k = static_cast<int>(a.cols());
+    const int n = static_cast<int>(b.rows());
+    if (m == 0 || n == 0) return;
+    if (k == 0) {
+      for (double& v : out.data()) v = 0.0;  // every element is assigned
+      return;
+    }
+    dgemm('T', 'N', n, m, k, 1.0, b.data().data(), k, a.data().data(), k,
+          0.0, out.data().data(), n);
+  }
+
+  void matmul_transposed_self_add(const Matrix& a, const Matrix& b,
+                                  Matrix& out) const override {
+    // out += aᵀ·b (a: R x C, b: R x N): column-major outᵀ = bᵀ·a, beta = 1
+    // keeps the running sum.
+    const int r = static_cast<int>(a.rows());
+    const int c = static_cast<int>(a.cols());
+    const int n = static_cast<int>(b.cols());
+    if (c == 0 || n == 0 || r == 0) return;
+    dgemm('N', 'T', n, c, r, 1.0, b.data().data(), n, a.data().data(), c,
+          1.0, out.data().data(), n);
+  }
+
+  void sparse_matmul_into(const SparseRowMatrix& a, const Matrix& b,
+                          Matrix& out) const override {
+    kernels::sparse_gather_matmul_into(a, b, out);
+  }
+  void sparse_matmul_transposed_self_add(const SparseRowMatrix& a,
+                                         const Matrix& b,
+                                         Matrix& out) const override {
+    kernels::sparse_gather_transposed_self_add(a, b, out);
+  }
+  void lstm_gate_forward(const Matrix& z, const Matrix* c_prev, Matrix& gates,
+                         Matrix& c, Matrix& tanh_c, Matrix& h) const override {
+    nn::lstm_gate_forward(z, c_prev, gates, c, tanh_c, h);
+  }
+  void lstm_gate_backward(const Matrix& gates, const Matrix& tanh_c,
+                          const Matrix* c_prev, const Matrix& dh,
+                          const Matrix& dc_next, Matrix& dz,
+                          Matrix& dc_prev) const override {
+    nn::lstm_gate_backward(gates, tanh_c, c_prev, dh, dc_next, dz, dc_prev);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ComputeBackend> make_blas_backend() {
+  return std::make_unique<BlasBackend>();
+}
+
+}  // namespace drcell
+
+#endif  // DRCELL_WITH_BLAS

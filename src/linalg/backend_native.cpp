@@ -1,0 +1,60 @@
+// The "native" compute backend: the repo's tuned kernels, verbatim — the
+// blocked/register-tiled matmul, the transpose-free GEMM pair, the sparse
+// gather pair, and the fused fastmath LSTM gate pass. This backend is the
+// bit-exactness reference every other backend is measured against
+// (tolerance_vs_native() == 0 by definition), and the conformance suite
+// pins it bit-identical to the pre-registry kernels via linalg/kernels.h.
+#include "linalg/backend.h"
+#include "linalg/kernels.h"
+#include "nn/lstm.h"
+
+namespace drcell {
+
+namespace {
+
+class NativeBackend final : public ComputeBackend {
+ public:
+  const char* name() const override { return "native"; }
+  bool exact_contract() const override { return true; }
+  double tolerance_vs_native() const override { return 0.0; }
+
+  void matmul_into(const Matrix& a, const Matrix& b,
+                   Matrix& out) const override {
+    kernels::matmul_blocked_into(a, b, out);
+  }
+  void matmul_transposed_other_into(const Matrix& a, const Matrix& b,
+                                    Matrix& out) const override {
+    kernels::matmul_transposed_other_into(a, b, out);
+  }
+  void matmul_transposed_self_add(const Matrix& a, const Matrix& b,
+                                  Matrix& out) const override {
+    kernels::matmul_transposed_self_add(a, b, out);
+  }
+  void sparse_matmul_into(const SparseRowMatrix& a, const Matrix& b,
+                          Matrix& out) const override {
+    kernels::sparse_gather_matmul_into(a, b, out);
+  }
+  void sparse_matmul_transposed_self_add(const SparseRowMatrix& a,
+                                         const Matrix& b,
+                                         Matrix& out) const override {
+    kernels::sparse_gather_transposed_self_add(a, b, out);
+  }
+  void lstm_gate_forward(const Matrix& z, const Matrix* c_prev, Matrix& gates,
+                         Matrix& c, Matrix& tanh_c, Matrix& h) const override {
+    nn::lstm_gate_forward(z, c_prev, gates, c, tanh_c, h);
+  }
+  void lstm_gate_backward(const Matrix& gates, const Matrix& tanh_c,
+                          const Matrix* c_prev, const Matrix& dh,
+                          const Matrix& dc_next, Matrix& dz,
+                          Matrix& dc_prev) const override {
+    nn::lstm_gate_backward(gates, tanh_c, c_prev, dh, dc_next, dz, dc_prev);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ComputeBackend> make_native_backend() {
+  return std::make_unique<NativeBackend>();
+}
+
+}  // namespace drcell

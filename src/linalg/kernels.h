@@ -1,0 +1,46 @@
+// The native kernel bodies behind the "native" compute backend — the tuned
+// implementations that used to live inline in Matrix / SparseRowMatrix.
+// They are plain free functions so the native backend, the conformance
+// suite, and the native-pin regression test can call them without going
+// through the registry. Precondition checking and output sizing are the
+// callers' job (the Matrix/SparseRowMatrix methods validate before
+// dispatch); kernels assume validated operands and the output conventions
+// documented on ComputeBackend (linalg/backend.h).
+#pragma once
+
+#include "linalg/matrix.h"
+#include "linalg/sparse_matrix.h"
+
+namespace drcell::kernels {
+
+/// Cache-blocked matmul with the 8-wide register-blocked inner tile.
+/// Accumulates into a zeroed, pre-sized `out`. Per output element the
+/// additions run in ascending-k order with the aik == 0.0 skip, and each
+/// output row depends only on its own input row (the batched-determinism
+/// contract).
+void matmul_blocked_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out(i,j) = dot(row_i(a), row_j(b)) — a·bᵀ without materialising the
+/// transpose, 4 dots sharing one pass over the A row. Assigns every element
+/// of the pre-sized `out`.
+void matmul_transposed_other_into(const Matrix& a, const Matrix& b,
+                                  Matrix& out);
+
+/// out += aᵀ·b, k-outer over ascending rows of `a` with the zero skip —
+/// the gradient-determinism primitive (stacked per-sample rows replay a
+/// per-sample accumulation loop addition for addition).
+void matmul_transposed_self_add(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Sparse gather GEMM: replays exactly the additions the dense kernel would
+/// perform on the densified operand, in the same order (ascending stored
+/// columns, explicit zeros skipped) — bit-identical to the dense path.
+/// Accumulates into a zeroed, pre-sized `out`.
+void sparse_gather_matmul_into(const SparseRowMatrix& a, const Matrix& b,
+                               Matrix& out);
+
+/// out += aᵀ·b with `a` sparse — the mirrored gather of the deferred
+/// parameter-gradient pass, same bit-identity argument.
+void sparse_gather_transposed_self_add(const SparseRowMatrix& a,
+                                       const Matrix& b, Matrix& out);
+
+}  // namespace drcell::kernels

@@ -5,6 +5,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "linalg/backend.h"
+#include "linalg/kernels.h"
 #include "util/rng.h"
 
 namespace drcell {
@@ -123,10 +125,18 @@ void Matrix::matmul_into(const Matrix& other, Matrix& out) const {
   DRCELL_CHECK_MSG(&out != this && &out != &other,
                    "matmul_into output must not alias an operand");
   out.resize(rows_, other.cols_);
-  const std::size_t n = other.cols_;
-  const double* a = data_.data();
-  const double* b = other.data_.data();
-  double* c = out.data_.data();
+  BackendRegistry::active().matmul_into(*this, other, out);
+}
+
+namespace kernels {
+
+void matmul_blocked_into(const Matrix& a_m, const Matrix& b_m, Matrix& out) {
+  const std::size_t rows = a_m.rows();
+  const std::size_t cols = a_m.cols();
+  const std::size_t n = b_m.cols();
+  const double* a = a_m.data().data();
+  const double* b = b_m.data().data();
+  double* c = out.data().data();
   // Blocked kernel with an 8-wide register-blocked inner tile: for each
   // 8-column C strip the 8 partial sums live in registers across the whole
   // k-tile (SIMD-friendly: two 4-wide FMA lanes), so C is loaded and stored
@@ -137,15 +147,15 @@ void Matrix::matmul_into(const Matrix& other, Matrix& out) const {
   // batch size stacked into `this` (the batched-training determinism
   // contract; see docs/ARCHITECTURE.md). The aik == 0 skip is kept because
   // the RL state sequences are near-one-hot.
-  for (std::size_t ii = 0; ii < rows_; ii += kTileI) {
-    const std::size_t i_end = std::min(rows_, ii + kTileI);
-    for (std::size_t kk = 0; kk < cols_; kk += kTileK) {
-      const std::size_t k_end = std::min(cols_, kk + kTileK);
+  for (std::size_t ii = 0; ii < rows; ii += kTileI) {
+    const std::size_t i_end = std::min(rows, ii + kTileI);
+    for (std::size_t kk = 0; kk < cols; kk += kTileK) {
+      const std::size_t k_end = std::min(cols, kk + kTileK);
       for (std::size_t jj = 0; jj < n; jj += kTileJ) {
         const std::size_t j_end = std::min(n, jj + kTileJ);
         const std::size_t j_end8 = jj + (j_end - jj) / 8 * 8;
         for (std::size_t i = ii; i < i_end; ++i) {
-          const double* arow = a + i * cols_;
+          const double* arow = a + i * cols;
           double* crow = c + i * n;
           for (std::size_t j = jj; j < j_end8; j += 8) {
             double c0 = crow[j], c1 = crow[j + 1];
@@ -190,6 +200,8 @@ void Matrix::matmul_into(const Matrix& other, Matrix& out) const {
   }
 }
 
+}  // namespace kernels
+
 #ifdef DRCELL_ENABLE_REFERENCE_KERNELS
 Matrix Matrix::matmul_naive(const Matrix& other) const {
   DRCELL_CHECK_MSG(cols_ == other.rows_, "matmul shape mismatch");
@@ -233,17 +245,32 @@ void Matrix::matmul_transposed_self_add(const Matrix& other,
   DRCELL_CHECK_MSG(&out != this && &out != &other,
                    "matmul_transposed_self_add output must not alias an "
                    "operand");
-  for (std::size_t k = 0; k < rows_; ++k) {
-    const double* arow = data_.data() + k * cols_;
-    const double* brow = other.data_.data() + k * other.cols();
-    for (std::size_t i = 0; i < cols_; ++i) {
+  BackendRegistry::active().matmul_transposed_self_add(*this, other, out);
+}
+
+namespace kernels {
+
+void matmul_transposed_self_add(const Matrix& a_m, const Matrix& b_m,
+                                Matrix& out) {
+  const std::size_t rows = a_m.rows();
+  const std::size_t cols = a_m.cols();
+  const std::size_t n = b_m.cols();
+  const double* a = a_m.data().data();
+  const double* b = b_m.data().data();
+  double* o = out.data().data();
+  for (std::size_t k = 0; k < rows; ++k) {
+    const double* arow = a + k * cols;
+    const double* brow = b + k * n;
+    for (std::size_t i = 0; i < cols; ++i) {
       const double aki = arow[i];
       if (aki == 0.0) continue;
-      double* orow = out.data_.data() + i * other.cols();
-      for (std::size_t j = 0; j < other.cols(); ++j) orow[j] += aki * brow[j];
+      double* orow = o + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aki * brow[j];
     }
   }
 }
+
+}  // namespace kernels
 
 Matrix Matrix::matmul_transposed_other(const Matrix& other) const {
   Matrix out;
@@ -259,19 +286,30 @@ void Matrix::matmul_transposed_other_into(const Matrix& other,
                    "matmul_transposed_other output must not alias an "
                    "operand");
   out.resize_overwrite(rows_, other.rows_);  // every element is assigned
-  const std::size_t n = other.rows_;
-  const std::size_t depth = cols_;
-  // out(i,j) = dot(row_i(this), row_j(other)): both walks are contiguous, so
-  // no Wᵀ is ever materialised. Four dots share one pass over the A row
+  BackendRegistry::active().matmul_transposed_other_into(*this, other, out);
+}
+
+namespace kernels {
+
+void matmul_transposed_other_into(const Matrix& a_m, const Matrix& b_m,
+                                  Matrix& out) {
+  const std::size_t rows = a_m.rows();
+  const std::size_t n = b_m.rows();
+  const std::size_t depth = a_m.cols();
+  const double* a = a_m.data().data();
+  const double* b = b_m.data().data();
+  double* c = out.data().data();
+  // out(i,j) = dot(row_i(a), row_j(b)): both walks are contiguous, so no Wᵀ
+  // is ever materialised. Four dots share one pass over the A row
   // (independent accumulators -> ILP); per element the additions run in
   // ascending k order and depend only on that output's own pair of rows, so
   // the result is batch-size independent like the matmul kernel.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* arow = data_.data() + i * depth;
-    double* crow = out.data_.data() + i * n;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* arow = a + i * depth;
+    double* crow = c + i * n;
     std::size_t j = 0;
     for (; j + 4 <= n; j += 4) {
-      const double* b0 = other.data_.data() + j * depth;
+      const double* b0 = b + j * depth;
       const double* b1 = b0 + depth;
       const double* b2 = b1 + depth;
       const double* b3 = b2 + depth;
@@ -290,7 +328,7 @@ void Matrix::matmul_transposed_other_into(const Matrix& other,
       crow[j + 3] = c3;
     }
     for (; j < n; ++j) {
-      const double* brow = other.data_.data() + j * depth;
+      const double* brow = b + j * depth;
       double s = 0.0;
       for (std::size_t k = 0; k < depth; ++k) {
         const double aik = arow[k];
@@ -301,6 +339,8 @@ void Matrix::matmul_transposed_other_into(const Matrix& other,
     }
   }
 }
+
+}  // namespace kernels
 
 Matrix Matrix::hadamard(const Matrix& other) const {
   DRCELL_CHECK(rows_ == other.rows_ && cols_ == other.cols_);

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "linalg/backend.h"
+#include "linalg/kernels.h"
+
 namespace drcell {
 
 void SparseRowMatrix::reset(std::size_t rows, std::size_t cols) {
@@ -68,20 +71,7 @@ void SparseRowMatrix::matmul_into(const Matrix& other, Matrix& out) const {
   DRCELL_CHECK_MSG(&out != &other,
                    "sparse matmul output must not alias an operand");
   out.resize(rows_, other.cols());
-  const std::size_t n = other.cols();
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const auto cols = row_indices(r);
-    const auto vals = row_values(r);
-    double* orow = out.row(r).data();
-    for (std::size_t e = 0; e < cols.size(); ++e) {
-      const double v = vals[e];
-      // The dense kernel skips aik == 0.0 terms; an explicitly stored zero
-      // must be skipped too, or ±0.0 additions could diverge.
-      if (v == 0.0) continue;
-      const double* brow = other.row(cols[e]).data();
-      for (std::size_t j = 0; j < n; ++j) orow[j] += v * brow[j];
-    }
-  }
+  BackendRegistry::active().sparse_matmul_into(*this, other, out);
 }
 
 void SparseRowMatrix::matmul_transposed_self_add(const Matrix& other,
@@ -93,11 +83,37 @@ void SparseRowMatrix::matmul_transposed_self_add(const Matrix& other,
   DRCELL_CHECK_MSG(&out != &other,
                    "sparse matmul_transposed_self_add output must not alias "
                    "an operand");
-  const std::size_t n = other.cols();
-  for (std::size_t k = 0; k < rows_; ++k) {
-    const auto cols = row_indices(k);
-    const auto vals = row_values(k);
-    const double* brow = other.row(k).data();
+  BackendRegistry::active().sparse_matmul_transposed_self_add(*this, other,
+                                                              out);
+}
+
+namespace kernels {
+
+void sparse_gather_matmul_into(const SparseRowMatrix& a, const Matrix& b,
+                               Matrix& out) {
+  const std::size_t n = b.cols();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto cols = a.row_indices(r);
+    const auto vals = a.row_values(r);
+    double* orow = out.row(r).data();
+    for (std::size_t e = 0; e < cols.size(); ++e) {
+      const double v = vals[e];
+      // The dense kernel skips aik == 0.0 terms; an explicitly stored zero
+      // must be skipped too, or ±0.0 additions could diverge.
+      if (v == 0.0) continue;
+      const double* brow = b.row(cols[e]).data();
+      for (std::size_t j = 0; j < n; ++j) orow[j] += v * brow[j];
+    }
+  }
+}
+
+void sparse_gather_transposed_self_add(const SparseRowMatrix& a,
+                                       const Matrix& b, Matrix& out) {
+  const std::size_t n = b.cols();
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const auto cols = a.row_indices(k);
+    const auto vals = a.row_values(k);
+    const double* brow = b.row(k).data();
     for (std::size_t e = 0; e < cols.size(); ++e) {
       const double v = vals[e];
       if (v == 0.0) continue;
@@ -106,5 +122,7 @@ void SparseRowMatrix::matmul_transposed_self_add(const Matrix& other,
     }
   }
 }
+
+}  // namespace kernels
 
 }  // namespace drcell

@@ -19,8 +19,10 @@
 // addition, what a per-sample backward loop performs. Batched training is
 // therefore bit-identical to the per-sample path from zeroed gradients.
 //
-// Gate nonlinearities run through the fused fastmath gate kernel (below).
-// Numeric-divergence contract: the fused pass differs from the retained
+// Gate nonlinearities run through the active compute backend's gate pass
+// (linalg/backend.h) — the fused fastmath kernel (below) under the default
+// native backend. Numeric-divergence contract: the fused pass differs from
+// the retained
 // std::-based gate pass by the fastmath bound (≤1e-12 relative per
 // activation on the training range, measured ≲1e-15 —
 // tests/fastmath_test.cpp), so forward()/backward() diverge from the
@@ -60,10 +62,12 @@ void lstm_gate_backward(const Matrix& gates, const Matrix& tanh_c,
                         const Matrix* c_prev, const Matrix& dh,
                         const Matrix& dc_next, Matrix& dz, Matrix& dc_prev);
 
-#ifdef DRCELL_ENABLE_REFERENCE_KERNELS
 /// The retained pre-fastmath gate passes (std::tanh / nn::sigmoid, scalar
-/// per-element loop) — the benchmark floor of `lstm_gate_pass` and the gate
-/// kernel driven by Lstm::set_reference_gate_kernel(true).
+/// per-element loop) — the benchmark floor of `lstm_gate_pass`, the gate
+/// kernel driven by Lstm::set_reference_gate_kernel(true), and the gate
+/// implementation of the always-built "reference" compute backend
+/// (linalg/backend.h), which is why they are no longer gated behind
+/// DRCELL_ENABLE_REFERENCE_KERNELS.
 void lstm_gate_forward_reference(const Matrix& z, const Matrix* c_prev,
                                  Matrix& gates, Matrix& c, Matrix& tanh_c,
                                  Matrix& h);
@@ -71,7 +75,6 @@ void lstm_gate_backward_reference(const Matrix& gates, const Matrix& tanh_c,
                                   const Matrix* c_prev, const Matrix& dh,
                                   const Matrix& dc_next, Matrix& dz,
                                   Matrix& dc_prev);
-#endif
 
 class Lstm {
  public:

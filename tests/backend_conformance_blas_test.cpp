@@ -1,0 +1,4 @@
+// Conformance suite instantiation for the optional "blas" backend (only
+// compiled with -DDRCELL_WITH_BLAS; a tolerance backend, not bit-exact).
+#define DRCELL_CONFORMANCE_BACKEND "blas"
+#include "backend_conformance.inc.cc"

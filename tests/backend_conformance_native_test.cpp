@@ -1,0 +1,4 @@
+// Conformance suite instantiation for the "native" backend (the tuned
+// blocked/fused kernels — the bit-exactness reference of the registry).
+#define DRCELL_CONFORMANCE_BACKEND "native"
+#include "backend_conformance.inc.cc"

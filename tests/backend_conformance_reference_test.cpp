@@ -1,0 +1,4 @@
+// Conformance suite instantiation for the "reference" backend (the retained
+// naive/std:: kernels, always built).
+#define DRCELL_CONFORMANCE_BACKEND "reference"
+#include "backend_conformance.inc.cc"

@@ -25,6 +25,7 @@
 #include "mcs/candidate_set.h"
 #include "mcs/environment.h"
 #include "mcs/state_encoder.h"
+#include "nn/gradient_check.h"
 #include "nn/lstm.h"
 #include "rl/dqn_trainer.h"
 #include "rl/drqn_qnetwork.h"
@@ -577,6 +578,46 @@ TEST(FillTimestepMajorSparse, DensifiedMatchesDenseFill) {
   }
 }
 
+TEST(FillTimestepMajorSparse, RingOverwriteInvalidatesCachedRows) {
+  // The sparse twin of the dense ring-overwrite regression: after the
+  // replay ring wraps, the sparse batch assembly must re-encode the
+  // overwritten slot rather than append the stale cached sparse rows, and
+  // untouched slots must keep being served from the cache.
+  const std::size_t cells = 3, k = 2;
+  mcs::StateEncoder encoder(cells, k);
+  rl::ReplayBuffer buffer(4);
+  const auto encode = [&](const rl::Experience& e) {
+    rl::EncodedExperience enc;
+    encoder.to_sparse_steps(e.state, enc.state);
+    encoder.to_sparse_steps(e.next_state, enc.next_state);
+    return enc;
+  };
+  // Nonzero fill values so every encoded row actually stores entries.
+  const auto make = [&](double v) {
+    rl::Experience e;
+    e.state.assign(k * cells, v);
+    e.next_state.assign(k * cells, v + 0.5);
+    e.next_mask.assign(cells, 1);
+    return e;
+  };
+  for (int i = 0; i < 4; ++i) buffer.add(make(1.0 + static_cast<double>(i)));
+
+  const std::vector<std::size_t> indices{0, 1};
+  std::vector<SparseRowMatrix> state_seq, next_seq;
+  buffer.fill_timestep_major_sparse(indices, encode, state_seq, next_seq);
+  EXPECT_EQ(state_seq[0].to_dense()(0, 0), 1.0);
+  EXPECT_EQ(buffer.encode_misses(), 2u);
+
+  // The ring wraps: slot 0 now holds a different transition; the sparse
+  // fill must re-encode it while slot 1 still comes from the cache.
+  buffer.add(make(9.0));
+  buffer.fill_timestep_major_sparse(indices, encode, state_seq, next_seq);
+  EXPECT_EQ(state_seq[0].to_dense()(0, 0), 9.0);
+  EXPECT_EQ(next_seq[0].to_dense()(0, 0), 9.5);
+  EXPECT_EQ(state_seq[0].to_dense()(1, 0), 2.0);  // slot 1 served from cache
+  EXPECT_EQ(buffer.encode_misses(), 3u);
+}
+
 TEST(CandidateActions, CandidateQValuesMatchFullForwardAndGreedyArgmax) {
   // candidate_q_values must hand back exactly the scores the greedy
   // candidate path argmaxes over — bit-identical to the full forward's
@@ -720,6 +761,62 @@ TEST(SpatialDrqn, BackwardColumnsMatchesScatteredFullBackward) {
   ASSERT_EQ(pa.size(), pb.size());
   for (std::size_t i = 0; i < pa.size(); ++i)
     EXPECT_EQ(pa[i]->grad, pb[i]->grad) << "param " << i;
+}
+
+TEST(SpatialDrqn, ColumnRestrictedGradientCheckAtSizeOneAndFullCover) {
+  // Analytic gradients of the column-restricted head vs central
+  // differences, at the two extremes of the candidate subset: exactly one
+  // candidate per row (the narrowest restriction the trainer can issue)
+  // and the full-cover set (every cell scored). Between them every branch
+  // of the restricted backward — the q·φ(a) scatter and the shared
+  // recurrent trunk — gets finite-difference coverage.
+  const std::size_t batch = 3, cells = 20, k = 2;
+  for (const bool full_cover : {false, true}) {
+    Rng rng(61);
+    rl::SpatialDrqnQNetwork net(5, 4, k, 8, 1, 3, rng);
+    Rng data_rng(62);
+    const auto seq = random_batch(k, batch, cells, true, 0.0, data_rng);
+    const auto sseq = to_sparse_batch(seq);
+
+    rl::ActionColumns columns(batch);
+    const std::size_t width = full_cover ? cells : 1;
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (full_cover) {
+        for (std::uint32_t c = 0; c < cells; ++c) columns[b].push_back(c);
+      } else {
+        columns[b].push_back(
+            static_cast<std::uint32_t>(data_rng.uniform_index(cells)));
+      }
+    }
+    Matrix target(batch, width);
+    for (double& v : target.data()) v = data_rng.normal();
+
+    const auto loss_fn = [&] {
+      const Matrix q = net.forward_batch_columns(sseq, columns);
+      double s = 0.0;
+      for (std::size_t b = 0; b < batch; ++b)
+        for (std::size_t j = 0; j < width; ++j) {
+          const double d = q(b, j) - target(b, j);
+          s += 0.5 * d * d;
+        }
+      return s;
+    };
+
+    for (auto* p : net.parameters()) p->zero_grad();
+    const Matrix q = net.forward_batch_columns(sseq, columns);
+    Matrix grad(batch, width);
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t j = 0; j < width; ++j)
+        grad(b, j) = q(b, j) - target(b, j);
+    net.backward_columns(grad, columns);
+
+    for (auto* p : net.parameters()) {
+      const auto r = nn::check_gradient(*p, loss_fn, 1e-6);
+      EXPECT_TRUE(r.passed(1e-4))
+          << (full_cover ? "full-cover" : "size-1")
+          << " max_rel=" << r.max_rel_diff << " max_abs=" << r.max_abs_diff;
+    }
+  }
 }
 
 TEST(SpatialDrqn, CloneArchitectureMatchesShapes) {
