@@ -75,6 +75,11 @@ class JsonReporter {
   /// (consumers ignore unknown keys, so older tooling is unaffected).
   void set_backend(std::string backend) { backend_ = std::move(backend); }
 
+  /// Stamps the machine's core count into the report so scaling-efficiency
+  /// baselines are interpretable (a ~1.0 pooled ratio recorded on a 1-core
+  /// box is expected, not a regression) — consumers ignore unknown keys.
+  void set_hardware_concurrency(unsigned cores) { cores_ = cores; }
+
   /// Records one op. `wall_ms` is the mean wall time of a single execution;
   /// `per_sec` is how many such executions fit in a second (for campaign
   /// benches this is sensing cycles per second).
@@ -113,6 +118,7 @@ class JsonReporter {
     out << "{\n  \"bench\": \"" << bench_ << "\",\n  \"quick\": "
         << (quick_ ? "true" : "false");
     if (!backend_.empty()) out << ",\n  \"backend\": \"" << backend_ << "\"";
+    if (cores_ > 0) out << ",\n  \"hardware_concurrency\": " << cores_;
     out << ",\n  \"entries\": [\n";
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
@@ -146,6 +152,7 @@ class JsonReporter {
   std::string bench_;
   bool quick_;
   std::string backend_;
+  unsigned cores_ = 0;
   std::vector<Entry> entries_;
 };
 

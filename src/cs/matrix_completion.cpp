@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/solvers.h"
+#include "util/chunking.h"
 #include "util/rng.h"
 
 namespace drcell::cs {
@@ -27,33 +28,18 @@ double observed_rmse(const Matrix& row_factors, const Matrix& col_factors,
 }
 
 namespace {
-// Fewest observations a parallel chunk should carry: below this the ridge
-// solves are too cheap to amortise pool dispatch, so the chunking collapses
-// to a single chunk and parallel_for's n == 1 fast path runs it inline.
-constexpr std::size_t kMinObsPerChunk = 1024;
+// Weighted chunking policy for the ALS/LOO fan-outs (shared implementation
+// in util/chunking.h; boundaries only group solves, never change the
+// arithmetic). The ridge solves here are hundreds of ns each, so the
+// default 256-weight floor keeps dispatch overhead in the noise while
+// letting small windows still split across lanes.
+constexpr util::ChunkPolicy kSolveChunkPolicy{};
 
-/// Splits [0, count) into contiguous chunks of roughly equal observation
-/// weight. The boundaries never influence the arithmetic (each solve is
-/// self-contained), only the load balance.
 std::vector<std::size_t> chunk_bounds(std::size_t count, std::size_t lanes,
                                       std::size_t total_obs,
                                       const std::vector<std::size_t>& weight) {
-  std::vector<std::size_t> bounds{0};
-  const std::size_t max_chunks = std::min(count, lanes * 4);
-  const std::size_t per_chunk =
-      std::max(kMinObsPerChunk,
-               max_chunks ? (total_obs + max_chunks - 1) / max_chunks
-                          : total_obs);
-  std::size_t acc = 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    acc += weight[i];
-    if (acc >= per_chunk && i + 1 < count) {
-      bounds.push_back(i + 1);
-      acc = 0;
-    }
-  }
-  bounds.push_back(count);
-  return bounds;
+  return util::chunk_bounds(count, lanes, total_obs, weight,
+                            kSolveChunkPolicy);
 }
 }  // namespace
 

@@ -8,6 +8,7 @@
 #include "linalg/decompositions.h"
 #include "util/fastmath.h"
 #include "util/statistics.h"
+#include "util/thread_pool.h"
 
 namespace drcell::data {
 
@@ -98,6 +99,7 @@ struct SyntheticFieldGenerator::SharedRegistry {
                      SharedKeyHash>
       factors;
   std::size_t hits = 0;
+  std::size_t builds = 0;  // cold factorisations, both tiers
 };
 
 SyntheticFieldGenerator::SharedRegistry&
@@ -118,11 +120,18 @@ std::size_t SyntheticFieldGenerator::shared_factor_cache_size() {
   return r.factors.size();
 }
 
+std::size_t SyntheticFieldGenerator::shared_factor_cache_builds() {
+  SharedRegistry& r = shared_registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return r.builds;
+}
+
 void SyntheticFieldGenerator::reset_shared_factor_cache() {
   SharedRegistry& r = shared_registry();
   const std::lock_guard<std::mutex> lock(r.mutex);
   r.factors.clear();
   r.hits = 0;
+  r.builds = 0;
 }
 
 SyntheticFieldGenerator::SyntheticFieldGenerator(
@@ -186,15 +195,22 @@ Matrix SyntheticFieldGenerator::build_nystrom_factor(
   const double ell2 = params.spatial_length * params.spatial_length;
   const double amp = 1.0 - params.nugget;
 
-  // Cross-kernel C = K(cells, landmarks): fill the RBF exponents, then one
-  // fastmath exp pass over the block (new code path — the exact branch keeps
-  // std::exp so its bit-stream is unchanged).
+  util::ThreadPool& pool = pool_ ? *pool_ : util::ThreadPool::global();
+
+  // Cross-kernel C = K(cells, landmarks): fill the RBF exponents, then a
+  // fastmath exp pass and the amplitude scale, pooled per row. The fastmath
+  // kernels are strictly elementwise (identical IEEE-754 ops per element
+  // regardless of array extent), so the per-row passes are bit-identical to
+  // the old whole-block passes — and to any worker count. (The exact branch
+  // keeps std::exp so its bit-stream is unchanged.)
   Matrix c(m, k);
-  for (std::size_t i = 0; i < m; ++i)
+  pool.parallel_for(m, [&](std::size_t i) {
+    const auto crow = c.row(i);
     for (std::size_t j = 0; j < k; ++j)
-      c(i, j) = rbf_exponent((*coords_)[i], (*coords_)[landmarks[j]], ell2);
-  fastmath::exp_inplace(c.data());
-  c *= amp;
+      crow[j] = rbf_exponent((*coords_)[i], (*coords_)[landmarks[j]], ell2);
+    fastmath::exp_inplace(crow);
+    for (std::size_t j = 0; j < k; ++j) crow[j] *= amp;
+  });
 
   // Landmark Gram W (+ jitter ridge) and its Cholesky.
   Matrix w(k, k);
@@ -209,9 +225,11 @@ Matrix SyntheticFieldGenerator::build_nystrom_factor(
   const Matrix& lw = chol.l;
 
   // F = C·Lw⁻ᵀ by forward substitution per row: F·Fᵀ = C·W⁻¹·Cᵀ, the
-  // Nyström approximation of the smooth kernel. O(m·k²/2).
+  // Nyström approximation of the smooth kernel. O(m·k²/2). Rows are
+  // independent (each reads only its own C row and the shared Lw), so they
+  // fan out index-exclusively — the dominant cost of the 10k cold build.
   Matrix f(m, k);
-  for (std::size_t i = 0; i < m; ++i) {
+  pool.parallel_for(m, [&](std::size_t i) {
     const auto crow = c.row(i);
     const auto frow = f.row(i);
     for (std::size_t t = 0; t < k; ++t) {
@@ -219,7 +237,7 @@ Matrix SyntheticFieldGenerator::build_nystrom_factor(
       for (std::size_t u = 0; u < t; ++u) s -= lw(t, u) * frow[u];
       frow[t] = s / lw(t, t);
     }
-  }
+  });
   return f;
 }
 
@@ -260,6 +278,7 @@ SyntheticFieldGenerator::shared_factor(const SpatialKey& key,
     factor->f = build_nystrom_factor(params);
   else
     factor->dense_l = spatial_cholesky(params);
+  ++r.builds;
   return r.factors.emplace(shared_key, std::move(factor)).first->second;
 }
 
@@ -277,37 +296,46 @@ Matrix SyntheticFieldGenerator::draw_modes(const FieldParams& params,
   DRCELL_CHECK(params.num_modes > 0);
   const std::size_t m = coords_->size();
   const SpatialFactor& factor = spatial_factor(params);
+  util::ThreadPool& pool = pool_ ? *pool_ : util::ThreadPool::global();
   Matrix modes(m, params.num_modes);
   if (!factor.low_rank) {
-    // Exact path: bit-identical to the pre-Nyström generator (same draw
-    // order, same triangular multiply).
+    // Exact path: the draws stay serial from the caller's rng, so the
+    // stream — and therefore every sub-threshold dataset — is bit-identical
+    // to the pre-Nyström generator. Only the per-draw lower-triangular
+    // matvec fans out (index-exclusive rows, deterministic per-row sums).
     const Matrix& l = factor.dense_l;
     std::vector<double> eta(m);
     for (std::size_t r = 0; r < params.num_modes; ++r) {
       for (double& e : eta) e = rng.normal();
-      for (std::size_t i = 0; i < m; ++i) {
+      pool.parallel_for(m, [&](std::size_t i) {
         double s = 0.0;
         for (std::size_t j = 0; j <= i; ++j) s += l(i, j) * eta[j];
         modes(i, r) = s;
-      }
+      });
     }
     return modes;
   }
-  // Nyström path: smooth part F·u with u ~ N(0, I_k) — covariance
+  // Nyström path: smooth part F·u_r with u_r ~ N(0, I_k) — covariance
   // F·Fᵀ ≈ (1 − nugget)·K_rbf — plus the iid nugget component per cell.
-  // Different (shorter) draw stream than the exact path by construction.
+  // The Gaussian streams stay serial from the caller's rng in the exact
+  // pre-PR-9 order (u_r, then the per-cell nuggets, mode by mode), so every
+  // metro-tier dataset is bit-identical to what PR 5-8 generated — the
+  // metro training/acceptance gates keep their tuned fields. Only the
+  // rng-free m×k dot pass fans out over the pool (index-exclusive rows),
+  // which is where the per-draw time goes; the result is therefore also
+  // bit-identical for any worker count.
   const Matrix& f = factor.f;
   const std::size_t k = f.cols();
   const double nugget_sd = std::sqrt(params.nugget);
   std::vector<double> u(k);
   for (std::size_t r = 0; r < params.num_modes; ++r) {
     for (double& v : u) v = rng.normal();
-    for (std::size_t i = 0; i < m; ++i) {
+    pool.parallel_for(m, [&](std::size_t i) {
       const auto frow = f.row(i);
       double s = 0.0;
       for (std::size_t j = 0; j < k; ++j) s += frow[j] * u[j];
       modes(i, r) = s;
-    }
+    });
     for (std::size_t i = 0; i < m; ++i)
       modes(i, r) += nugget_sd * rng.normal();
   }

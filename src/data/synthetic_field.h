@@ -33,6 +33,17 @@
 // many generators across ThreadPool workers, are race-free, and a
 // concurrent same-config build is paid exactly once (later arrivals wait on
 // the registry lock, then hit).
+//
+// Parallelism: the Nyström factor build (per-row cross-covariance block and
+// forward substitution) and the spatial mode draws fan out over the
+// ThreadPool (set_thread_pool, default global()) under the pool determinism
+// contract — bit-identical results for any worker count. Both draw paths
+// keep their Gaussian streams serial from the caller's rng in the
+// pre-parallelism order, so every dataset (sub-threshold exact AND
+// metro-tier Nyström) is bit-identical to earlier releases — the tuned
+// metro training/acceptance fields are preserved. Only the rng-free heavy
+// loops fan out: the exact path's per-draw lower-triangular matvec and the
+// Nyström path's per-cell m×k dot pass (index-exclusive rows).
 #pragma once
 
 #include <cstdint>
@@ -44,6 +55,10 @@
 #include "cs/knn_inference.h"  // CellCoord
 #include "linalg/matrix.h"
 #include "util/rng.h"
+
+namespace drcell::util {
+class ThreadPool;
+}
 
 namespace drcell::data {
 
@@ -90,6 +105,13 @@ class SyntheticFieldGenerator {
   std::size_t num_cells() const { return coords_->size(); }
   const std::vector<cs::CellCoord>& coords() const { return *coords_; }
 
+  /// Pool used by the Nyström factor build and the spatial mode draws
+  /// (nullptr → ThreadPool::global()). Results are bit-identical for any
+  /// worker count (pool determinism contract); the bench/test hook for
+  /// sweeping worker counts. Set before generating — not synchronised
+  /// against in-flight generate() calls.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+
   /// cells x cycles matrix drawn from the model above.
   Matrix generate(const FieldParams& params, std::size_t cycles,
                   Rng& rng) const;
@@ -123,6 +145,11 @@ class SyntheticFieldGenerator {
   /// (bench_multi_campaign).
   static std::size_t shared_factor_cache_hits();
   static std::size_t shared_factor_cache_size();
+  /// How many factors the registry has actually built (cold builds) since
+  /// the last reset — the exact-path dense Cholesky and the Nyström factor
+  /// both count, so cold/warm behaviour is observable at both tiers:
+  /// builds is the cold count, shared_factor_cache_hits() the warm count.
+  static std::size_t shared_factor_cache_builds();
   /// Drops every shared factor and zeroes the hit counter (test/bench
   /// isolation; also the reference side of the shared-cache bench pair).
   /// Factors already handed to live generators stay valid — they hold
@@ -213,6 +240,8 @@ class SyntheticFieldGenerator {
                              SpatialKeyHash>
       factor_cache_;
   mutable std::size_t factor_cache_hits_ = 0;
+  // Pool for the pooled build/draw paths; see set_thread_pool.
+  util::ThreadPool* pool_ = nullptr;
 };
 
 /// Convenience: centres of a rows x cols grid of cell_w x cell_h cells.

@@ -1,0 +1,34 @@
+#include "util/chunking.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace drcell::util {
+
+std::vector<std::size_t> chunk_bounds(std::size_t count, std::size_t lanes,
+                                      std::size_t total_weight,
+                                      const std::vector<std::size_t>& weight,
+                                      const ChunkPolicy& policy) {
+  DRCELL_DCHECK(weight.size() == count);
+  std::vector<std::size_t> bounds{0};
+  const std::size_t max_chunks =
+      std::min(count, std::max<std::size_t>(1, lanes) *
+                          std::max<std::size_t>(1, policy.max_chunks_per_lane));
+  const std::size_t per_chunk =
+      std::max(policy.min_weight_per_chunk,
+               max_chunks ? (total_weight + max_chunks - 1) / max_chunks
+                          : total_weight);
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    acc += weight[i];
+    if (acc >= per_chunk && i + 1 < count) {
+      bounds.push_back(i + 1);
+      acc = 0;
+    }
+  }
+  bounds.push_back(count);
+  return bounds;
+}
+
+}  // namespace drcell::util

@@ -1,0 +1,46 @@
+// Shared weighted-chunk decomposition for pooled loops.
+//
+// Splits [0, count) into contiguous ranges of roughly equal weight so a
+// parallel_for over chunks stays load-balanced when per-index cost varies
+// (ALS ridge solves scale with a cell's observation count, LOO solves with
+// the two system heights). Chunk boundaries only group tasks — they never
+// change the arithmetic — so pooled callers stay bit-identical for any
+// worker count and any policy tuning (the determinism contract in
+// util/thread_pool.h).
+//
+// Hoisted out of cs/matrix_completion.cpp; the constants are retuned for
+// the chunked-atomic ThreadPool dispatch (one fetch_add per range, measured
+// at well under 1µs per chunk by `pool_dispatch_fine_grain` in
+// bench_micro_components), which tolerates ~4x smaller chunks than the old
+// mutex-per-index dispatch the 1024-observation floor was guessed for.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace drcell::util {
+
+struct ChunkPolicy {
+  /// Fewest weight units a chunk should carry: below this the per-index
+  /// work is too cheap to amortise pool dispatch, so the decomposition
+  /// collapses towards a single chunk (which parallel_for's n == 1 fast
+  /// path runs inline with zero queue traffic).
+  std::size_t min_weight_per_chunk = 256;
+  /// Upper bound on chunks per pool lane. More chunks per lane means finer
+  /// dynamic load balance but more claims on the shared atomic counter.
+  std::size_t max_chunks_per_lane = 8;
+};
+
+/// Returns ascending bounds b with b.front() == 0 and b.back() == count;
+/// chunk c spans [b[c], b[c+1]). Every chunk except possibly the last
+/// carries at least max(policy.min_weight_per_chunk, total_weight /
+/// max_chunks) weight. `weight` must have `count` entries and sum to
+/// `total_weight` (callers already track both; passing the sum avoids a
+/// second pass). Degenerate inputs: count == 0 yields {0, 0} (zero chunks),
+/// count == 1 yields {0, 1}.
+std::vector<std::size_t> chunk_bounds(std::size_t count, std::size_t lanes,
+                                      std::size_t total_weight,
+                                      const std::vector<std::size_t>& weight,
+                                      const ChunkPolicy& policy = {});
+
+}  // namespace drcell::util

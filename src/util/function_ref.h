@@ -1,0 +1,46 @@
+// Non-owning type-erased callable reference.
+//
+// `FunctionRef<void(std::size_t)>` is the parameter type used by
+// ThreadPool::parallel_for and friends. Unlike `std::function` it never
+// allocates and never copies the target: it stores one object pointer plus
+// one trampoline function pointer, so passing a capturing lambda into a hot
+// dispatch loop costs two words on the stack. The referenced callable must
+// outlive the FunctionRef — callers pass lambdas whose lifetime spans the
+// whole parallel_for, which every call site in this repo already does. Do
+// not store a FunctionRef beyond the call that received it.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace drcell::util {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<F>>,
+                                FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace drcell::util

@@ -1,5 +1,9 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
 namespace drcell::util {
 
 namespace {
@@ -11,6 +15,23 @@ thread_local bool t_is_pool_worker = false;
 // from the caller's own lane must not touch submission_mutex_ again
 // (try_lock on a non-recursive mutex the thread already owns is UB).
 thread_local bool t_in_parallel_for = false;
+
+// Indices claimed per fetch_add. ~8 chunks per lane keeps dynamic load
+// balance (late lanes steal from the shared counter) while paying dispatch
+// overhead once per range instead of once per index.
+std::size_t chunk_size(std::size_t n, std::size_t lanes) {
+  return std::max<std::size_t>(1, n / (lanes * 8));
+}
+
+// Owned through a unique_ptr so set_global_worker_count_for_testing can
+// join + replace the pool; function-local static keeps the usual lazy-init
+// thread safety.
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>(
+      ThreadPool::workers_from_lanes_spec(std::getenv("DRCELL_THREADS"),
+                                          ThreadPool::default_worker_count()));
+  return pool;
+}
 }  // namespace
 
 std::size_t ThreadPool::default_worker_count() {
@@ -18,9 +39,21 @@ std::size_t ThreadPool::default_worker_count() {
   return hw > 1 ? static_cast<std::size_t>(hw - 1) : 0;
 }
 
-ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
+std::size_t ThreadPool::workers_from_lanes_spec(const char* spec,
+                                                std::size_t fallback) {
+  if (spec == nullptr || *spec == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long lanes = std::strtoul(spec, &end, 10);
+  if (end == spec || *end != '\0' || lanes == 0) return fallback;
+  return static_cast<std::size_t>(lanes - 1);  // caller is one lane
+}
+
+ThreadPool& ThreadPool::global() { return *global_pool_slot(); }
+
+void ThreadPool::set_global_worker_count_for_testing(std::size_t workers) {
+  auto& slot = global_pool_slot();
+  if (slot->worker_count() == workers) return;
+  slot = std::make_unique<ThreadPool>(workers);  // joins the old pool first
 }
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -45,32 +78,59 @@ void ThreadPool::worker_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     work_ready_.wait(lock, [this] {
-      return stop_ || (batch_ != nullptr && batch_->next < batch_->n);
+      return stop_ ||
+             (batch_ != nullptr &&
+              batch_->next.load(std::memory_order_relaxed) < batch_->n);
     });
     if (stop_) return;
-    drain_batch(*batch_, lock);
+    Batch& batch = *batch_;
+    // Register as a drainer under the mutex BEFORE touching the batch
+    // lock-free: the caller's completion wait includes `drainers == 0`, so
+    // the stack-allocated Batch cannot be destroyed while any worker still
+    // holds a reference to it.
+    ++batch.drainers;
+    lock.unlock();
+    drain(batch);
+    lock.lock();
+    --batch.drainers;
+    if (batch.drainers == 0 &&
+        batch.completed.load(std::memory_order_relaxed) == batch.n)
+      batch_done_.notify_all();
   }
 }
 
-void ThreadPool::drain_batch(Batch& batch,
-                             std::unique_lock<std::mutex>& lock) {
-  while (batch.next < batch.n) {
-    const std::size_t i = batch.next++;
-    lock.unlock();
+void ThreadPool::drain(Batch& batch) {
+  for (;;) {
+    const std::size_t start =
+        batch.next.fetch_add(batch.chunk, std::memory_order_relaxed);
+    if (start >= batch.n) return;
+    const std::size_t end = std::min(start + batch.chunk, batch.n);
     std::exception_ptr error;
     try {
-      (*batch.fn)(i);
+      for (std::size_t i = start; i < end; ++i) batch.fn(i);
     } catch (...) {
       error = std::current_exception();
     }
-    lock.lock();
-    if (error && !batch.error) batch.error = error;
-    if (++batch.completed == batch.n) batch_done_.notify_all();
+    if (error) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!batch.error) batch.error = error;
+    }
+    // acq_rel: the release half publishes this range's output writes; the
+    // caller's acquire load of `completed` (which reads the last value in
+    // the RMW release sequence) synchronises with every lane's writes.
+    const std::size_t done = end - start;
+    if (batch.completed.fetch_add(done, std::memory_order_acq_rel) + done ==
+        batch.n) {
+      // Last range: wake the caller. Taking the mutex pairs the notify with
+      // the caller's predicate check so the wake cannot be lost.
+      std::lock_guard<std::mutex> lock(mutex_);
+      batch_done_.notify_all();
+    }
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              FunctionRef<void(std::size_t)> fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1 || t_is_pool_worker || t_in_parallel_for) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
@@ -89,14 +149,18 @@ void ThreadPool::parallel_for(std::size_t n,
     ~ReentryGuard() { t_in_parallel_for = false; }
   } reentry_guard;
 
-  Batch batch;
-  batch.fn = &fn;
-  batch.n = n;
-  std::unique_lock<std::mutex> lock(mutex_);
-  batch_ = &batch;
+  Batch batch(fn, n, chunk_size(n, workers_.size() + 1));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = &batch;
+  }
   work_ready_.notify_all();
-  drain_batch(batch, lock);  // the caller is one of the lanes
-  batch_done_.wait(lock, [&batch] { return batch.completed == batch.n; });
+  drain(batch);  // the caller is one of the lanes
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_done_.wait(lock, [&batch] {
+    return batch.completed.load(std::memory_order_acquire) == batch.n &&
+           batch.drainers == 0;
+  });
   batch_ = nullptr;
   if (batch.error) {
     lock.unlock();
@@ -104,9 +168,8 @@ void ThreadPool::parallel_for(std::size_t n,
   }
 }
 
-void ThreadPool::parallel_for_seeded(
-    std::uint64_t seed, std::size_t n,
-    const std::function<void(std::size_t, Rng&)>& fn) {
+void ThreadPool::parallel_for_seeded(std::uint64_t seed, std::size_t n,
+                                     FunctionRef<void(std::size_t, Rng&)> fn) {
   parallel_for(n, [seed, &fn](std::size_t i) {
     // Derive the stream from (seed, i) only — never from the executing
     // thread — so outputs are identical for any worker count.

@@ -1,19 +1,28 @@
 // Small reusable thread pool for the library's fan-out hot paths (committee
-// inference, DQN batch forwards, ALS half-sweeps, the LOO quality gate,
-// benches).
+// inference, DQN batch forwards, ALS half-sweeps, the LOO quality gate, the
+// Nyström field sampler, campaign waves, benches).
 //
 // Design points:
 //  * The calling thread participates in parallel_for, so a pool constructed
 //    with 0 workers degrades to plain serial execution with no queue traffic
 //    — that is also the default on single-core machines.
-//  * Results are deterministic: parallel_for indexes are handed out in order
-//    and callers write results by index, so the output layout never depends
-//    on thread scheduling.
+//  * Dispatch is chunked atomic claiming: lanes grab contiguous index ranges
+//    with one `fetch_add` per range instead of taking the batch mutex per
+//    index, so ~1µs tasks no longer serialise on dispatch (see the
+//    `pool_dispatch_fine_grain` micro bench pair). The chunk size is derived
+//    from n and the lane count; claim ORDER is scheduling-dependent, but
+//    callers write results by index, so outputs never are.
+//  * Callables are taken as non-owning `FunctionRef`s — no `std::function`
+//    copy or heap allocation per call site (pinned by a no-allocation
+//    assertion in bench_micro_components).
+//  * Results are deterministic: callers write results by index, so the
+//    output layout never depends on thread scheduling.
 //  * Stochastic tasks get a per-task Rng derived from (seed, index) via
 //    SplitMix64, making randomised fan-outs reproducible regardless of the
 //    worker count.
 //  * The first exception thrown by any task is captured and rethrown on the
-//    calling thread after the loop drains (remaining tasks still run).
+//    calling thread after the loop drains. Tasks after the throwing one in
+//    the SAME chunk are skipped; other chunks still run.
 //
 // Determinism contract for pooled callers. Every hot path in this library
 // that fans out over the pool guarantees bit-identical results for ANY
@@ -31,22 +40,35 @@
 //     (seed, index) via parallel_for_seeded — never from the executing
 //     thread or a shared generator.
 // Chunking for load balance is fine as long as chunk boundaries only group
-// tasks and never change the arithmetic (see the ALS/LOO chunking in
-// cs/matrix_completion.cpp for the reference pattern). The bit-identity is
-// enforced by tests (tests/sparse_paths_test.cpp, tests/thread_pool_test.cpp).
+// tasks and never change the arithmetic (see util/chunking.h for the shared
+// weighted policy used by the ALS/LOO paths in cs/matrix_completion.cpp).
+// The bit-identity is enforced by tests (tests/sparse_paths_test.cpp,
+// tests/thread_pool_test.cpp, tests/nystrom_field_test.cpp).
 //
 // Nested parallel_for calls (a pooled task fanning out again, or a second
 // thread submitting while a batch is in flight) run inline/serially instead
 // of deadlocking — correctness never depends on actual parallelism.
+//
+// Global pool sizing precedence (highest wins):
+//  1. `set_global_worker_count_for_testing(w)` — tears the global pool down
+//     and rebuilds it with exactly `w` workers. Test-only: must not race
+//     in-flight pooled work.
+//  2. `DRCELL_THREADS=<lanes>` — read ONCE at first `global()` use (same
+//     read-once discipline as `DRCELL_BACKEND`). The value counts TOTAL
+//     lanes including the participating caller, so `DRCELL_THREADS=1` is
+//     fully serial (0 workers) and `DRCELL_THREADS=4` spawns 3 workers.
+//     Unparsable or `0` values fall back to the default.
+//  3. Default: `default_worker_count()` = hardware_concurrency − 1.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/function_ref.h"
 #include "util/rng.h"
 
 namespace drcell::util {
@@ -63,37 +85,53 @@ class ThreadPool {
 
   std::size_t worker_count() const { return workers_.size(); }
 
-  /// Runs fn(i) for every i in [0, n), distributing indices over the workers
-  /// and the calling thread. Blocks until all calls return. Rethrows the
-  /// first task exception on the caller.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// Runs fn(i) for every i in [0, n), distributing index ranges over the
+  /// workers and the calling thread. Blocks until all calls return. Rethrows
+  /// the first task exception on the caller. `fn` is borrowed, not copied —
+  /// it only needs to live for the duration of this call.
+  void parallel_for(std::size_t n, FunctionRef<void(std::size_t)> fn);
 
   /// parallel_for variant for stochastic tasks: fn additionally receives an
   /// Rng seeded deterministically from (seed, i), so results do not depend
   /// on which thread runs which index.
-  void parallel_for_seeded(
-      std::uint64_t seed, std::size_t n,
-      const std::function<void(std::size_t, Rng&)>& fn);
+  void parallel_for_seeded(std::uint64_t seed, std::size_t n,
+                           FunctionRef<void(std::size_t, Rng&)> fn);
 
   /// hardware_concurrency - 1 (the caller is the remaining lane), at least 0.
   static std::size_t default_worker_count();
 
-  /// Process-wide shared pool used by the library hot paths.
+  /// Process-wide shared pool used by the library hot paths. Sized by the
+  /// precedence rules documented at the top of this header.
   static ThreadPool& global();
+
+  /// Rebuilds the global pool with exactly `workers` workers (joins the old
+  /// pool first). Overrides DRCELL_THREADS. Test-only: callers must ensure
+  /// no pooled work is in flight on the global pool.
+  static void set_global_worker_count_for_testing(std::size_t workers);
+
+  /// Parses a DRCELL_THREADS-style total-lane spec ("4" → 3 workers,
+  /// "1" → 0 workers). Returns `fallback` for null/empty/unparsable/zero.
+  /// Exposed for tests; `global()` applies it to getenv("DRCELL_THREADS").
+  static std::size_t workers_from_lanes_spec(const char* spec,
+                                             std::size_t fallback);
 
  private:
   struct Batch {
-    const std::function<void(std::size_t)>* fn = nullptr;
-    std::size_t n = 0;
-    std::size_t next = 0;       // next index to claim
-    std::size_t completed = 0;  // indices fully processed
-    std::exception_ptr error;
+    Batch(FunctionRef<void(std::size_t)> fn_in, std::size_t n_in,
+          std::size_t chunk_in)
+        : fn(fn_in), n(n_in), chunk(chunk_in) {}
+    const FunctionRef<void(std::size_t)> fn;
+    const std::size_t n;
+    const std::size_t chunk;            // indices claimed per fetch_add
+    std::atomic<std::size_t> next{0};   // next unclaimed index
+    std::atomic<std::size_t> completed{0};
+    std::size_t drainers = 0;           // workers inside drain() — mutex_
+    std::exception_ptr error;           // first task exception — mutex_
   };
 
   void worker_loop();
-  // Claims and runs indices of the current batch until exhausted; returns
-  // once every index has been *claimed* (caller then waits for completion).
-  void drain_batch(Batch& batch, std::unique_lock<std::mutex>& lock);
+  // Claims index ranges of `batch` lock-free until exhausted.
+  void drain(Batch& batch);
 
   // Serialises whole batches; a parallel_for arriving while another is in
   // flight simply runs serially instead of queueing behind it.

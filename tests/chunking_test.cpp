@@ -1,0 +1,111 @@
+#include "util/chunking.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace drcell::util {
+namespace {
+
+std::vector<std::size_t> random_weights(std::size_t count, Rng& rng,
+                                        std::size_t max_w) {
+  std::vector<std::size_t> w(count);
+  for (auto& x : w)
+    x = static_cast<std::size_t>(rng.uniform(0.0, static_cast<double>(max_w)));
+  return w;
+}
+
+std::size_t sum(const std::vector<std::size_t>& w) {
+  return std::accumulate(w.begin(), w.end(), std::size_t{0});
+}
+
+TEST(ChunkBounds, CoversRangeWithMonotoneBounds) {
+  Rng rng(91);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t count =
+        1 + static_cast<std::size_t>(rng.uniform(0.0, 400.0));
+    const std::size_t lanes =
+        1 + static_cast<std::size_t>(rng.uniform(0.0, 8.0));
+    const auto w = random_weights(count, rng, 200);
+    const auto bounds = chunk_bounds(count, lanes, sum(w), w);
+    ASSERT_GE(bounds.size(), 2u);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), count);
+    // Strictly increasing: every index lands in exactly one chunk.
+    for (std::size_t c = 0; c + 1 < bounds.size(); ++c)
+      EXPECT_LT(bounds[c], bounds[c + 1]);
+  }
+}
+
+TEST(ChunkBounds, EveryChunkButLastMeetsMinWeightFloor) {
+  Rng rng(92);
+  const ChunkPolicy policy{/*min_weight_per_chunk=*/128,
+                           /*max_chunks_per_lane=*/8};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t count =
+        1 + static_cast<std::size_t>(rng.uniform(0.0, 300.0));
+    const auto w = random_weights(count, rng, 64);
+    const auto bounds = chunk_bounds(count, 4, sum(w), w, policy);
+    for (std::size_t c = 0; c + 2 < bounds.size(); ++c) {
+      std::size_t chunk_w = 0;
+      for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) chunk_w += w[i];
+      EXPECT_GE(chunk_w, policy.min_weight_per_chunk);
+    }
+  }
+}
+
+TEST(ChunkBounds, ChunkCountBoundedByLanesTimesPolicyCap) {
+  Rng rng(93);
+  const ChunkPolicy policy{/*min_weight_per_chunk=*/1,
+                           /*max_chunks_per_lane=*/8};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t count =
+        1 + static_cast<std::size_t>(rng.uniform(0.0, 500.0));
+    const std::size_t lanes =
+        1 + static_cast<std::size_t>(rng.uniform(0.0, 6.0));
+    const auto w = random_weights(count, rng, 50);
+    const auto bounds = chunk_bounds(count, lanes, sum(w), w, policy);
+    // bounds has chunks+1 entries; the accumulator can close max_chunks
+    // chunks plus the remainder.
+    EXPECT_LE(bounds.size() - 1, lanes * policy.max_chunks_per_lane + 1);
+  }
+}
+
+TEST(ChunkBounds, DegenerateCounts) {
+  const std::vector<std::size_t> none;
+  EXPECT_EQ(chunk_bounds(0, 4, 0, none), (std::vector<std::size_t>{0, 0}));
+  const std::vector<std::size_t> one{7};
+  EXPECT_EQ(chunk_bounds(1, 4, 7, one), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(ChunkBounds, ZeroWeightsCollapseToSingleChunk) {
+  const std::vector<std::size_t> w(64, 0);
+  const auto bounds = chunk_bounds(64, 4, 0, w);
+  EXPECT_EQ(bounds, (std::vector<std::size_t>{0, 64}));
+}
+
+TEST(ChunkBounds, HeavyIndexGetsItsOwnChunkNeighbourhood) {
+  // One index carrying nearly all the weight must not drag the whole range
+  // into one chunk: the indices after it still split off.
+  std::vector<std::size_t> w(100, 1);
+  w[10] = 100000;
+  const auto bounds =
+      chunk_bounds(100, 4, sum(w), w,
+                   ChunkPolicy{/*min_weight_per_chunk=*/8,
+                               /*max_chunks_per_lane=*/8});
+  ASSERT_GE(bounds.size(), 3u);  // at least two real splits
+  // The heavy index closes its chunk at the first boundary after index 10.
+  bool heavy_chunk_found = false;
+  for (std::size_t c = 0; c + 1 < bounds.size(); ++c)
+    if (bounds[c] <= 10 && 10 < bounds[c + 1]) {
+      heavy_chunk_found = true;
+      EXPECT_EQ(bounds[c + 1], 11u);
+    }
+  EXPECT_TRUE(heavy_chunk_found);
+}
+
+}  // namespace
+}  // namespace drcell::util

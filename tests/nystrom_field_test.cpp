@@ -9,6 +9,7 @@
 #include "data/datasets.h"
 #include "data/synthetic_field.h"
 #include "util/statistics.h"
+#include "util/thread_pool.h"
 
 namespace drcell::data {
 namespace {
@@ -139,6 +140,92 @@ TEST(NystromField, LowRankFieldHitsTargetMomentsAndCachesFactor) {
   Rng rng2(14);
   (void)gen.generate(p, 24, rng2);
   EXPECT_EQ(gen.factor_cache_hits(), 1u);
+}
+
+TEST(NystromField, BuildIsWorkerCountInvariant) {
+  // The pooled factor build (cross-covariance rows, forward substitution)
+  // must be bit-identical for any worker count — the pool determinism
+  // contract. Fresh generator AND a shared-registry reset per count, so
+  // every iteration pays a genuinely cold build.
+  const auto coords = grid_coords(20, 20, 100.0, 100.0);
+  FieldParams p = smooth_params();
+  p.nystrom_threshold = 0;
+  p.nystrom_landmarks = 64;
+
+  Matrix reference;
+  for (std::size_t workers : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    SyntheticFieldGenerator::reset_shared_factor_cache();
+    util::ThreadPool pool(workers);
+    SyntheticFieldGenerator gen(coords);
+    gen.set_thread_pool(&pool);
+    const Matrix f = gen.nystrom_factor(p);
+    if (workers == 0)
+      reference = f;
+    else
+      EXPECT_EQ(f, reference) << "workers=" << workers;
+  }
+  SyntheticFieldGenerator::reset_shared_factor_cache();
+}
+
+TEST(NystromField, SeededDrawsAreWorkerCountInvariant) {
+  // Both draw paths keep their Gaussian streams serial from the caller rng
+  // and pool only rng-free passes, so equal caller seeds must yield the
+  // bit-identical field for 0/1/3 workers.
+  const auto coords = grid_coords(15, 15, 100.0, 100.0);
+  for (const bool low_rank : {true, false}) {
+    FieldParams p = smooth_params();
+    p.noise_sd = 0.1;  // exercise the assemble() noise stream too
+    if (low_rank) {
+      p.nystrom_threshold = 0;
+      p.nystrom_landmarks = 48;
+    }
+    Matrix reference;
+    for (std::size_t workers :
+         {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+      SyntheticFieldGenerator::reset_shared_factor_cache();
+      util::ThreadPool pool(workers);
+      SyntheticFieldGenerator gen(coords);
+      gen.set_thread_pool(&pool);
+      Rng rng(17);
+      const Matrix field = gen.generate(p, 16, rng);
+      if (workers == 0)
+        reference = field;
+      else
+        EXPECT_EQ(field, reference)
+            << "workers=" << workers << " low_rank=" << low_rank;
+    }
+  }
+  SyntheticFieldGenerator::reset_shared_factor_cache();
+}
+
+TEST(NystromField, SharedRegistryCountsColdBuildsAtBothTiers) {
+  SyntheticFieldGenerator::reset_shared_factor_cache();
+  const auto coords = grid_coords(10, 10, 100.0, 100.0);
+  const FieldParams exact = smooth_params();  // 100 cells => exact tier
+  FieldParams low_rank = smooth_params();
+  low_rank.nystrom_threshold = 0;
+  low_rank.nystrom_landmarks = 32;
+
+  SyntheticFieldGenerator gen(coords);
+  Rng rng(3);
+  EXPECT_EQ(SyntheticFieldGenerator::shared_factor_cache_builds(), 0u);
+  (void)gen.generate(exact, 4, rng);  // cold dense Cholesky
+  EXPECT_EQ(SyntheticFieldGenerator::shared_factor_cache_builds(), 1u);
+  (void)gen.nystrom_factor(low_rank);  // cold Nyström factor
+  EXPECT_EQ(SyntheticFieldGenerator::shared_factor_cache_builds(), 2u);
+
+  // Warm at both tiers: a second same-coords generator hits the registry,
+  // builds stays put, hits advances.
+  const std::size_t hits_before =
+      SyntheticFieldGenerator::shared_factor_cache_hits();
+  SyntheticFieldGenerator warm(coords);
+  Rng rng2(3);
+  (void)warm.generate(exact, 4, rng2);
+  (void)warm.nystrom_factor(low_rank);
+  EXPECT_EQ(SyntheticFieldGenerator::shared_factor_cache_builds(), 2u);
+  EXPECT_EQ(SyntheticFieldGenerator::shared_factor_cache_hits(),
+            hits_before + 2);
+  SyntheticFieldGenerator::reset_shared_factor_cache();
 }
 
 TEST(NystromField, MetroScaleTaskFactorySmoke) {

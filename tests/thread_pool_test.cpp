@@ -85,5 +85,47 @@ TEST(ThreadPool, GlobalPoolIsUsable) {
   EXPECT_EQ(count.load(), 10);
 }
 
+TEST(ThreadPool, ChunkedDispatchCoversLargeRangesExactlyOnce) {
+  // n well above lanes*chunks so several fetch_add ranges per lane are
+  // claimed; every index must still run exactly once.
+  for (std::size_t workers : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    ThreadPool pool(workers);
+    constexpr std::size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, FunctionRefCallsThroughWithoutCopyingTheTarget) {
+  int calls = 0;
+  auto lambda = [&calls](std::size_t i) { calls += static_cast<int>(i) + 1; };
+  FunctionRef<void(std::size_t)> ref = lambda;
+  ref(0);
+  ref(2);
+  EXPECT_EQ(calls, 4);  // mutations land in the original: no copy was made
+}
+
+TEST(ThreadPool, WorkersFromLanesSpecParsesTotalLanes) {
+  EXPECT_EQ(ThreadPool::workers_from_lanes_spec("1", 7), 0u);   // serial
+  EXPECT_EQ(ThreadPool::workers_from_lanes_spec("4", 7), 3u);   // 3 workers
+  EXPECT_EQ(ThreadPool::workers_from_lanes_spec(nullptr, 7), 7u);
+  EXPECT_EQ(ThreadPool::workers_from_lanes_spec("", 7), 7u);
+  EXPECT_EQ(ThreadPool::workers_from_lanes_spec("0", 7), 7u);   // invalid
+  EXPECT_EQ(ThreadPool::workers_from_lanes_spec("abc", 7), 7u);
+  EXPECT_EQ(ThreadPool::workers_from_lanes_spec("4x", 7), 7u);
+}
+
+TEST(ThreadPool, SetGlobalWorkerCountForTestingResizesAndRestores) {
+  const std::size_t before = ThreadPool::global().worker_count();
+  ThreadPool::set_global_worker_count_for_testing(2);
+  EXPECT_EQ(ThreadPool::global().worker_count(), 2u);
+  std::atomic<int> count{0};
+  ThreadPool::global().parallel_for(32, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+  ThreadPool::set_global_worker_count_for_testing(before);
+  EXPECT_EQ(ThreadPool::global().worker_count(), before);
+}
+
 }  // namespace
 }  // namespace drcell::util
