@@ -13,7 +13,17 @@
 //     factor registry records >= N-1 hits;
 //   * --resume-smoke: a fleet checkpointed mid-flight and resumed in a
 //     fresh scheduler finishes bit-identical to an uninterrupted run (the
-//     CI resume smoke job runs exactly this mode).
+//     CI resume smoke job runs exactly this mode);
+//   * --fault-drill: the fault-tolerance drills — injected faults into K of
+//     N campaigns quarantine exactly those K while the other N-K finish
+//     bit-identical to a no-fault run; a transiently faulting step is
+//     retried and the WHOLE fleet stays bit-identical; a NaN-poisoned
+//     shared agent is detected and the fleet restored from the checkpoint
+//     ring bit-identically; truncated/bit-flipped checkpoints are rejected
+//     as corruption (exit non-zero on any leak or failed recovery);
+//   * --fault-spec-smoke: expects a DRCELL_FAULT_SPEC of
+//     'env.step@rand-1' in the environment (the CI ASan job sets it) and
+//     asserts the env-armed spec fires and quarantines exactly rand-1.
 //
 // Perf gate (skipped under --no-perf-gate): building same-geometry tasks
 // against a warm shared registry must be >= 3x faster than paying the
@@ -22,6 +32,9 @@
 //
 //   ./build/bench_multi_campaign [--quick] [--json [path]]
 //                                [--no-perf-gate] [--resume-smoke]
+//                                [--fault-drill] [--fault-spec-smoke]
+#include <algorithm>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -31,6 +44,7 @@
 #include "core/campaign_scheduler.h"
 #include "core/checkpoint.h"
 #include "data/synthetic_field.h"
+#include "util/fault_injection.h"
 
 namespace {
 
@@ -265,6 +279,254 @@ int resume_smoke() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Fault drills (--fault-drill): every assert is a hard gate.
+
+/// Healthy-fleet bit-identity vs a no-fault reference, skipping the slots
+/// listed in `skip` (the deliberately faulted campaigns).
+bool healthy_slots_identical(const core::CampaignScheduler& reference,
+                             const core::CampaignScheduler& faulted,
+                             const std::vector<std::size_t>& skip,
+                             const char* what) {
+  const auto ra = reference.results();
+  const auto rb = faulted.results();
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    if (std::find(skip.begin(), skip.end(), i) != skip.end()) continue;
+    if (!same_result(ra[i], rb[i]) ||
+        reference.action_log(i) != faulted.action_log(i)) {
+      std::cerr << "DRILL FAIL (" << what << "): healthy campaign '"
+                << ra[i].id << "' diverged from the no-fault run\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool has_incident(const core::CampaignScheduler& s, const std::string& kind) {
+  for (const auto& inc : s.incidents())
+    if (inc.kind == kind) return true;
+  return false;
+}
+
+/// Drill 1 — quarantine isolation: a persistent env.step fault in ONE
+/// campaign must quarantine exactly that campaign; the other N-1 finish
+/// bit-identical to the no-fault reference.
+bool drill_quarantine_isolation(const core::CampaignScheduler& reference,
+                                const MixedFleet& fleet) {
+  util::FaultInjection::disarm_all();
+  util::FaultSpec spec;
+  spec.site = "env.step";
+  spec.scope = "rand-1";  // fleet slot 4
+  util::FaultInjection::arm(spec);
+
+  core::CampaignScheduler faulted;
+  fleet.populate(faulted);
+  faulted.run();
+  util::FaultInjection::disarm_all();
+
+  const std::vector<std::size_t> quarantined = faulted.quarantined_slots();
+  if (quarantined != std::vector<std::size_t>{4}) {
+    std::cerr << "DRILL FAIL (quarantine isolation): expected exactly slot 4 "
+                 "(rand-1) quarantined, got "
+              << quarantined.size() << " slot(s)\n";
+    return false;
+  }
+  if (!faulted.results()[4].quarantined ||
+      faulted.results()[4].quarantine_reason.empty()) {
+    std::cerr << "DRILL FAIL (quarantine isolation): result not flagged\n";
+    return false;
+  }
+  if (!healthy_slots_identical(reference, faulted, {4},
+                               "quarantine isolation"))
+    return false;
+  std::cout << "drill: persistent fault quarantined exactly rand-1; "
+            << "5/6 campaigns bit-identical to the no-fault run\n";
+  return true;
+}
+
+/// Drill 2 — transient recovery: a single injected step fault is retried
+/// in-wave; the WHOLE fleet (faulted campaign included) finishes
+/// bit-identical to the no-fault reference.
+bool drill_transient_recovery(const core::CampaignScheduler& reference,
+                              const MixedFleet& fleet) {
+  util::FaultInjection::disarm_all();
+  util::FaultSpec spec;
+  spec.site = "env.step";
+  spec.scope = "rand-0";
+  spec.after = 5;   // let five steps through first
+  spec.times = 1;   // then fire exactly once
+  util::FaultInjection::arm(spec);
+
+  core::CampaignScheduler faulted;
+  fleet.populate(faulted);
+  faulted.run();
+  util::FaultInjection::disarm_all();
+
+  if (!faulted.quarantined_slots().empty()) {
+    std::cerr << "DRILL FAIL (transient recovery): a transient fault "
+                 "escalated to quarantine\n";
+    return false;
+  }
+  if (!has_incident(faulted, "retry-recovered")) {
+    std::cerr << "DRILL FAIL (transient recovery): no retry-recovered "
+                 "incident recorded\n";
+    return false;
+  }
+  if (!same_fleets(reference, faulted, "transient recovery")) return false;
+  std::cout << "drill: transient step fault retried in-wave; full fleet "
+               "bit-identical to the no-fault run\n";
+  return true;
+}
+
+/// Drill 3 — NaN rollback: poison the shared agent's weights mid-flight;
+/// the health phase must detect it, restore the fleet from the checkpoint
+/// ring, and finish bit-identical to the no-fault reference.
+bool drill_nan_rollback() {
+  util::FaultInjection::disarm_all();
+  const MixedFleet fleet(3, 3);
+
+  core::CampaignScheduler::Options ft_opts;
+  ft_opts.fault.checkpoint_every_waves = 5;
+  ft_opts.fault.checkpoint_ring = 3;
+
+  core::CampaignScheduler reference(ft_opts);
+  fleet.populate(reference);
+  reference.run();
+  if (reference.rollbacks() != 0) {
+    std::cerr << "DRILL FAIL (nan rollback): clean reference run rolled "
+                 "back\n";
+    return false;
+  }
+
+  // Fresh fleet (fresh agent) for the poisoned run.
+  const MixedFleet poisoned_fleet(3, 3);
+  core::CampaignScheduler poisoned(ft_opts);
+  poisoned_fleet.populate(poisoned);
+  poisoned.run(/*max_waves=*/12);
+  poisoned_fleet.agent->trainer().online().parameters()[0]->value(0, 0) =
+      std::numeric_limits<double>::quiet_NaN();
+  poisoned.run();
+
+  if (poisoned.rollbacks() != 1 || !has_incident(poisoned, "rollback")) {
+    std::cerr << "DRILL FAIL (nan rollback): expected exactly one rollback, "
+              << "got " << poisoned.rollbacks() << "\n";
+    return false;
+  }
+  if (!poisoned.quarantined_slots().empty()) {
+    std::cerr << "DRILL FAIL (nan rollback): rollback leaked into "
+                 "quarantine\n";
+    return false;
+  }
+  if (poisoned_fleet.agent->trainer()
+          .online()
+          .parameters()[0]
+          ->value.has_non_finite()) {
+    std::cerr << "DRILL FAIL (nan rollback): weights still poisoned after "
+                 "rollback\n";
+    return false;
+  }
+  // The frozen policy is deterministic and selector streams were restored,
+  // so the re-run of the rolled-back waves reproduces the reference run.
+  if (!same_fleets(reference, poisoned, "nan rollback")) return false;
+  std::cout << "drill: NaN-poisoned shared agent detected and restored from "
+               "the checkpoint ring; fleet bit-identical to the no-fault "
+               "run\n";
+  return true;
+}
+
+/// Drill 4 — checkpoint corruption: truncation and bit-flips must surface
+/// as CheckpointCorruptionError (never a silent wrong resume); the intact
+/// stream must still load.
+bool drill_checkpoint_corruption() {
+  util::FaultInjection::disarm_all();
+  const MixedFleet fleet(3, 3);
+  core::CampaignScheduler burst;
+  fleet.populate(burst);
+  burst.run(/*max_waves=*/10);
+  std::ostringstream out(std::ios::binary);
+  core::save_checkpoint(burst, out);
+  const std::string bytes = std::move(out).str();
+
+  const auto expect_corruption = [&](const std::string& damaged,
+                                     const char* what) {
+    core::CampaignScheduler fresh;
+    fleet.populate(fresh);
+    try {
+      std::istringstream in(damaged, std::ios::binary);
+      core::load_checkpoint(fresh, in);
+    } catch (const core::CheckpointCorruptionError&) {
+      return true;
+    } catch (const std::exception& e) {
+      std::cerr << "DRILL FAIL (corruption/" << what
+                << "): wrong error type: " << e.what() << "\n";
+      return false;
+    }
+    std::cerr << "DRILL FAIL (corruption/" << what
+              << "): damaged checkpoint loaded without error\n";
+    return false;
+  };
+
+  if (!expect_corruption(bytes.substr(0, bytes.size() / 2), "truncated"))
+    return false;
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] = static_cast<char>(flipped[flipped.size() / 2] ^ 0x40);
+  if (!expect_corruption(flipped, "bit-flip")) return false;
+
+  core::CampaignScheduler fresh;
+  fleet.populate(fresh);
+  std::istringstream in(bytes, std::ios::binary);
+  core::load_checkpoint(fresh, in);  // intact stream must load
+  std::cout << "drill: truncated/bit-flipped checkpoints rejected as "
+               "corruption; intact stream loads\n";
+  return true;
+}
+
+int fault_drill() {
+  const MixedFleet fleet(3, 3);
+  core::CampaignScheduler reference;
+  fleet.populate(reference);
+  reference.run();
+  if (!reference.incidents().empty()) {
+    std::cerr << "DRILL FAIL: no-fault run recorded incidents\n";
+    return 1;
+  }
+
+  if (!drill_quarantine_isolation(reference, fleet)) return 1;
+  if (!drill_transient_recovery(reference, fleet)) return 1;
+  if (!drill_nan_rollback()) return 1;
+  if (!drill_checkpoint_corruption()) return 1;
+  std::cout << "all fault drills passed\n";
+  return 0;
+}
+
+/// --fault-spec-smoke: the spec comes from the DRCELL_FAULT_SPEC
+/// environment variable (the CI ASan job arms 'env.step@rand-1'), not from
+/// code — this smokes the env-var parse + arm + fire + quarantine path.
+int fault_spec_smoke() {
+  if (!util::FaultInjection::enabled()) {
+    std::cerr << "SMOKE FAIL: DRCELL_FAULT_SPEC armed nothing (set e.g. "
+                 "DRCELL_FAULT_SPEC='env.step@rand-1')\n";
+    return 1;
+  }
+  const MixedFleet fleet(3, 3);
+  core::CampaignScheduler scheduler;
+  fleet.populate(scheduler);
+  scheduler.run();
+  if (util::FaultInjection::fires("env.step", "rand-1") == 0) {
+    std::cerr << "SMOKE FAIL: env-armed env.step@rand-1 never fired\n";
+    return 1;
+  }
+  if (scheduler.quarantined_slots() != std::vector<std::size_t>{4}) {
+    std::cerr << "SMOKE FAIL: expected exactly rand-1 (slot 4) "
+                 "quarantined\n";
+    return 1;
+  }
+  std::cout << "fault-spec smoke: env-armed fault fired "
+            << util::FaultInjection::fires("env.step", "rand-1")
+            << "x and quarantined exactly rand-1\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -277,11 +539,17 @@ int main(int argc, char** argv) {
       bench::json_path(argc, argv, "BENCH_multi_campaign.json");
   bool perf_gate = true;
   bool smoke_only = false;
+  bool drill_only = false;
+  bool spec_smoke_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--no-perf-gate") perf_gate = false;
     if (std::string(argv[i]) == "--resume-smoke") smoke_only = true;
+    if (std::string(argv[i]) == "--fault-drill") drill_only = true;
+    if (std::string(argv[i]) == "--fault-spec-smoke") spec_smoke_only = true;
   }
   if (smoke_only) return resume_smoke();
+  if (drill_only) return fault_drill();
+  if (spec_smoke_only) return fault_spec_smoke();
 
   Stopwatch total;
   JsonReporter report("multi_campaign", quick);

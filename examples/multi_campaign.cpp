@@ -6,9 +6,18 @@
 // resume, and verify the resumed fleet finishes bit-identical to the
 // uninterrupted one.
 //
-// Build & run:  ./build/example_multi_campaign [--json [path]]
+// With --chaos the run becomes a fault-tolerance demo instead: deterministic
+// faults are injected into the serving fleet (a persistent environment fault
+// on one campaign, a transient one on another, and a NaN-poisoned shared
+// agent mid-flight) and the scheduler's recovery — in-wave retry, campaign
+// quarantine, checkpoint-ring rollback — is narrated through the incident
+// log.
+//
+// Build & run:  ./build/example_multi_campaign [--json [path]] [--chaos]
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <sstream>
 
@@ -20,6 +29,7 @@
 #include "core/trainer.h"
 #include "cs/matrix_completion.h"
 #include "data/datasets.h"
+#include "util/fault_injection.h"
 #include "util/table.h"
 
 using namespace drcell;
@@ -64,11 +74,69 @@ bool same_result(const core::CampaignResult& a, const core::CampaignResult& b) {
          a.stats.cycle_errors == b.stats.cycle_errors;
 }
 
+/// The --chaos drill: inject a persistent fault, a transient fault and a
+/// mid-flight NaN poisoning into a serving fleet and narrate the recovery.
+int run_chaos(const std::shared_ptr<const mcs::SensingTask>& test_task,
+              const core::CampaignConfig& campaign, core::DrCellAgent& agent) {
+  std::cout << "--- chaos mode ---------------------------------------------\n"
+               "arming deterministic faults:\n"
+               "  env.step@random-2                 every step  (persistent)\n"
+               "  env.step@random-0  after=10,times=1  one transient fault\n";
+  util::FaultInjection::disarm_all();
+  util::FaultInjection::arm_from_string(
+      "env.step@random-2;env.step@random-0:after=10,times=1");
+
+  core::CampaignScheduler::Options options;
+  options.fault.checkpoint_every_waves = 16;  // auto-snapshot ring
+  options.fault.checkpoint_ring = 3;
+  core::CampaignScheduler fleet(options);
+  populate(fleet, test_task, campaign, agent);
+
+  fleet.run(/*max_waves=*/30);
+  std::cout << "\npoisoning the shared agent's weights with NaN at wave "
+            << fleet.waves_completed() << "...\n";
+  agent.trainer().online().parameters()[0]->value(0, 0) =
+      std::numeric_limits<double>::quiet_NaN();
+  fleet.run();
+  util::FaultInjection::disarm_all();
+
+  std::cout << "\nincident log:\n";
+  for (const auto& incident : fleet.incidents())
+    std::cout << "  wave " << incident.wave << "  ["
+              << (incident.campaign.empty() ? "<fleet>" : incident.campaign)
+              << "]  " << incident.kind << ": " << incident.detail << "\n";
+
+  std::cout << "\n";
+  TablePrinter table({"campaign", "state", "cells/cycle", "MAE (degC)"});
+  for (const auto& r : fleet.results())
+    table.add_row({r.id + " (" + r.selector + ")",
+                   r.quarantined ? "QUARANTINED" : "serving",
+                   format_double(r.avg_cells_per_cycle, 2),
+                   format_double(r.mean_cycle_error, 2)});
+  table.print(std::cout);
+
+  const auto quarantined = fleet.quarantined_slots();
+  const bool as_expected = quarantined.size() == 1 &&
+                           fleet.results()[quarantined[0]].id == "random-2" &&
+                           fleet.rollbacks() == 1;
+  std::cout << "\n" << fleet.rollbacks() << " rollback(s), "
+            << quarantined.size() << " campaign(s) quarantined; the other "
+            << fleet.num_campaigns() - quarantined.size()
+            << " finished untouched: "
+            << (as_expected ? "recovery as expected" : "UNEXPECTED OUTCOME")
+            << "\n";
+  return as_expected ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool chaos = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
   const std::string json =
-      core::campaign_json_path(argc, argv, "CAMPAIGN_multi.json");
+      chaos ? std::string()
+            : core::campaign_json_path(argc, argv, "CAMPAIGN_multi.json");
 
   std::cout << "generating Sensor-Scope-like campus data (57 cells)...\n";
   const auto dataset = data::make_sensorscope_like(/*seed=*/2018);
@@ -93,6 +161,8 @@ int main(int argc, char** argv) {
   std::cout << "  done in " << format_double(training.seconds, 1) << " s\n\n";
 
   const core::CampaignConfig campaign = campaign_config(config);
+
+  if (chaos) return run_chaos(test_task, campaign, agent);
 
   // Fleet A runs uninterrupted.
   core::CampaignScheduler uninterrupted;

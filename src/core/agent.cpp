@@ -34,6 +34,10 @@ DrCellAgent::DrCellAgent(std::size_t num_cells, DrCellConfig config)
       build_network(num_cells_, config_, rng), config_.dqn, rng.next_u64());
 }
 
+HealthStatus DrCellAgent::check_parameter_health() {
+  return health_.check_parameters(trainer_->online().parameters());
+}
+
 std::size_t DrCellAgent::greedy_action(const std::vector<double>& state,
                                        const std::vector<std::uint8_t>& mask) {
   return trainer_->greedy_action(state, mask);

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/config.h"
+#include "core/health_monitor.h"
 #include "rl/dqn_trainer.h"
 
 namespace drcell::core {
@@ -21,6 +22,17 @@ class DrCellAgent {
 
   rl::DqnTrainer& trainer() { return *trainer_; }
   const rl::DqnTrainer& trainer() const { return *trainer_; }
+
+  /// Numeric-health sentinels over this agent's losses/Q-values/parameters
+  /// (core/health_monitor.h). OnlineAdaptivePolicy feeds every train-step
+  /// loss; the campaign scheduler consults and acts on the status.
+  HealthMonitor& health() { return health_; }
+  const HealthMonitor& health() const { return health_; }
+
+  /// Convenience sentinel: scans the online network's parameters and
+  /// returns the (sticky) status — O(#params), the scheduler rate-limits
+  /// it via its health-check cadence.
+  HealthStatus check_parameter_health();
 
   /// Greedy Q-maximising action (the deployed policy).
   std::size_t greedy_action(const std::vector<double>& state,
@@ -39,6 +51,7 @@ class DrCellAgent {
   std::size_t num_cells_;
   DrCellConfig config_;
   std::unique_ptr<rl::DqnTrainer> trainer_;
+  HealthMonitor health_;
 };
 
 }  // namespace drcell::core

@@ -34,6 +34,11 @@ struct CampaignResult {
   double mean_cycle_error = 0.0;
   double total_cost = 0.0;
   double seconds = 0.0;
+  /// Set by the multi-campaign scheduler when the campaign was quarantined
+  /// by the fault-tolerance layer; the figures above then summarise the
+  /// trajectory up to the quarantine point.
+  bool quarantined = false;
+  std::string quarantine_reason;
   mcs::EpisodeStats stats;
 };
 

@@ -4,6 +4,13 @@
 //
 // Wave anatomy (step_wave):
 //
+//   0. HEALTH/RECOVER — serial: consult every serving agent's numeric
+//      sentinels (core/health_monitor.h; parameter scans on the configured
+//      cadence, loss/Q sentinels tripped earlier stay sticky). An unhealthy
+//      agent triggers rollback from the auto-checkpoint ring, else baseline
+//      fallback, else quarantine (see "Fault tolerance" below). Then, on
+//      the configured cadence, snapshot the whole fleet into the in-memory
+//      checkpoint ring (CRC-protected DRCK v2 — core/checkpoint.h).
 //   1. DECIDE — serial, ascending slot order. Campaigns whose selector
 //      claims BatchedQSelector (core/batched_selector.h) are grouped by
 //      shared network; each group's states are stacked into ONE
@@ -23,6 +30,34 @@
 //   3. OBSERVE — serial, ascending: selector on_step hooks (online
 //      training). Serial because campaigns may share a trainable agent.
 //
+// Fault tolerance (FaultToleranceOptions, default ON). Every phase runs
+// each campaign inside its own fault domain: a throw out of DECIDE, STEP or
+// OBSERVE (an injected fault, an engine CheckError, anything) is caught,
+// attributed to that campaign and never unwinds the wave. A failed STEP is
+// retried in-wave up to `step_retries` times — the `env.step` fault site
+// precedes any mutation, so a transient fault retried with the same action
+// continues the trajectory BIT-IDENTICALLY. A campaign that faults
+// `quarantine_after` consecutive waves is quarantined: it stops stepping,
+// its result is flagged, and the rest of the fleet continues — healthy
+// campaigns' trajectories stay bit-identical to a no-fault run because
+// campaigns never couple (own env/engine, private selector streams, and
+// batched rows are row-wise bit-identical for any batch size). That
+// isolation guarantee is hard-gated by bench_multi_campaign --fault-drill
+// and tests/failure_injection_test.cpp.
+//
+// Graceful degradation of a shared agent: when a sentinel trips (NaN loss
+// within one train step, non-finite Q row, poisoned parameters), the
+// scheduler rolls the WHOLE fleet back to the newest auto-checkpoint ring
+// entry (load_checkpoint onto itself — weights, counters, selector streams
+// and replayed envs all return to the last-good wave bit-identically).
+// Ring snapshots are taken only while every agent is healthy, so the ring
+// never holds poisoned weights. After `max_rollbacks` rollbacks (a
+// persistent poisoner), or with an empty ring, the agent's campaigns are
+// switched to `fallback_factory` baseline selectors (degraded but serving)
+// or quarantined when no fallback is configured. Every fault, retry,
+// quarantine, rollback and fallback is appended to the human-readable
+// incident log (`incidents()`).
+//
 // Per-campaign equivalence: a campaign stepped here produces the exact
 // action log, environment trace and CampaignResult (seconds excluded —
 // wall-clock is not part of any bit-compare) that run_campaign would
@@ -39,7 +74,9 @@
 // environment is deterministic given the action sequence, and the replayed
 // engine sees the identical inference-call sequence (including the
 // order-sensitive ALS warm-start fingerprints), so a resumed scheduler
-// continues bit-identically to one that never stopped.
+// continues bit-identically to one that never stopped. Quarantine state
+// travels in the checkpoint (v2); a quarantined campaign's log holds only
+// its SUCCESSFUL steps, so replay lands on its last consistent state.
 #pragma once
 
 #include <functional>
@@ -55,6 +92,21 @@
 
 namespace drcell::core {
 
+class DrCellAgent;
+
+enum class CampaignState { kActive, kQuarantined };
+
+/// One entry of the scheduler's incident log — the operator-facing record
+/// of what the fault-tolerance layer did and why.
+struct Incident {
+  std::size_t wave = 0;  ///< waves_completed when the incident was recorded
+  std::string campaign;  ///< campaign id; empty = fleet-level incident
+  std::string kind;      ///< "decide-fault", "step-fault", "observe-fault",
+                         ///< "retry-recovered", "quarantine", "agent-unhealthy",
+                         ///< "rollback", "fallback"
+  std::string detail;
+};
+
 class CampaignScheduler {
  public:
   /// Builds the campaign's inference engine. Must be deterministic — resume
@@ -62,11 +114,46 @@ class CampaignScheduler {
   /// which every stateless construction (make_als_engine(params), ...) is.
   using EngineFactory = std::function<cs::InferenceEnginePtr()>;
 
+  /// Builds the degraded-mode replacement selector for a campaign (QBC,
+  /// RANDOM, ...). Receives the campaign id and slot index so per-campaign
+  /// seeds stay distinct.
+  using FallbackFactory = std::function<std::shared_ptr<baselines::CellSelector>(
+      const std::string& id, std::size_t slot)>;
+
+  struct FaultToleranceOptions {
+    /// Per-campaign fault domains in DECIDE/STEP/OBSERVE. Off = the legacy
+    /// behaviour: the first campaign exception unwinds step_wave.
+    bool isolate = true;
+    /// In-wave retries of a failed environment step (same action; a
+    /// transient fault recovered this way keeps the trajectory
+    /// bit-identical). DECIDE/OBSERVE faults retry on the next wave
+    /// instead — their selector streams must not be re-advanced.
+    std::size_t step_retries = 1;
+    /// Consecutive faulted waves before a campaign is quarantined.
+    std::size_t quarantine_after = 2;
+    /// Snapshot the fleet into the checkpoint ring every N waves (0 = no
+    /// auto-checkpointing; rollback then degrades straight to fallback/
+    /// quarantine).
+    std::size_t checkpoint_every_waves = 0;
+    /// Ring capacity (last K snapshots are kept).
+    std::size_t checkpoint_ring = 3;
+    /// Agent parameter-scan cadence in waves (0 disables agent health
+    /// monitoring entirely; loss/Q sentinels tripped by the policies
+    /// themselves are still acted on each wave).
+    std::size_t health_check_every_waves = 1;
+    /// Rollbacks before an unhealthy agent is declared persistent and its
+    /// campaigns degrade to the fallback selector (or quarantine).
+    std::size_t max_rollbacks = 2;
+    /// Degraded-mode selector builder; nullptr = quarantine instead.
+    FallbackFactory fallback_factory;
+  };
+
   struct Options {
     util::ThreadPool* pool = nullptr;  ///< nullptr -> ThreadPool::global()
     /// Batch BatchedQSelector campaigns into shared forward_batch calls.
     /// Off = the unbatched reference: every selector steps via select().
     bool cross_campaign_batching = true;
+    FaultToleranceOptions fault;
   };
 
   CampaignScheduler();  // default Options: global pool, batching on
@@ -75,29 +162,51 @@ class CampaignScheduler {
   /// Registers a campaign and builds its environment; returns the slot
   /// index. `selector` must stay exclusive to this campaign unless it is a
   /// frozen BatchedQSelector policy (stateless select), and ids must be
-  /// unique — they key the checkpoint's identity check.
+  /// unique — they key the checkpoint's identity check. The campaign's
+  /// `env.step` fault-injection site is scoped by the id (unless the config
+  /// already set a scope), so drills can target exactly one campaign.
   std::size_t add_campaign(std::string id, CampaignConfig config,
                            std::shared_ptr<const mcs::SensingTask> task,
                            EngineFactory engine_factory,
                            std::shared_ptr<baselines::CellSelector> selector);
 
   std::size_t num_campaigns() const { return slots_.size(); }
+  /// True when every campaign is finished OR quarantined.
   bool all_done() const;
   std::size_t waves_completed() const { return waves_; }
 
-  /// One wave: every unfinished campaign decides and applies one action.
-  /// Returns how many campaigns were stepped (0 = all done).
+  /// One wave: every unfinished, non-quarantined campaign decides and
+  /// applies one action. Returns how many campaigns were stepped (0 = all
+  /// done or quarantined).
   std::size_t step_wave();
 
-  /// Waves until every campaign's episode is done; returns the number of
-  /// waves run. `max_waves` > 0 caps the burst (checkpoint drills).
+  /// Waves until every campaign's episode is done (or quarantined);
+  /// returns the number of waves run. `max_waves` > 0 caps the burst
+  /// (checkpoint drills).
   std::size_t run(std::size_t max_waves = 0);
 
   const mcs::SparseMcsEnvironment& environment(std::size_t slot) const;
   const std::vector<std::uint32_t>& action_log(std::size_t slot) const;
 
+  CampaignState campaign_state(std::size_t slot) const;
+  const std::string& quarantine_reason(std::size_t slot) const;
+  /// Slot indices currently quarantined, ascending.
+  std::vector<std::size_t> quarantined_slots() const;
+
+  /// The fault-tolerance layer's ordered event record (see Incident).
+  const std::vector<Incident>& incidents() const { return incidents_; }
+  /// Rollbacks performed so far (bounded by max_rollbacks).
+  std::size_t rollbacks() const { return rollbacks_; }
+  /// Auto-checkpoint ring introspection (drills compare restored state
+  /// against the snapshot bytes). Entries are full DRCK v2 streams,
+  /// oldest first.
+  std::size_t checkpoint_ring_size() const { return ring_.size(); }
+  const std::string& checkpoint_ring_entry(std::size_t i) const;
+
   /// Results in slot order, each carrying its campaign id. seconds is 0 —
   /// wall-clock is owned by the caller and excluded from bit-compares.
+  /// Quarantined campaigns are flagged (CampaignResult::quarantined) and
+  /// summarise their trajectory up to the quarantine point.
   std::vector<CampaignResult> results() const;
 
  private:
@@ -113,17 +222,36 @@ class CampaignScheduler {
     /// Wave workspaces (DECIDE writes, STEP reads; index-exclusive).
     std::vector<double> state_buf;
     std::size_t pending_action = 0;
+    // Fault-domain state.
+    CampaignState state = CampaignState::kActive;
+    std::string quarantine_reason;
+    std::size_t consecutive_faults = 0;
   };
 
-  void decide_batched(const std::vector<std::size_t>& active);
+  /// Returns false when a batched forward threw (isolated mode only); the
+  /// caller then re-decides those campaigns serially per-campaign.
+  bool decide_batched(const std::vector<std::size_t>& active);
+  void note_incident(std::string campaign, std::string kind,
+                     std::string detail);
+  void quarantine(std::size_t slot, std::string reason);
+  /// HEALTH/RECOVER phase: sentinel checks, rollback/fallback/quarantine.
+  void health_phase();
+  /// `reason` is taken by value: the caller passes the agent's sticky
+  /// health reason, which a successful rollback resets mid-call.
+  void handle_unhealthy_agent(DrCellAgent* agent, std::string reason);
+  bool rollback_from_ring();
+  void maybe_ring_save();
 
-  friend void save_checkpoint(const CampaignScheduler& scheduler,
-                              std::ostream& out);
-  friend void load_checkpoint(CampaignScheduler& scheduler, std::istream& in);
+  // The checkpoint layer's private-state accessor (core/checkpoint.cpp).
+  friend struct CheckpointAccess;
 
   Options options_;
   std::vector<Slot> slots_;
   std::size_t waves_ = 0;
+  std::vector<Incident> incidents_;
+  std::vector<std::string> ring_;  // oldest first, <= checkpoint_ring
+  std::size_t last_ring_wave_ = static_cast<std::size_t>(-1);
+  std::size_t rollbacks_ = 0;
 };
 
 }  // namespace drcell::core

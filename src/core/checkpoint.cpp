@@ -9,14 +9,16 @@
 
 #include "core/campaign_scheduler.h"
 #include "core/policy.h"
-#include "nn/serialize.h"
+#include "util/checksum.h"
+#include "util/fault_injection.h"
 
 namespace drcell::core {
 
 namespace {
 
 constexpr char kMagic[4] = {'D', 'R', 'C', 'K'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionLegacy = 1;
+constexpr std::uint32_t kVersion = 2;
 
 using nn::SerializationError;
 
@@ -29,7 +31,7 @@ template <typename T>
 T read_pod(std::istream& in) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!in) throw SerializationError("truncated checkpoint stream");
+  if (!in) throw CheckpointCorruptionError("truncated checkpoint stream");
   return v;
 }
 
@@ -42,36 +44,26 @@ std::string read_string(std::istream& in, std::uint64_t max_len,
                         const char* what) {
   const auto len = read_pod<std::uint64_t>(in);
   if (len > max_len)
-    throw SerializationError(std::string("implausible ") + what +
-                             " length in checkpoint");
+    throw CheckpointCorruptionError(std::string("implausible ") + what +
+                                    " length in checkpoint");
   std::string s(len, '\0');
   in.read(s.data(), static_cast<std::streamsize>(len));
-  if (!in) throw SerializationError("truncated checkpoint stream");
+  if (!in) throw CheckpointCorruptionError("truncated checkpoint stream");
   return s;
-}
-
-/// The trainable agent behind a selector, if any — the dedup identity of
-/// the checkpoint's agent table. Must enumerate every selector type that
-/// carries weights.
-DrCellAgent* agent_of(baselines::CellSelector* selector) {
-  if (auto* frozen = dynamic_cast<DrCellPolicy*>(selector))
-    return &frozen->agent();
-  if (auto* online = dynamic_cast<OnlineAdaptivePolicy*>(selector))
-    return &online->online_agent();
-  return nullptr;
 }
 
 /// Agent table in discovery order (ascending slot, first occurrence) plus
 /// each slot's index into it (-1 = weightless selector). Shared between
 /// save and load so the table order is reproducible from the registry
-/// alone.
+/// alone. Identity comes from core::trainable_agent_of — the one
+/// definition of "selector that carries weights".
 std::vector<DrCellAgent*> collect_agents(
     const std::vector<std::shared_ptr<baselines::CellSelector>>& selectors,
     std::vector<std::int64_t>& refs) {
   std::vector<DrCellAgent*> agents;
   refs.assign(selectors.size(), -1);
   for (std::size_t i = 0; i < selectors.size(); ++i) {
-    DrCellAgent* agent = agent_of(selectors[i].get());
+    DrCellAgent* agent = trainable_agent_of(selectors[i].get());
     if (agent == nullptr) continue;
     std::size_t idx = 0;
     while (idx < agents.size() && agents[idx] != agent) ++idx;
@@ -83,153 +75,236 @@ std::vector<DrCellAgent*> collect_agents(
 
 }  // namespace
 
+/// Private-state accessor: the one friend of CampaignScheduler the
+/// checkpoint layer goes through. Bodies are version-parameterised so the
+/// v1 and v2 writers/readers share one definition of the record layout.
+struct CheckpointAccess {
+  static void write_body(const CampaignScheduler& scheduler, std::ostream& out,
+                         std::uint32_t version) {
+    std::vector<std::shared_ptr<baselines::CellSelector>> selectors;
+    selectors.reserve(scheduler.slots_.size());
+    for (const auto& slot : scheduler.slots_)
+      selectors.push_back(slot.selector);
+    std::vector<std::int64_t> refs;
+    const std::vector<DrCellAgent*> agents = collect_agents(selectors, refs);
+
+    write_pod<std::uint64_t>(out, scheduler.waves_);
+    write_pod<std::uint64_t>(out, scheduler.slots_.size());
+    write_pod<std::uint64_t>(out, agents.size());
+
+    for (DrCellAgent* agent : agents) {
+      write_pod<std::uint64_t>(out, agent->trainer().env_steps());
+      write_pod<std::uint64_t>(out, agent->trainer().train_steps());
+      std::ostringstream blob(std::ios::binary);
+      agent->save_weights(blob);
+      write_string(out, blob.str());
+    }
+
+    for (std::size_t i = 0; i < scheduler.slots_.size(); ++i) {
+      const auto& slot = scheduler.slots_[i];
+      write_string(out, slot.id);
+      write_pod<std::int64_t>(out, refs[i]);
+      write_pod<std::uint64_t>(out, slot.env->current_cycle());
+      write_pod<std::uint64_t>(out, slot.action_log.size());
+      out.write(reinterpret_cast<const char*>(slot.action_log.data()),
+                static_cast<std::streamsize>(slot.action_log.size() *
+                                             sizeof(std::uint32_t)));
+      const std::vector<std::uint64_t> words =
+          slot.selector->checkpoint_state_words();
+      write_pod<std::uint64_t>(out, words.size());
+      out.write(reinterpret_cast<const char*>(words.data()),
+                static_cast<std::streamsize>(words.size() *
+                                             sizeof(std::uint64_t)));
+      if (version >= 2) {
+        write_pod<std::uint8_t>(
+            out, slot.state == CampaignState::kQuarantined ? 1 : 0);
+        write_string(out, slot.quarantine_reason);
+      }
+    }
+  }
+
+  static void read_body(CampaignScheduler& scheduler, std::istream& in,
+                        std::uint32_t version) {
+    const auto waves = read_pod<std::uint64_t>(in);
+    const auto campaign_count = read_pod<std::uint64_t>(in);
+    if (campaign_count != scheduler.slots_.size())
+      throw CheckpointMismatchError(
+          "checkpoint holds " + std::to_string(campaign_count) +
+          " campaigns, scheduler has " +
+          std::to_string(scheduler.slots_.size()));
+
+    // The agent table must line up with the one this registry would
+    // produce — same discovery order, same sharing structure.
+    std::vector<std::shared_ptr<baselines::CellSelector>> selectors;
+    selectors.reserve(scheduler.slots_.size());
+    for (const auto& slot : scheduler.slots_)
+      selectors.push_back(slot.selector);
+    std::vector<std::int64_t> expected_refs;
+    const std::vector<DrCellAgent*> agents =
+        collect_agents(selectors, expected_refs);
+
+    const auto agent_count = read_pod<std::uint64_t>(in);
+    if (agent_count != agents.size())
+      throw CheckpointMismatchError(
+          "checkpoint holds " + std::to_string(agent_count) +
+          " agents, scheduler registry implies " +
+          std::to_string(agents.size()));
+    for (DrCellAgent* agent : agents) {
+      const auto env_steps = read_pod<std::uint64_t>(in);
+      const auto train_steps = read_pod<std::uint64_t>(in);
+      const std::string blob =
+          read_string(in, std::uint64_t{1} << 33, "weight blob");
+      std::istringstream blob_in(blob, std::ios::binary);
+      agent->load_weights(blob_in);  // DRCW layer checks shapes itself
+      agent->trainer().restore_counters(env_steps, train_steps);
+    }
+
+    // Per-campaign state. Read everything (and restore selector streams)
+    // before the replay fan-out below so stream errors surface first.
+    std::vector<std::vector<std::uint32_t>> logs(scheduler.slots_.size());
+    std::vector<std::uint64_t> cycles(scheduler.slots_.size());
+    std::vector<std::uint8_t> states(scheduler.slots_.size(), 0);
+    std::vector<std::string> reasons(scheduler.slots_.size());
+    for (std::size_t i = 0; i < scheduler.slots_.size(); ++i) {
+      auto& slot = scheduler.slots_[i];
+      const std::string id = read_string(in, 4096, "campaign id");
+      if (id != slot.id)
+        throw CheckpointMismatchError(
+            "checkpoint campaign " + std::to_string(i) + " is '" + id +
+            "', scheduler has '" + slot.id + "'");
+      const auto ref = read_pod<std::int64_t>(in);
+      if (ref != expected_refs[i])
+        throw CheckpointMismatchError("checkpoint agent wiring of campaign '" +
+                                      id +
+                                      "' does not match the scheduler "
+                                      "registry");
+      cycles[i] = read_pod<std::uint64_t>(in);
+      const auto action_count = read_pod<std::uint64_t>(in);
+      if (action_count > std::uint64_t{1} << 32)
+        throw CheckpointCorruptionError(
+            "implausible action count in checkpoint");
+      logs[i].resize(action_count);
+      in.read(reinterpret_cast<char*>(logs[i].data()),
+              static_cast<std::streamsize>(action_count *
+                                           sizeof(std::uint32_t)));
+      if (!in) throw CheckpointCorruptionError("truncated checkpoint stream");
+      const auto word_count = read_pod<std::uint64_t>(in);
+      if (word_count > 1'000'000)
+        throw CheckpointCorruptionError(
+            "implausible selector state in checkpoint");
+      std::vector<std::uint64_t> words(word_count);
+      in.read(reinterpret_cast<char*>(words.data()),
+              static_cast<std::streamsize>(word_count *
+                                           sizeof(std::uint64_t)));
+      if (!in) throw CheckpointCorruptionError("truncated checkpoint stream");
+      slot.selector->restore_state_words(words);
+      if (version >= 2) {
+        states[i] = read_pod<std::uint8_t>(in);
+        if (states[i] > 1)
+          throw CheckpointCorruptionError(
+              "invalid campaign state byte in checkpoint");
+        reasons[i] = read_string(in, 4096, "quarantine reason");
+      }
+    }
+
+    // Replay: fresh engine, logged actions, in order (see header). The
+    // fan-out is index-exclusive per slot — bit-identical for any worker
+    // count; errors are collected and rethrown on the caller's thread.
+    util::ThreadPool& pool = scheduler.options_.pool != nullptr
+                                 ? *scheduler.options_.pool
+                                 : util::ThreadPool::global();
+    std::vector<std::string> errors(scheduler.slots_.size());
+    pool.parallel_for(scheduler.slots_.size(), [&](std::size_t i) {
+      auto& slot = scheduler.slots_[i];
+      slot.env = make_campaign_environment(slot.task, slot.engine_factory(),
+                                           slot.config);
+      for (const std::uint32_t a : logs[i]) {
+        if (slot.env->episode_done() || a >= slot.env->num_cells() ||
+            !slot.env->can_select(a)) {
+          errors[i] =
+              "invalid action in checkpoint replay of '" + slot.id + "'";
+          return;
+        }
+        slot.env->step(a);
+      }
+      if (slot.env->current_cycle() != cycles[i]) {
+        errors[i] = "replay of campaign '" + slot.id + "' reached cycle " +
+                    std::to_string(slot.env->current_cycle()) +
+                    ", checkpoint recorded " + std::to_string(cycles[i]);
+        return;
+      }
+      slot.action_log = std::move(logs[i]);
+    });
+    for (const std::string& e : errors)
+      if (!e.empty()) throw CheckpointMismatchError(e);
+
+    for (std::size_t i = 0; i < scheduler.slots_.size(); ++i) {
+      auto& slot = scheduler.slots_[i];
+      slot.state = states[i] == 1 ? CampaignState::kQuarantined
+                                  : CampaignState::kActive;
+      slot.quarantine_reason = reasons[i];
+      slot.consecutive_faults = 0;
+    }
+    scheduler.waves_ = waves;
+  }
+};
+
 void save_checkpoint(const CampaignScheduler& scheduler, std::ostream& out) {
-  std::vector<std::shared_ptr<baselines::CellSelector>> selectors;
-  selectors.reserve(scheduler.slots_.size());
-  for (const auto& slot : scheduler.slots_) selectors.push_back(slot.selector);
-  std::vector<std::int64_t> refs;
-  const std::vector<DrCellAgent*> agents = collect_agents(selectors, refs);
+  DRCELL_FAULT_SITE("ckpt.save", "");
+  // Serialise the body first so the envelope can carry its exact size and
+  // CRC; a reader can then tell truncation/bit-rot from registry mismatch.
+  std::ostringstream body(std::ios::binary);
+  CheckpointAccess::write_body(scheduler, body, kVersion);
+  const std::string payload = std::move(body).str();
 
   out.write(kMagic, sizeof(kMagic));
   write_pod<std::uint32_t>(out, kVersion);
-  write_pod<std::uint64_t>(out, scheduler.waves_);
-  write_pod<std::uint64_t>(out, scheduler.slots_.size());
-  write_pod<std::uint64_t>(out, agents.size());
+  write_pod<std::uint64_t>(out, payload.size());
+  write_pod<std::uint32_t>(out, util::crc32(payload.data(), payload.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out) throw SerializationError("failed to write checkpoint stream");
+}
 
-  for (DrCellAgent* agent : agents) {
-    write_pod<std::uint64_t>(out, agent->trainer().env_steps());
-    write_pod<std::uint64_t>(out, agent->trainer().train_steps());
-    std::ostringstream blob(std::ios::binary);
-    agent->save_weights(blob);
-    write_string(out, blob.str());
-  }
-
-  for (std::size_t i = 0; i < scheduler.slots_.size(); ++i) {
-    const auto& slot = scheduler.slots_[i];
-    write_string(out, slot.id);
-    write_pod<std::int64_t>(out, refs[i]);
-    write_pod<std::uint64_t>(out, slot.env->current_cycle());
-    write_pod<std::uint64_t>(out, slot.action_log.size());
-    out.write(reinterpret_cast<const char*>(slot.action_log.data()),
-              static_cast<std::streamsize>(slot.action_log.size() *
-                                           sizeof(std::uint32_t)));
-    const std::vector<std::uint64_t> words =
-        slot.selector->checkpoint_state_words();
-    write_pod<std::uint64_t>(out, words.size());
-    out.write(reinterpret_cast<const char*>(words.data()),
-              static_cast<std::streamsize>(words.size() *
-                                           sizeof(std::uint64_t)));
-  }
+void save_checkpoint_v1(const CampaignScheduler& scheduler,
+                        std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod<std::uint32_t>(out, kVersionLegacy);
+  CheckpointAccess::write_body(scheduler, out, kVersionLegacy);
   if (!out) throw SerializationError("failed to write checkpoint stream");
 }
 
 void load_checkpoint(CampaignScheduler& scheduler, std::istream& in) {
+  DRCELL_FAULT_SITE("ckpt.load", "");
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    throw SerializationError("bad magic: not a DR-Cell checkpoint stream");
+    throw CheckpointCorruptionError(
+        "bad magic: not a DR-Cell checkpoint stream");
   const auto version = read_pod<std::uint32_t>(in);
+  if (version == kVersionLegacy) {
+    // Legacy stream: no envelope; the body is parsed straight off the
+    // stream, truncation surfacing as CheckpointCorruptionError.
+    CheckpointAccess::read_body(scheduler, in, version);
+    return;
+  }
   if (version != kVersion)
     throw SerializationError("unsupported checkpoint version " +
                              std::to_string(version));
-  const auto waves = read_pod<std::uint64_t>(in);
-  const auto campaign_count = read_pod<std::uint64_t>(in);
-  if (campaign_count != scheduler.slots_.size())
-    throw SerializationError(
-        "checkpoint holds " + std::to_string(campaign_count) +
-        " campaigns, scheduler has " +
-        std::to_string(scheduler.slots_.size()));
 
-  // The agent table must line up with the one this registry would produce —
-  // same discovery order, same sharing structure.
-  std::vector<std::shared_ptr<baselines::CellSelector>> selectors;
-  selectors.reserve(scheduler.slots_.size());
-  for (const auto& slot : scheduler.slots_) selectors.push_back(slot.selector);
-  std::vector<std::int64_t> expected_refs;
-  const std::vector<DrCellAgent*> agents =
-      collect_agents(selectors, expected_refs);
-
-  const auto agent_count = read_pod<std::uint64_t>(in);
-  if (agent_count != agents.size())
-    throw SerializationError(
-        "checkpoint holds " + std::to_string(agent_count) +
-        " agents, scheduler registry implies " +
-        std::to_string(agents.size()));
-  for (DrCellAgent* agent : agents) {
-    const auto env_steps = read_pod<std::uint64_t>(in);
-    const auto train_steps = read_pod<std::uint64_t>(in);
-    const std::string blob =
-        read_string(in, std::uint64_t{1} << 33, "weight blob");
-    std::istringstream blob_in(blob, std::ios::binary);
-    agent->load_weights(blob_in);  // DRCW layer checks shapes itself
-    agent->trainer().restore_counters(env_steps, train_steps);
-  }
-
-  // Per-campaign state. Read everything (and restore selector streams)
-  // before the replay fan-out below so stream errors surface first.
-  std::vector<std::vector<std::uint32_t>> logs(scheduler.slots_.size());
-  std::vector<std::uint64_t> cycles(scheduler.slots_.size());
-  for (std::size_t i = 0; i < scheduler.slots_.size(); ++i) {
-    auto& slot = scheduler.slots_[i];
-    const std::string id = read_string(in, 4096, "campaign id");
-    if (id != slot.id)
-      throw SerializationError("checkpoint campaign " + std::to_string(i) +
-                               " is '" + id + "', scheduler has '" + slot.id +
-                               "'");
-    const auto ref = read_pod<std::int64_t>(in);
-    if (ref != expected_refs[i])
-      throw SerializationError("checkpoint agent wiring of campaign '" + id +
-                               "' does not match the scheduler registry");
-    cycles[i] = read_pod<std::uint64_t>(in);
-    const auto action_count = read_pod<std::uint64_t>(in);
-    if (action_count > std::uint64_t{1} << 32)
-      throw SerializationError("implausible action count in checkpoint");
-    logs[i].resize(action_count);
-    in.read(reinterpret_cast<char*>(logs[i].data()),
-            static_cast<std::streamsize>(action_count *
-                                         sizeof(std::uint32_t)));
-    if (!in) throw SerializationError("truncated checkpoint stream");
-    const auto word_count = read_pod<std::uint64_t>(in);
-    if (word_count > 1'000'000)
-      throw SerializationError("implausible selector state in checkpoint");
-    std::vector<std::uint64_t> words(word_count);
-    in.read(reinterpret_cast<char*>(words.data()),
-            static_cast<std::streamsize>(word_count * sizeof(std::uint64_t)));
-    if (!in) throw SerializationError("truncated checkpoint stream");
-    slot.selector->restore_state_words(words);
-  }
-
-  // Replay: fresh engine, logged actions, in order (see header). The
-  // fan-out is index-exclusive per slot — bit-identical for any worker
-  // count; errors are collected and rethrown on the caller's thread.
-  util::ThreadPool& pool = scheduler.options_.pool != nullptr
-                               ? *scheduler.options_.pool
-                               : util::ThreadPool::global();
-  std::vector<std::string> errors(scheduler.slots_.size());
-  pool.parallel_for(scheduler.slots_.size(), [&](std::size_t i) {
-    auto& slot = scheduler.slots_[i];
-    slot.env = make_campaign_environment(slot.task, slot.engine_factory(),
-                                         slot.config);
-    for (const std::uint32_t a : logs[i]) {
-      if (slot.env->episode_done() || a >= slot.env->num_cells() ||
-          !slot.env->can_select(a)) {
-        errors[i] = "invalid action in checkpoint replay of '" + slot.id + "'";
-        return;
-      }
-      slot.env->step(a);
-    }
-    if (slot.env->current_cycle() != cycles[i]) {
-      errors[i] = "replay of campaign '" + slot.id + "' reached cycle " +
-                  std::to_string(slot.env->current_cycle()) +
-                  ", checkpoint recorded " + std::to_string(cycles[i]);
-      return;
-    }
-    slot.action_log = std::move(logs[i]);
-  });
-  for (const std::string& e : errors)
-    if (!e.empty()) throw SerializationError(e);
-
-  scheduler.waves_ = waves;
+  const auto payload_size = read_pod<std::uint64_t>(in);
+  if (payload_size > std::uint64_t{1} << 33)
+    throw CheckpointCorruptionError("implausible payload size in checkpoint");
+  const auto stored_crc = read_pod<std::uint32_t>(in);
+  std::string payload(static_cast<std::size_t>(payload_size), '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!in || static_cast<std::uint64_t>(in.gcount()) != payload_size)
+    throw CheckpointCorruptionError(
+        "truncated checkpoint stream (payload shorter than header claims)");
+  if (util::crc32(payload.data(), payload.size()) != stored_crc)
+    throw CheckpointCorruptionError(
+        "checkpoint CRC mismatch (bit-rot or torn write)");
+  std::istringstream body(payload, std::ios::binary);
+  CheckpointAccess::read_body(scheduler, body, version);
 }
 
 void save_checkpoint_file(const CampaignScheduler& scheduler,

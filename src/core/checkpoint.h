@@ -1,7 +1,8 @@
 // Scheduler checkpoint/resume — the stop/restart contract of the
 // multi-campaign serving engine (core/campaign_scheduler.h).
 //
-// Format: magic "DRCK", u32 version, then
+// Format (v2, current): magic "DRCK", u32 version = 2, u64 payload size,
+// u32 CRC-32 of the payload (util/checksum.h), then the payload:
 //   u64 waves_completed, u64 campaign count, u64 agent count;
 //   per agent: u64 env_steps, u64 train_steps (the trainer counters that
 //     drive the epsilon schedule and target-sync cadence), u64 blob size,
@@ -11,7 +12,24 @@
 //   per campaign: u64 id length + bytes, i64 agent index (-1 = no agent),
 //     u64 cycle index at checkpoint, u64 action count + u32 actions (the
 //     ordered action log), u64 word count + u64 selector state words
-//     (CellSelector::checkpoint_state_words — RNG streams).
+//     (CellSelector::checkpoint_state_words — RNG streams), u8 campaign
+//     state (0 = active, 1 = quarantined) + quarantine reason string.
+//
+// v1 streams (no size/CRC header, no quarantine state) are still read;
+// save_checkpoint_v1 still writes them for compatibility tooling.
+//
+// Error taxonomy — the load path distinguishes DAMAGED BYTES from a VALID
+// STREAM THAT DOESN'T FIT this scheduler:
+//   CheckpointCorruptionError — bad magic, truncated stream, payload-size /
+//     CRC mismatch, implausible lengths. The file is damaged; retrying with
+//     another replica (e.g. an older checkpoint-ring entry) is appropriate.
+//   CheckpointMismatchError — counts, campaign ids, agent wiring or the
+//     replayed trajectory disagree with the populated scheduler registry.
+//     The bytes are fine; the registry is wrong (or the checkpoint is from
+//     a different fleet), and no amount of re-reading will fix it.
+// Both derive from nn::SerializationError, so existing catch sites keep
+// working. Weight-shape mismatches surface as the DRCW layer's own
+// nn::SerializationError.
 //
 // Agents are deduplicated by object identity: N campaigns serving one
 // shared DrCellAgent write its weights ONCE and all reference the same
@@ -27,22 +45,42 @@
 // engine sees the identical inference-call sequence (including the
 // order-sensitive ALS warm-start fingerprints — why the log keeps order,
 // not just the selection set), so the resumed scheduler's subsequent waves
-// are bit-identical to an uninterrupted run's. Caveat: replay buffers are
-// out of scope, so campaigns that TRAIN during serving (OnlineAdaptive)
-// resume with restored weights but an empty pool — see core/policy.h.
+// are bit-identical to an uninterrupted run's. A quarantined campaign's
+// log holds only its successful steps, so replay lands it on its last
+// consistent state. Caveat: replay buffers are out of scope, so campaigns
+// that TRAIN during serving (OnlineAdaptive) resume with restored weights
+// but an empty pool — see core/policy.h.
 //
-// Throws nn::SerializationError on bad magic, truncation, count/id/cycle
-// mismatches, or weight-shape mismatches (the DRCW layer's own check).
+// Fault-injection sites (util/fault_injection.h): "ckpt.save" at the top
+// of save_checkpoint, "ckpt.load" at the top of load_checkpoint.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "nn/serialize.h"
+
 namespace drcell::core {
 
 class CampaignScheduler;
 
+/// The checkpoint bytes are damaged (bad magic, truncation, CRC mismatch).
+class CheckpointCorruptionError : public nn::SerializationError {
+ public:
+  using nn::SerializationError::SerializationError;
+};
+
+/// The checkpoint is intact but does not match the populated scheduler
+/// registry (different fleet, ids, or agent wiring).
+class CheckpointMismatchError : public nn::SerializationError {
+ public:
+  using nn::SerializationError::SerializationError;
+};
+
 void save_checkpoint(const CampaignScheduler& scheduler, std::ostream& out);
+/// Legacy v1 writer (no CRC envelope, no quarantine state) — kept so the
+/// v1 read path stays exercised by tests and old tooling can be fed.
+void save_checkpoint_v1(const CampaignScheduler& scheduler, std::ostream& out);
 void load_checkpoint(CampaignScheduler& scheduler, std::istream& in);
 
 /// File-path convenience wrappers.

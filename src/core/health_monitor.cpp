@@ -1,0 +1,111 @@
+#include "core/health_monitor.h"
+
+#include <cmath>
+
+#include "nn/layer.h"
+#include "util/check.h"
+
+namespace drcell::core {
+
+HealthMonitor::HealthMonitor(HealthOptions options) : options_(options) {
+  DRCELL_CHECK(options_.loss_window > 0);
+  DRCELL_CHECK(options_.loss_baseline > 0);
+  DRCELL_CHECK(options_.loss_explosion_factor >= 0.0);
+  DRCELL_CHECK(options_.max_abs_q >= 0.0);
+  window_.reserve(options_.loss_window);
+}
+
+const char* HealthMonitor::status_name(HealthStatus status) {
+  switch (status) {
+    case HealthStatus::kHealthy: return "healthy";
+    case HealthStatus::kNonFiniteLoss: return "non-finite loss";
+    case HealthStatus::kLossExplosion: return "loss explosion";
+    case HealthStatus::kNonFiniteQ: return "non-finite Q-values";
+    case HealthStatus::kQOutOfRange: return "Q-values out of range";
+    case HealthStatus::kNonFiniteParams: return "non-finite parameters";
+  }
+  return "unknown";
+}
+
+void HealthMonitor::trip(HealthStatus status, std::string reason) {
+  // Sticky: keep the FIRST tripped sentinel — it names the root cause
+  // (later checks on poisoned state all fail for derived reasons).
+  if (status_ != HealthStatus::kHealthy) return;
+  status_ = status;
+  reason_ = std::move(reason);
+}
+
+HealthStatus HealthMonitor::record_loss(double loss) {
+  if (!std::isfinite(loss)) {
+    trip(HealthStatus::kNonFiniteLoss, "train-step loss is non-finite");
+    return status_;
+  }
+  if (baseline_count_ < options_.loss_baseline) {
+    baseline_sum_ += loss;
+    ++baseline_count_;
+    return status_;
+  }
+  if (window_.size() < options_.loss_window) {
+    window_.push_back(loss);
+    window_sum_ += loss;
+  } else {
+    window_sum_ += loss - window_[window_next_];
+    window_[window_next_] = loss;
+    window_next_ = (window_next_ + 1) % options_.loss_window;
+  }
+  if (options_.loss_explosion_factor > 0.0 &&
+      window_.size() == options_.loss_window) {
+    const double baseline =
+        baseline_sum_ / static_cast<double>(baseline_count_);
+    const double window_mean =
+        window_sum_ / static_cast<double>(window_.size());
+    // The +1.0 floor keeps a near-zero baseline (e.g. pre-warmup 0.0
+    // losses) from flagging ordinary early-training noise.
+    if (window_mean >
+        options_.loss_explosion_factor * (std::fabs(baseline) + 1.0))
+      trip(HealthStatus::kLossExplosion,
+           "loss window mean " + std::to_string(window_mean) +
+               " exploded over baseline " + std::to_string(baseline));
+  }
+  return status_;
+}
+
+HealthStatus HealthMonitor::check_q(const Matrix& q) {
+  if (q.has_non_finite()) {
+    trip(HealthStatus::kNonFiniteQ, "Q forward produced non-finite values");
+    return status_;
+  }
+  if (options_.max_abs_q > 0.0) {
+    for (std::size_t r = 0; r < q.rows(); ++r)
+      for (std::size_t c = 0; c < q.cols(); ++c)
+        if (std::fabs(q(r, c)) > options_.max_abs_q) {
+          trip(HealthStatus::kQOutOfRange,
+               "|Q| exceeded " + std::to_string(options_.max_abs_q));
+          return status_;
+        }
+  }
+  return status_;
+}
+
+HealthStatus HealthMonitor::check_parameters(
+    const std::vector<nn::Parameter*>& params) {
+  for (const nn::Parameter* p : params)
+    if (p != nullptr && p->value.has_non_finite()) {
+      trip(HealthStatus::kNonFiniteParams,
+           "network parameters contain non-finite values");
+      return status_;
+    }
+  return status_;
+}
+
+void HealthMonitor::reset() {
+  status_ = HealthStatus::kHealthy;
+  reason_.clear();
+  baseline_sum_ = 0.0;
+  baseline_count_ = 0;
+  window_.clear();
+  window_next_ = 0;
+  window_sum_ = 0.0;
+}
+
+}  // namespace drcell::core

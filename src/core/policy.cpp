@@ -46,7 +46,19 @@ void OnlineAdaptivePolicy::on_step(const mcs::SparseMcsEnvironment& env,
   e.terminal = result.episode_done;
   if (result.episode_done) e.next_mask.assign(env.num_cells(), 1);
   agent_.trainer().observe(std::move(e));
-  agent_.trainer().train_step();
+  const double loss = agent_.trainer().train_step();
+  // One train step on NaN-poisoned weights produces a NaN Huber loss, so
+  // the sentinel trips within that very step (core/health_monitor.h). The
+  // scheduler reads agent_.health() after the wave and recovers.
+  agent_.health().record_loss(loss);
+}
+
+DrCellAgent* trainable_agent_of(baselines::CellSelector* selector) {
+  if (auto* frozen = dynamic_cast<DrCellPolicy*>(selector))
+    return &frozen->agent();
+  if (auto* online = dynamic_cast<OnlineAdaptivePolicy*>(selector))
+    return &online->online_agent();
+  return nullptr;
 }
 
 }  // namespace drcell::core

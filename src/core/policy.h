@@ -76,4 +76,10 @@ class OnlineAdaptivePolicy final : public baselines::CellSelector {
   bool has_pending_ = false;
 };
 
+/// The trainable agent behind a selector, if any — nullptr for the
+/// weightless baselines. Enumerates every selector type that carries
+/// weights; the checkpoint layer's agent-dedup table and the scheduler's
+/// health monitoring share this one definition.
+DrCellAgent* trainable_agent_of(baselines::CellSelector* selector);
+
 }  // namespace drcell::core

@@ -5,6 +5,7 @@
 
 #include "linalg/solvers.h"
 #include "util/chunking.h"
+#include "util/fault_injection.h"
 #include "util/rng.h"
 
 namespace drcell::cs {
@@ -61,6 +62,11 @@ void MatrixCompletion::reset_warm_start() const {
 
 MatrixCompletion::Fit MatrixCompletion::fit(
     const PartialMatrix& observed) const {
+  // Robustness drill hook: an armed `als.solve` fault surfaces here as an
+  // InjectedFault thrown out of the environment step that requested the
+  // inference — the deep mid-wave throw the scheduler's campaign fault
+  // domains must contain.
+  DRCELL_FAULT_SITE("als.solve", "");
   const std::size_t m = observed.rows();
   const std::size_t n = observed.cols();
   DRCELL_CHECK_MSG(m > 0 && n > 0, "matrix completion on empty matrix");
@@ -198,43 +204,63 @@ MatrixCompletion::Fit MatrixCompletion::fit(
     });
   };
 
+  const auto run_sweeps = [&](std::size_t budget) {
+    for (std::size_t it = 0; it < budget; ++it) {
+      double max_change = 0.0;
+      double delta_sq = 0.0;   // Frobenius² of this sweep's factor delta
+      double factor_sq = 0.0;  // Frobenius² of the updated factors
+      // Update row factors: for each row solve a ridge regression on the
+      // column factors of its observed entries.
+      half_sweep(
+          row_bounds, row_f, col_f,
+          [&](std::size_t r) -> const std::vector<std::size_t>& {
+            return observed.observed_cols_in_row(r);
+          },
+          [&](std::size_t r, std::size_t c) { return observed.value(r, c); });
+      for (std::size_t r = 0; r < m; ++r) {
+        max_change = std::max(max_change, solve_max[r]);
+        delta_sq += solve_delta[r];
+        factor_sq += solve_factor[r];
+      }
+      // Update column factors symmetrically.
+      half_sweep(
+          col_bounds, col_f, row_f,
+          [&](std::size_t c) -> const std::vector<std::size_t>& {
+            return observed.observed_rows_in_col(c);
+          },
+          [&](std::size_t c, std::size_t r) { return observed.value(r, c); });
+      for (std::size_t c = 0; c < n; ++c) {
+        max_change = std::max(max_change, solve_max[c]);
+        delta_sq += solve_delta[c];
+        factor_sq += solve_factor[c];
+      }
+      if (max_change < options_.convergence_tol) break;
+      if (options_.frobenius_tol > 0.0 &&
+          std::sqrt(delta_sq) <
+              options_.frobenius_tol * std::max(std::sqrt(factor_sq), 1.0))
+        break;
+    }
+  };
+
   const std::size_t sweep_budget =
       warm_trusted ? std::min(options_.warm_iterations, options_.iterations)
                    : options_.iterations;
-  for (std::size_t it = 0; it < sweep_budget; ++it) {
-    double max_change = 0.0;
-    double delta_sq = 0.0;   // Frobenius² of this sweep's factor delta
-    double factor_sq = 0.0;  // Frobenius² of the updated factors
-    // Update row factors: for each row solve a ridge regression on the
-    // column factors of its observed entries.
-    half_sweep(
-        row_bounds, row_f, col_f,
-        [&](std::size_t r) -> const std::vector<std::size_t>& {
-          return observed.observed_cols_in_row(r);
-        },
-        [&](std::size_t r, std::size_t c) { return observed.value(r, c); });
-    for (std::size_t r = 0; r < m; ++r) {
-      max_change = std::max(max_change, solve_max[r]);
-      delta_sq += solve_delta[r];
-      factor_sq += solve_factor[r];
-    }
-    // Update column factors symmetrically.
-    half_sweep(
-        col_bounds, col_f, row_f,
-        [&](std::size_t c) -> const std::vector<std::size_t>& {
-          return observed.observed_rows_in_col(c);
-        },
-        [&](std::size_t c, std::size_t r) { return observed.value(r, c); });
-    for (std::size_t c = 0; c < n; ++c) {
-      max_change = std::max(max_change, solve_max[c]);
-      delta_sq += solve_delta[c];
-      factor_sq += solve_factor[c];
-    }
-    if (max_change < options_.convergence_tol) break;
-    if (options_.frobenius_tol > 0.0 &&
-        std::sqrt(delta_sq) <
-            options_.frobenius_tol * std::max(std::sqrt(factor_sq), 1.0))
-      break;
+  run_sweeps(sweep_budget);
+
+  // Cold-solve fallback: a warm resume that failed to produce a usable
+  // factorisation — non-finite factors from a pathological cached init, or
+  // an armed `als.converge` fault standing in for one — is retried from
+  // noise with the full sweep budget instead of poisoning infer() (whose
+  // non-finite CHECK would kill the campaign). Identical arithmetic to a
+  // never-warmed engine's solve, so the fallback result is bit-identical
+  // to a cold engine's on the same window.
+  if (warm_resumed &&
+      (row_f.has_non_finite() || col_f.has_non_finite() ||
+       util::FaultInjection::check("als.converge"))) {
+    Rng rng(options_.seed);
+    row_f = random_normal_matrix(m, rank, rng);
+    col_f = random_normal_matrix(n, rank, rng);
+    run_sweeps(options_.iterations);
   }
 
   if (options_.warm_start) {

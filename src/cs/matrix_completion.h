@@ -14,6 +14,14 @@
 // the same reconstruction. Set `warm_start = false` for the stateless
 // cold-start behaviour.
 //
+// Robustness: a warm resume that fails to produce usable factors —
+// non-finite values out of a pathological cached init, or the armed
+// `als.converge` fault-injection site (util/fault_injection.h) standing in
+// for one — falls back to a cold solve from noise with the full sweep
+// budget, bit-identical to a never-warmed engine's solve on the same
+// window. infer() still hard-checks the final reconstruction for
+// non-finite values (the campaign fault domains catch that CheckError).
+//
 // Threading / determinism contract (every pooled path in this engine — the
 // ALS half-sweeps and the leave-one-out solves — upholds it, and any new
 // fan-out added here must too; see src/util/thread_pool.h for the pool-side

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/fault_injection.h"
+
 namespace drcell::mcs {
 
 double EpisodeStats::quality_satisfaction_ratio(double epsilon) const {
@@ -129,6 +131,10 @@ std::vector<std::uint32_t> SparseMcsEnvironment::state_ones() const {
 }
 
 StepResult SparseMcsEnvironment::step(std::size_t cell) {
+  // Planted BEFORE any mutation: a transient injected fault leaves the
+  // environment untouched, so the scheduler's in-wave retry of the same
+  // action continues the trajectory bit-identically.
+  DRCELL_FAULT_SITE("env.step", options_.fault_scope);
   DRCELL_CHECK_MSG(!done_, "step() after episode end");
   DRCELL_CHECK_MSG(cell < task_->num_cells(), "action out of range");
   DRCELL_CHECK_MSG(!selection_.selected(cell, cycle_),

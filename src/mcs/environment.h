@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cs/inference_engine.h"
@@ -45,6 +46,12 @@ struct EnvOptions {
   /// cells"). cells x h; the inference window reaches back into it.
   /// Empty disables warm starting.
   Matrix warm_start;
+  /// Scope label of this environment's `env.step` fault-injection site
+  /// (util/fault_injection.h) — the campaign scheduler sets it to the
+  /// campaign id so drills can target one campaign. Empty (the default)
+  /// leaves the site matchable only by unscoped specs. Never affects the
+  /// trajectory when no matching fault is armed.
+  std::string fault_scope;
   /// Training-stage dense reward shaping: when > 0, every step whose
   /// observation count has reached `min_observations` additionally earns
   /// `error_shaping * (previous true cycle error - current true cycle

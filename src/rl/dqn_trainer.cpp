@@ -5,6 +5,7 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
+#include "util/fault_injection.h"
 
 namespace drcell::rl {
 
@@ -164,6 +165,10 @@ double DqnTrainer::finish_update(double raw_loss_sum, double normalizer) {
 }
 
 double DqnTrainer::train_step() {
+  // Planted before the replay sample so a transient injected fault does not
+  // advance the sampling stream — a retried/skipped step trains on exactly
+  // the batch the uninterrupted run would have drawn.
+  DRCELL_FAULT_SITE("train.step", "");
   if (replay_.size() < options_.min_replay) return 0.0;
   const auto batch = replay_.sample_indices(options_.batch_size, rng_);
 #ifdef DRCELL_ENABLE_REFERENCE_KERNELS

@@ -84,6 +84,10 @@ class DqnTrainer {
   DqnTrainer(QNetworkPtr online, DqnOptions options, std::uint64_t seed);
 
   QNetwork& online() { return *online_; }
+  /// The fixed-target copy. Exposed for inspection and for fault drills:
+  /// poisoning the target corrupts the TD loss without touching the action
+  /// path, which is how tests pin the loss sentinel's one-step detection.
+  QNetwork& target() { return *target_; }
   const DqnOptions& options() const { return options_; }
   ReplayBuffer& replay() { return replay_; }
   std::size_t env_steps() const { return env_steps_; }

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// check of the DRCK v2 checkpoint format (core/checkpoint.h). Table-driven,
+// byte at a time; checkpoint payloads are megabytes at most, so throughput
+// is irrelevant next to the weight serialisation around it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace drcell::util {
+
+/// CRC of `len` bytes at `data`. `crc` chains partial computations:
+/// crc32(b, crc32(a)) == crc32(a+b). The empty-input CRC is 0, and
+/// crc32("123456789") == 0xCBF43926 (the standard check value).
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t crc = 0);
+
+}  // namespace drcell::util

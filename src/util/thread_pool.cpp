@@ -15,6 +15,9 @@ thread_local bool t_is_pool_worker = false;
 // from the caller's own lane must not touch submission_mutex_ again
 // (try_lock on a non-recursive mutex the thread already owns is UB).
 thread_local bool t_in_parallel_for = false;
+// Task-exception count of this thread's most recent parallel_for (serial
+// fallbacks included) — see ThreadPool::last_batch_error_count().
+thread_local std::size_t t_last_error_count = 0;
 
 // Indices claimed per fetch_add. ~8 chunks per lane keeps dynamic load
 // balance (late lanes steal from the shared counter) while paying dispatch
@@ -105,15 +108,23 @@ void ThreadPool::drain(Batch& batch) {
         batch.next.fetch_add(batch.chunk, std::memory_order_relaxed);
     if (start >= batch.n) return;
     const std::size_t end = std::min(start + batch.chunk, batch.n);
-    std::exception_ptr error;
-    try {
-      for (std::size_t i = start; i < end; ++i) batch.fn(i);
-    } catch (...) {
-      error = std::current_exception();
+    // Per-task guard: a throwing task must not starve its chunk-mates (the
+    // aggregation contract in the header). Zero-cost on the no-throw path;
+    // errors are rare, so per-error locking is fine.
+    std::exception_ptr first;
+    std::size_t errors = 0;
+    for (std::size_t i = start; i < end; ++i) {
+      try {
+        batch.fn(i);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+        ++errors;
+      }
     }
-    if (error) {
+    if (errors > 0) {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (!batch.error) batch.error = error;
+      if (!batch.error) batch.error = first;
+      batch.error_count += errors;
     }
     // acq_rel: the release half publishes this range's output writes; the
     // caller's acquire load of `completed` (which reads the last value in
@@ -129,11 +140,39 @@ void ThreadPool::drain(Batch& batch) {
   }
 }
 
+namespace {
+// Serial fallback with the same aggregation semantics as the pooled path:
+// every index runs, the first exception is rethrown afterwards.
+void run_serial(std::size_t n, FunctionRef<void(std::size_t)> fn,
+                std::size_t& error_count) {
+  std::exception_ptr first;
+  error_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      fn(i);
+    } catch (...) {
+      if (!first) first = std::current_exception();
+      ++error_count;
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+}  // namespace
+
+std::size_t ThreadPool::last_batch_error_count() {
+  return t_last_error_count;
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               FunctionRef<void(std::size_t)> fn) {
-  if (n == 0) return;
+  if (n == 0) {
+    t_last_error_count = 0;
+    return;
+  }
   if (workers_.empty() || n == 1 || t_is_pool_worker || t_in_parallel_for) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    // Nested calls share the caller's thread-local count; the innermost
+    // batch wins, matching "most recent parallel_for of this thread".
+    run_serial(n, fn, t_last_error_count);
     return;
   }
   std::unique_lock<std::mutex> submission(submission_mutex_,
@@ -141,7 +180,7 @@ void ThreadPool::parallel_for(std::size_t n,
   if (!submission.owns_lock()) {
     // Another thread's batch is in flight; running serially is always
     // correct and never deadlocks.
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    run_serial(n, fn, t_last_error_count);
     return;
   }
   t_in_parallel_for = true;
@@ -162,6 +201,7 @@ void ThreadPool::parallel_for(std::size_t n,
            batch.drainers == 0;
   });
   batch_ = nullptr;
+  t_last_error_count = batch.error_count;
   if (batch.error) {
     lock.unlock();
     std::rethrow_exception(batch.error);

@@ -20,9 +20,17 @@
 //  * Stochastic tasks get a per-task Rng derived from (seed, index) via
 //    SplitMix64, making randomised fan-outs reproducible regardless of the
 //    worker count.
-//  * The first exception thrown by any task is captured and rethrown on the
-//    calling thread after the loop drains. Tasks after the throwing one in
-//    the SAME chunk are skipped; other chunks still run.
+//  * Exceptions are AGGREGATED, not short-circuited: every task in [0, n)
+//    runs even when earlier ones throw (each task body is individually
+//    guarded, so a throwing task never skips its chunk-mates). After the
+//    batch drains, the FIRST captured exception (in claim order — which
+//    exception is "first" under real parallelism is scheduling-dependent;
+//    with 0 workers it is the lowest-index one) is rethrown on the calling
+//    thread, and `last_batch_error_count()` reports how many tasks threw in
+//    that batch. Fault-domain callers that need per-index attribution (the
+//    campaign scheduler's wave step) catch inside their own task body
+//    instead; the pool-level guarantee is that one bad index cannot
+//    silently starve the others.
 //
 // Determinism contract for pooled callers. Every hot path in this library
 // that fans out over the pool guarantees bit-identical results for ANY
@@ -86,10 +94,17 @@ class ThreadPool {
   std::size_t worker_count() const { return workers_.size(); }
 
   /// Runs fn(i) for every i in [0, n), distributing index ranges over the
-  /// workers and the calling thread. Blocks until all calls return. Rethrows
-  /// the first task exception on the caller. `fn` is borrowed, not copied —
-  /// it only needs to live for the duration of this call.
+  /// workers and the calling thread. Blocks until all calls return. Every
+  /// index runs even when some throw; the first captured exception is
+  /// rethrown on the caller (see the aggregation contract above). `fn` is
+  /// borrowed, not copied — it only needs to live for the duration of this
+  /// call.
   void parallel_for(std::size_t n, FunctionRef<void(std::size_t)> fn);
+
+  /// How many tasks of this thread's most recent parallel_for threw (0
+  /// after a clean batch). Valid after parallel_for returns or throws;
+  /// thread-local, so concurrent submitters see their own counts.
+  static std::size_t last_batch_error_count();
 
   /// parallel_for variant for stochastic tasks: fn additionally receives an
   /// Rng seeded deterministically from (seed, i), so results do not depend
@@ -127,6 +142,7 @@ class ThreadPool {
     std::atomic<std::size_t> completed{0};
     std::size_t drainers = 0;           // workers inside drain() — mutex_
     std::exception_ptr error;           // first task exception — mutex_
+    std::size_t error_count = 0;        // tasks that threw — mutex_
   };
 
   void worker_loop();

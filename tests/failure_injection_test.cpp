@@ -1,12 +1,23 @@
-// Failure injection: degenerate shapes, corrupted streams, hostile inputs.
-// The library must fail loudly (CheckError / SerializationError), never
-// silently corrupt state or crash.
+// Failure injection: degenerate shapes, corrupted streams, hostile inputs —
+// plus the RUNTIME fault drills of the fault-tolerance layer (deterministic
+// fault-injection registry, numeric-health sentinels, campaign quarantine,
+// checkpoint-ring rollback). The library must fail loudly (CheckError /
+// SerializationError), never silently corrupt state or crash; the serving
+// fleet must contain faults to the faulted campaign and keep every healthy
+// campaign bit-identical to a no-fault run.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 #include <sstream>
 
+#include "baselines/random_selector.h"
 #include "core/agent.h"
+#include "core/campaign_scheduler.h"
+#include "core/checkpoint.h"
+#include "core/health_monitor.h"
+#include "core/policy.h"
 #include "cs/matrix_completion.h"
 #include "data/task_io.h"
 #include "mcs/environment.h"
@@ -14,9 +25,17 @@
 #include "rl/dqn_trainer.h"
 #include "rl/mlp_qnetwork.h"
 #include "test_helpers.h"
+#include "util/fault_injection.h"
 
 namespace drcell {
 namespace {
+
+/// Every fault-injection test disarms on entry AND exit so a failing assert
+/// cannot leak an armed spec into later tests.
+struct DisarmGuard {
+  DisarmGuard() { util::FaultInjection::disarm_all(); }
+  ~DisarmGuard() { util::FaultInjection::disarm_all(); }
+};
 
 TEST(FailureInjection, EnvironmentRejectsNullDependencies) {
   auto task = std::make_shared<const mcs::SensingTask>(
@@ -203,6 +222,490 @@ TEST(FailureInjection, GateOnNoisyTaskNeverSatisfiedStillTerminates) {
     ASSERT_LT(++guard, 100u) << "episode failed to terminate";
   }
   for (auto count : env.stats().cycle_selected) EXPECT_EQ(count, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection registry (util/fault_injection.h)
+
+TEST(FaultInjectionRegistry, DisarmedIsNoOp) {
+  DisarmGuard guard;
+  EXPECT_FALSE(util::FaultInjection::enabled());
+  EXPECT_FALSE(util::FaultInjection::check("env.step", "anything"));
+  EXPECT_NO_THROW(util::FaultInjection::site("env.step", "anything"));
+  EXPECT_EQ(util::FaultInjection::hits("env.step"), 0u);
+}
+
+TEST(FaultInjectionRegistry, SpecStringCountdownAndScope) {
+  DisarmGuard guard;
+  ASSERT_EQ(util::FaultInjection::arm_from_string("env.step@c1:after=1,times=2"),
+            1u);
+  // Wrong scope: never matches, never counts.
+  EXPECT_FALSE(util::FaultInjection::check("env.step", "c2"));
+  EXPECT_EQ(util::FaultInjection::hits("env.step", "c1"), 0u);
+  // Matching scope: hit 1 skipped (after=1), hits 2-3 fire (times=2), then
+  // the spec is exhausted.
+  EXPECT_FALSE(util::FaultInjection::check("env.step", "c1"));
+  EXPECT_TRUE(util::FaultInjection::check("env.step", "c1"));
+  EXPECT_TRUE(util::FaultInjection::check("env.step", "c1"));
+  EXPECT_FALSE(util::FaultInjection::check("env.step", "c1"));
+  EXPECT_EQ(util::FaultInjection::hits("env.step", "c1"), 4u);
+  EXPECT_EQ(util::FaultInjection::fires("env.step", "c1"), 2u);
+}
+
+TEST(FaultInjectionRegistry, BareSiteIsPersistent) {
+  DisarmGuard guard;
+  ASSERT_EQ(util::FaultInjection::arm_from_string("train.step"), 1u);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_THROW(util::FaultInjection::site("train.step", ""),
+                 util::InjectedFault);
+  // An unscoped spec matches any scope.
+  EXPECT_TRUE(util::FaultInjection::check("train.step", "whatever"));
+}
+
+TEST(FaultInjectionRegistry, MalformedSpecsThrow) {
+  DisarmGuard guard;
+  EXPECT_THROW(util::FaultInjection::arm_from_string("env.step:bogus=1"),
+               CheckError);
+  EXPECT_THROW(util::FaultInjection::arm_from_string("env.step:times=abc"),
+               CheckError);
+  EXPECT_THROW(util::FaultInjection::arm_from_string("env.step:prob=1.5"),
+               CheckError);
+  EXPECT_THROW(util::FaultInjection::arm_from_string(":after=1"), CheckError);
+}
+
+TEST(FaultInjectionRegistry, ProbabilisticFiresAreDeterministic) {
+  DisarmGuard guard;
+  const auto pattern = [] {
+    util::FaultInjection::disarm_all();
+    util::FaultSpec spec;
+    spec.site = "als.solve";
+    spec.probability = 0.3;
+    spec.seed = 99;
+    util::FaultInjection::arm(spec);
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i)
+      fires.push_back(util::FaultInjection::check("als.solve"));
+    return fires;
+  };
+  const auto first = pattern();
+  const auto second = pattern();
+  EXPECT_EQ(first, second);  // private RNG stream -> reproducible drills
+  const auto fired = std::count(first.begin(), first.end(), true);
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 200);
+}
+
+// ---------------------------------------------------------------------------
+// Numeric-health sentinels (core/health_monitor.h)
+
+TEST(HealthMonitor, NonFiniteLossTripsStickyAndResets) {
+  core::HealthMonitor monitor;
+  EXPECT_TRUE(monitor.healthy());
+  monitor.record_loss(0.5);
+  EXPECT_TRUE(monitor.healthy());
+  EXPECT_EQ(monitor.record_loss(std::numeric_limits<double>::quiet_NaN()),
+            core::HealthStatus::kNonFiniteLoss);
+  // Sticky: healthy losses afterwards do not clear it.
+  monitor.record_loss(0.5);
+  EXPECT_EQ(monitor.status(), core::HealthStatus::kNonFiniteLoss);
+  EXPECT_FALSE(monitor.reason().empty());
+  monitor.reset();
+  EXPECT_TRUE(monitor.healthy());
+  EXPECT_TRUE(monitor.reason().empty());
+}
+
+TEST(HealthMonitor, LossExplosionTripsAgainstBaseline) {
+  core::HealthOptions options;
+  options.loss_baseline = 4;
+  options.loss_window = 2;
+  options.loss_explosion_factor = 10.0;
+  core::HealthMonitor monitor(options);
+  for (int i = 0; i < 4; ++i) monitor.record_loss(1.0);  // baseline mean 1
+  EXPECT_TRUE(monitor.healthy());
+  monitor.record_loss(1000.0);
+  monitor.record_loss(1000.0);  // window mean 1000 > 10 * (1 + 1)
+  EXPECT_EQ(monitor.status(), core::HealthStatus::kLossExplosion);
+}
+
+TEST(HealthMonitor, QSentinels) {
+  core::HealthMonitor nan_monitor;
+  Matrix q(2, 3);
+  q(1, 2) = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(nan_monitor.check_q(q), core::HealthStatus::kNonFiniteQ);
+
+  core::HealthOptions bounded;
+  bounded.max_abs_q = 100.0;
+  core::HealthMonitor range_monitor(bounded);
+  Matrix big(1, 2);
+  big(0, 1) = -1e6;
+  EXPECT_EQ(range_monitor.check_q(big), core::HealthStatus::kQOutOfRange);
+}
+
+TEST(HealthMonitor, ParameterSentinelViaAgent) {
+  core::DrCellConfig config;
+  config.history_cycles = 2;
+  config.lstm_hidden = 8;
+  core::DrCellAgent agent(4, config);
+  EXPECT_EQ(agent.check_parameter_health(), core::HealthStatus::kHealthy);
+  agent.trainer().online().parameters()[0]->value(0, 0) =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(agent.check_parameter_health(),
+            core::HealthStatus::kNonFiniteParams);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler fault domains: quarantine, retry, rollback, fallback
+
+/// Small deterministic fleet for the drills: two frozen DR-Cell campaigns
+/// sharing one agent (slots 0-1) plus two RANDOM campaigns (slots 2-3).
+/// Two separately constructed ToyFleets are bit-identical (fixed seeds).
+struct ToyFleet {
+  std::shared_ptr<const mcs::SensingTask> task;
+  core::DrCellConfig config;
+  core::CampaignConfig campaign;
+  std::shared_ptr<core::DrCellAgent> agent;
+
+  ToyFleet() {
+    task = std::make_shared<const mcs::SensingTask>(
+        testing::make_toy_task(6, 10));
+    config.history_cycles = 2;
+    config.lstm_hidden = 16;
+    config.env.min_observations = 2;
+    config.env.inference_window = 6;
+    agent = std::make_shared<core::DrCellAgent>(6, config);
+    campaign.epsilon = 0.8;
+    campaign.p = 0.8;
+    campaign.env = config.env;
+    campaign.env.history_cycles = config.history_cycles;
+  }
+
+  void populate(core::CampaignScheduler& scheduler) const {
+    for (int i = 0; i < 2; ++i)
+      scheduler.add_campaign(
+          "drcell-" + std::to_string(i), campaign, task,
+          [] { return testing::default_engine(); },
+          std::make_shared<core::DrCellPolicy>(*agent));
+    for (int i = 0; i < 2; ++i)
+      scheduler.add_campaign(
+          "random-" + std::to_string(i), campaign, task,
+          [] { return testing::default_engine(); },
+          std::make_shared<baselines::RandomSelector>(
+              static_cast<std::uint64_t>(40 + i)));
+  }
+};
+
+void expect_campaign_identical(const core::CampaignScheduler& a,
+                               const core::CampaignScheduler& b,
+                               std::size_t slot) {
+  const auto ra = a.results()[slot];
+  const auto rb = b.results()[slot];
+  EXPECT_EQ(ra.cycles, rb.cycles) << "slot " << slot;
+  EXPECT_EQ(ra.stats.cycle_errors, rb.stats.cycle_errors) << "slot " << slot;
+  EXPECT_EQ(ra.stats.total_reward, rb.stats.total_reward) << "slot " << slot;
+  EXPECT_EQ(a.action_log(slot), b.action_log(slot)) << "slot " << slot;
+}
+
+bool has_incident(const core::CampaignScheduler& s, const std::string& kind) {
+  return std::any_of(s.incidents().begin(), s.incidents().end(),
+                     [&](const core::Incident& i) { return i.kind == kind; });
+}
+
+TEST(SchedulerFaults, PersistentFaultQuarantinesOnlyTargetedCampaign) {
+  DisarmGuard guard;
+  const ToyFleet clean;
+  core::CampaignScheduler reference;
+  clean.populate(reference);
+  reference.run();
+  ASSERT_TRUE(reference.incidents().empty());
+
+  util::FaultSpec spec;
+  spec.site = "env.step";
+  spec.scope = "random-0";  // slot 2
+  util::FaultInjection::arm(spec);
+  const ToyFleet fleet;
+  core::CampaignScheduler faulted;
+  fleet.populate(faulted);
+  faulted.run();
+  util::FaultInjection::disarm_all();
+
+  ASSERT_TRUE(faulted.all_done());
+  EXPECT_EQ(faulted.quarantined_slots(), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(faulted.campaign_state(2), core::CampaignState::kQuarantined);
+  EXPECT_TRUE(faulted.results()[2].quarantined);
+  EXPECT_FALSE(faulted.quarantine_reason(2).empty());
+  EXPECT_TRUE(has_incident(faulted, "step-fault"));
+  EXPECT_TRUE(has_incident(faulted, "quarantine"));
+  // The healthy fleet never noticed: bit-identical to the no-fault run.
+  for (const std::size_t slot : {0u, 1u, 3u})
+    expect_campaign_identical(reference, faulted, slot);
+}
+
+TEST(SchedulerFaults, TransientStepFaultRetriedBitIdentically) {
+  DisarmGuard guard;
+  const ToyFleet clean;
+  core::CampaignScheduler reference;
+  clean.populate(reference);
+  reference.run();
+
+  util::FaultSpec spec;
+  spec.site = "env.step";
+  spec.scope = "random-1";
+  spec.after = 3;  // let three steps through
+  spec.times = 1;  // then fire exactly once
+  util::FaultInjection::arm(spec);
+  const ToyFleet fleet;
+  core::CampaignScheduler faulted;
+  fleet.populate(faulted);
+  faulted.run();
+  util::FaultInjection::disarm_all();
+
+  // Recovered in-wave: no quarantine, and the WHOLE fleet — the faulted
+  // campaign included — matches the no-fault run bit for bit.
+  EXPECT_TRUE(faulted.quarantined_slots().empty());
+  EXPECT_TRUE(has_incident(faulted, "retry-recovered"));
+  for (std::size_t slot = 0; slot < 4; ++slot)
+    expect_campaign_identical(reference, faulted, slot);
+}
+
+TEST(SchedulerFaults, NanPoisonedAgentRollsBackFromCheckpointRing) {
+  DisarmGuard guard;
+  core::CampaignScheduler::Options options;
+  options.fault.checkpoint_every_waves = 4;
+  options.fault.checkpoint_ring = 2;
+
+  const ToyFleet clean;
+  core::CampaignScheduler reference(options);
+  clean.populate(reference);
+  reference.run();
+  ASSERT_EQ(reference.rollbacks(), 0u);
+
+  const ToyFleet fleet;
+  core::CampaignScheduler poisoned(options);
+  fleet.populate(poisoned);
+  poisoned.run(/*max_waves=*/10);
+  ASSERT_GT(poisoned.checkpoint_ring_size(), 0u);
+  fleet.agent->trainer().online().parameters()[0]->value(1, 1) =
+      std::numeric_limits<double>::quiet_NaN();
+  poisoned.run();
+
+  // Detected by the parameter sentinel, restored from the newest ring
+  // entry, and — the frozen policy being deterministic and the selector
+  // streams restored — the re-run lands exactly on the no-fault run.
+  EXPECT_EQ(poisoned.rollbacks(), 1u);
+  EXPECT_TRUE(has_incident(poisoned, "agent-unhealthy"));
+  EXPECT_TRUE(has_incident(poisoned, "rollback"));
+  EXPECT_TRUE(poisoned.quarantined_slots().empty());
+  EXPECT_TRUE(fleet.agent->health().healthy());  // reset after rollback
+  for (std::size_t slot = 0; slot < 4; ++slot)
+    expect_campaign_identical(reference, poisoned, slot);
+}
+
+TEST(SchedulerFaults, OnlineTrainStepDetectsNanWithinOneStep) {
+  DisarmGuard guard;
+  const ToyFleet fleet;
+  core::DrCellConfig config = fleet.config;
+  config.dqn.batch_size = 4;
+  config.dqn.min_replay = 4;   // train from the 4th step on
+  config.dqn.double_dqn = true;  // next-action chooser = the clean online net
+  core::DrCellAgent agent(6, config);
+
+  core::CampaignScheduler::Options options;
+  // Monitoring off: this test pins the DETECTION latency of the loss
+  // sentinel itself, without the scheduler acting on it.
+  options.fault.health_check_every_waves = 0;
+  core::CampaignScheduler scheduler(options);
+  scheduler.add_campaign(
+      "online-0", fleet.campaign, fleet.task,
+      [] { return testing::default_engine(); },
+      std::make_shared<core::OnlineAdaptivePolicy>(agent, 0.05, 7));
+  scheduler.run(/*max_waves=*/8);  // replay warmed, training active
+  ASSERT_EQ(scheduler.waves_completed(), 8u);
+  ASSERT_GE(agent.trainer().replay().size(), 4u);
+  ASSERT_GT(agent.trainer().train_steps(), 0u);
+  ASSERT_TRUE(agent.health().healthy());
+
+  // Poison the TARGET network. The action path (online net) stays clean —
+  // poisoning it would NaN every Q-value and masked_argmax would reject the
+  // decide with "no selectable action" before any train step ran. The
+  // Double-DQN target value, however, flows straight into the TD loss, so
+  // the very next train step records a NaN Huber loss.
+  for (nn::Parameter* p : agent.trainer().target().parameters())
+    p->value(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  scheduler.step_wave();  // ONE wave = one train step
+  EXPECT_EQ(agent.health().status(), core::HealthStatus::kNonFiniteLoss);
+}
+
+TEST(SchedulerFaults, UnhealthyAgentFallsBackToBaselineSelector) {
+  DisarmGuard guard;
+  const ToyFleet fleet;
+  core::CampaignScheduler::Options options;
+  // No checkpoint ring: rollback is impossible, so the recovery path must
+  // degrade the agent's campaigns to the configured fallback.
+  options.fault.fallback_factory = [](const std::string&, std::size_t slot) {
+    return std::make_shared<baselines::RandomSelector>(1000 + slot);
+  };
+  core::CampaignScheduler scheduler(options);
+  fleet.populate(scheduler);
+  scheduler.run(/*max_waves=*/3);
+  fleet.agent->trainer().online().parameters()[0]->value(0, 0) =
+      std::numeric_limits<double>::quiet_NaN();
+  scheduler.run();
+
+  ASSERT_TRUE(scheduler.all_done());
+  EXPECT_TRUE(has_incident(scheduler, "agent-unhealthy"));
+  EXPECT_TRUE(has_incident(scheduler, "fallback"));
+  EXPECT_TRUE(scheduler.quarantined_slots().empty());
+  const auto results = scheduler.results();
+  // The agent's campaigns (slots 0-1, originally "DR-Cell") now serve the
+  // fallback selector; degraded but not dropped.
+  EXPECT_EQ(results[0].selector, "RANDOM");
+  EXPECT_EQ(results[1].selector, "RANDOM");
+  EXPECT_FALSE(results[0].quarantined);
+  EXPECT_FALSE(results[1].quarantined);
+}
+
+TEST(SchedulerFaults, QuarantineStateSurvivesCheckpointRoundTrip) {
+  DisarmGuard guard;
+  util::FaultSpec spec;
+  spec.site = "env.step";
+  spec.scope = "random-0";
+  util::FaultInjection::arm(spec);
+  const ToyFleet fleet;
+  core::CampaignScheduler faulted;
+  fleet.populate(faulted);
+  faulted.run();
+  util::FaultInjection::disarm_all();
+  ASSERT_EQ(faulted.quarantined_slots(), (std::vector<std::size_t>{2}));
+
+  std::ostringstream out(std::ios::binary);
+  core::save_checkpoint(faulted, out);
+  const ToyFleet resumed_fleet;
+  core::CampaignScheduler resumed;
+  resumed_fleet.populate(resumed);
+  std::istringstream in(out.str(), std::ios::binary);
+  core::load_checkpoint(resumed, in);
+  EXPECT_EQ(resumed.quarantined_slots(), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(resumed.quarantine_reason(2), faulted.quarantine_reason(2));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint integrity: corruption vs mismatch, v1 compatibility
+
+TEST(CheckpointIntegrity, TruncationAndBitFlipAreCorruption) {
+  const ToyFleet fleet;
+  core::CampaignScheduler burst;
+  fleet.populate(burst);
+  burst.run(/*max_waves=*/6);
+  std::ostringstream out(std::ios::binary);
+  core::save_checkpoint(burst, out);
+  const std::string bytes = out.str();
+
+  {
+    const ToyFleet fresh_fleet;
+    core::CampaignScheduler fresh;
+    fresh_fleet.populate(fresh);
+    std::istringstream in(bytes.substr(0, bytes.size() - 7),
+                          std::ios::binary);
+    EXPECT_THROW(core::load_checkpoint(fresh, in),
+                 core::CheckpointCorruptionError);
+  }
+  {
+    std::string flipped = bytes;
+    flipped[flipped.size() / 2] =
+        static_cast<char>(flipped[flipped.size() / 2] ^ 0x01);
+    const ToyFleet fresh_fleet;
+    core::CampaignScheduler fresh;
+    fresh_fleet.populate(fresh);
+    std::istringstream in(flipped, std::ios::binary);
+    EXPECT_THROW(core::load_checkpoint(fresh, in),
+                 core::CheckpointCorruptionError);
+  }
+}
+
+TEST(CheckpointIntegrity, WrongFleetIsMismatchNotCorruption) {
+  const ToyFleet fleet;
+  core::CampaignScheduler burst;
+  fleet.populate(burst);
+  burst.run(/*max_waves=*/6);
+  std::ostringstream out(std::ios::binary);
+  core::save_checkpoint(burst, out);
+
+  // Same bytes, CRC intact — but a fleet with different campaign ids.
+  const ToyFleet other_fleet;
+  core::CampaignScheduler other;
+  other_fleet.populate(other);
+  other.add_campaign("extra", other_fleet.campaign, other_fleet.task,
+                     [] { return testing::default_engine(); },
+                     std::make_shared<baselines::RandomSelector>(9));
+  std::istringstream in(out.str(), std::ios::binary);
+  EXPECT_THROW(core::load_checkpoint(other, in),
+               core::CheckpointMismatchError);
+}
+
+TEST(CheckpointIntegrity, LegacyV1StreamStillResumesBitIdentically) {
+  const ToyFleet clean;
+  core::CampaignScheduler uninterrupted;
+  clean.populate(uninterrupted);
+  uninterrupted.run();
+
+  const ToyFleet burst_fleet;
+  core::CampaignScheduler burst;
+  burst_fleet.populate(burst);
+  burst.run(/*max_waves=*/6);
+  std::ostringstream out(std::ios::binary);
+  core::save_checkpoint_v1(burst, out);  // legacy writer, no CRC envelope
+
+  const ToyFleet resumed_fleet;
+  core::CampaignScheduler resumed;
+  resumed_fleet.populate(resumed);
+  std::istringstream in(out.str(), std::ios::binary);
+  core::load_checkpoint(resumed, in);
+  resumed.run();
+  for (std::size_t slot = 0; slot < 4; ++slot)
+    expect_campaign_identical(uninterrupted, resumed, slot);
+}
+
+// ---------------------------------------------------------------------------
+// ALS non-convergence -> cold-solve fallback
+
+TEST(AlsFallback, ConvergeFaultFallsBackToColdSolveBitIdentically) {
+  DisarmGuard guard;
+  cs::MatrixCompletionOptions options;
+  options.rank = 3;
+  const cs::MatrixCompletion warm(options);
+
+  // A smooth low-rank window, mostly observed; then two small increments —
+  // exactly the per-cycle evolution the warm path trusts.
+  const auto window = [](std::size_t extra) {
+    cs::PartialMatrix p(8, 6);
+    for (std::size_t r = 0; r < 8; ++r)
+      for (std::size_t c = 0; c < 5; ++c)
+        p.set(r, c, 10.0 + std::sin(0.7 * static_cast<double>(r)) +
+                        0.5 * std::cos(0.9 * static_cast<double>(c)));
+    for (std::size_t r = 0; r < extra; ++r)
+      p.set(r, 5, 10.0 + std::sin(0.7 * static_cast<double>(r)) + 0.5);
+    return p;
+  };
+  warm.infer(window(2));  // cold fit, caches factors
+  warm.infer(window(4));  // trusted warm resume
+
+  util::FaultSpec spec;
+  spec.site = "als.converge";
+  spec.times = 1;
+  util::FaultInjection::arm(spec);
+  const Matrix forced = warm.infer(window(6));
+  // Exactly one fire proves the warm-resume path was taken and rejected.
+  ASSERT_EQ(util::FaultInjection::fires("als.converge"), 1u);
+  util::FaultInjection::disarm_all();
+  // A fresh never-warmed engine on the same window is the reference: the
+  // fallback re-solves from the same seeded noise with the full budget.
+  const cs::MatrixCompletion cold(options);
+  const Matrix reference = cold.infer(window(6));
+  ASSERT_EQ(forced.rows(), reference.rows());
+  ASSERT_EQ(forced.cols(), reference.cols());
+  for (std::size_t r = 0; r < forced.rows(); ++r)
+    for (std::size_t c = 0; c < forced.cols(); ++c)
+      EXPECT_EQ(forced(r, c), reference(r, c)) << "(" << r << "," << c << ")";
 }
 
 }  // namespace

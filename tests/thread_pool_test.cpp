@@ -66,6 +66,46 @@ TEST(ThreadPool, PropagatesTaskExceptions) {
   EXPECT_EQ(count.load(), 8);
 }
 
+TEST(ThreadPool, AggregatesExceptionsWithoutStarvingOtherTasks) {
+  // The aggregation contract: every index runs even when several throw, the
+  // first captured exception is rethrown, and last_batch_error_count()
+  // reports how many tasks threw in the batch.
+  for (std::size_t workers : {std::size_t{0}, std::size_t{3}}) {
+    ThreadPool pool(workers);
+    constexpr std::size_t n = 64;
+    std::vector<std::atomic<int>> hits(n);
+    EXPECT_THROW(pool.parallel_for(n,
+                                   [&](std::size_t i) {
+                                     hits[i].fetch_add(1);
+                                     if (i % 16 == 3)  // 4 throwers
+                                       throw CheckError("task " +
+                                                        std::to_string(i));
+                                   }),
+                 CheckError);
+    EXPECT_EQ(ThreadPool::last_batch_error_count(), 4u);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "task " << i << " was starved";
+    // A clean batch resets the count.
+    pool.parallel_for(8, [](std::size_t) {});
+    EXPECT_EQ(ThreadPool::last_batch_error_count(), 0u);
+  }
+}
+
+TEST(ThreadPool, SerialBatchRethrowsLowestIndexException) {
+  // With 0 workers claim order IS index order, so "first captured" is
+  // deterministic and observable.
+  ThreadPool pool(0);
+  try {
+    pool.parallel_for(32, [](std::size_t i) {
+      if (i == 7 || i == 21) throw CheckError("task " + std::to_string(i));
+    });
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("task 7"), std::string::npos);
+  }
+  EXPECT_EQ(ThreadPool::last_batch_error_count(), 2u);
+}
+
 TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
   // Nested submissions can land on a worker lane (inline via the worker
   // flag) or on the caller's own lane (inline via the re-entry flag; a

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/checksum.h"
 #include "util/csv.h"
 #include "util/rng.h"
 #include "util/statistics.h"
@@ -337,6 +338,35 @@ TEST(Table, RowWidthMismatchThrows) {
 TEST(Table, FormatDoublePrecision) {
   EXPECT_EQ(format_double(3.14159, 2), "3.14");
   EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Checksum, Crc32MatchesStandardCheckValue) {
+  // The IEEE 802.3 check value every CRC-32 implementation must reproduce.
+  const char msg[] = "123456789";
+  EXPECT_EQ(util::crc32(msg, 9), 0xCBF43926u);
+  EXPECT_EQ(util::crc32(nullptr, 0), 0u);
+}
+
+TEST(Checksum, Crc32ChainsPartialComputations) {
+  const std::string payload = "the DRCK v2 checkpoint payload";
+  const std::uint32_t whole = util::crc32(payload.data(), payload.size());
+  for (std::size_t split : {std::size_t{0}, std::size_t{7}, payload.size()}) {
+    const std::uint32_t head = util::crc32(payload.data(), split);
+    EXPECT_EQ(util::crc32(payload.data() + split, payload.size() - split,
+                          head),
+              whole);
+  }
+}
+
+TEST(Checksum, Crc32SeesEveryBitFlip) {
+  std::string payload = "sensitive bytes";
+  const std::uint32_t clean = util::crc32(payload.data(), payload.size());
+  for (std::size_t bit : {std::size_t{0}, std::size_t{37},
+                          8 * payload.size() - 1}) {
+    payload[bit / 8] = static_cast<char>(payload[bit / 8] ^ (1u << (bit % 8)));
+    EXPECT_NE(util::crc32(payload.data(), payload.size()), clean);
+    payload[bit / 8] = static_cast<char>(payload[bit / 8] ^ (1u << (bit % 8)));
+  }
 }
 
 }  // namespace
